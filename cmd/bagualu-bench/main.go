@@ -1,0 +1,144 @@
+// Command bagualu-bench regenerates the in-simulator scaling
+// experiments: weak scaling (R2), strong scaling (R3), and the
+// per-step communication/computation breakdown (R9) of hybrid MoDa
+// training, using virtual network time so topology effects are
+// visible regardless of host hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bagualu/internal/data"
+	"bagualu/internal/metrics"
+	"bagualu/internal/moe"
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/parallel"
+	"bagualu/internal/simnet"
+	"bagualu/internal/sunway"
+	"bagualu/internal/train"
+)
+
+func modelCfg(experts int, algo moe.A2AAlgo) parallel.ModelConfig {
+	return parallel.ModelConfig{
+		GPT: nn.GPTConfig{
+			Vocab: 128, Dim: 32, Heads: 2, Layers: 2, SeqLen: 16, FFNHidden: 64,
+		},
+		NumExperts:     experts,
+		TopK:           2,
+		CapacityFactor: 1.5,
+		AuxLossWeight:  0.01,
+		MoEHidden:      64,
+		MoEEvery:       1,
+		Algo:           algo,
+	}
+}
+
+// run executes `steps` training steps on `ranks` ranks and returns
+// the mean per-step virtual time and MoE wall breakdown.
+func run(ranks, batch, steps, experts int, algo moe.A2AAlgo) (simPerStep float64, tokensPerSimSec float64, moeT moe.Timing) {
+	strat := parallel.Strategy{DataParallel: 1, ExpertParallel: ranks}
+	if ranks >= 4 {
+		strat = parallel.Strategy{DataParallel: 2, ExpertParallel: ranks / 2}
+	}
+	nodes := (ranks + 1) / 2
+	sns := (nodes + 1) / 2
+	if sns < 1 {
+		sns = 1
+	}
+	machine := sunway.TestMachine(sns, 2)
+	topo := simnet.New(machine, 2)
+	w := mpi.NewWorld(ranks, topo)
+	cc := data.CorpusConfig{Vocab: 128, SeqLen: 16, Zipf: 1, Determinism: 0.85, Seed: 9}
+	tc := train.Config{Batch: batch, Precision: sunway.FP32, Schedule: train.ConstantLR(1e-3), ClipNorm: 1}
+
+	var sim float64
+	var tps float64
+	var tm moe.Timing
+	w.Run(func(c *mpi.Comm) {
+		e, err := parallel.NewEngine(c, strat, modelCfg(experts, algo), cc, tc, train.NewAdam(0), 5)
+		if err != nil {
+			panic(err)
+		}
+		// Charge virtual compute at 30% of a half-node's FP32 peak
+		// (2 ranks per node), so virtual throughput reflects the
+		// modeled machine rather than the host.
+		e.SetComputeRate(machine.NodeFlops(sunway.FP32) * 0.3 / 2)
+		for s := 0; s < steps; s++ {
+			st := e.Step()
+			if c.Rank() == 0 {
+				sim += st.SimTime
+				tps = st.TokensPer
+				tm.Gate += st.MoE.Gate
+				tm.Dispatch += st.MoE.Dispatch
+				tm.Expert += st.MoE.Expert
+				tm.Combine += st.MoE.Combine
+			}
+		}
+	})
+	return sim / float64(steps), tps, tm
+}
+
+func main() {
+	var (
+		maxRanks = flag.Int("max-ranks", 16, "largest world size")
+		steps    = flag.Int("steps", 5, "steps per configuration")
+		batch    = flag.Int("batch", 4, "sequences per rank (weak scaling)")
+		csv      = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	emit := func(t *metrics.Table) {
+		if *csv {
+			t.WriteCSV(os.Stdout)
+		} else {
+			t.WriteText(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	// R2: weak scaling — per-rank batch fixed, experts scale with
+	// ranks (one pool of 2·ranks experts).
+	weak := metrics.NewTable("R2: weak scaling (fixed batch/rank, experts ∝ ranks)",
+		"ranks", "simtime/step(s)", "tokens/simsec", "efficiency-vs-2")
+	var base float64
+	for p := 2; p <= *maxRanks; p *= 2 {
+		sim, tps, _ := run(p, *batch, *steps, 2*p, moe.Auto)
+		if p == 2 {
+			base = tps / float64(p)
+		}
+		weak.AddRow(p, sim, fmt.Sprintf("%.4g", tps),
+			fmt.Sprintf("%.2f", tps/float64(p)/base))
+	}
+	emit(weak)
+
+	// R3: strong scaling — fixed global batch.
+	strong := metrics.NewTable("R3: strong scaling (fixed global batch)",
+		"ranks", "batch/rank", "simtime/step(s)", "speedup-vs-2")
+	globalBatch := 2 * *batch * (*maxRanks / 2)
+	var t2 float64
+	for p := 2; p <= *maxRanks; p *= 2 {
+		b := globalBatch / p
+		if b < 1 {
+			b = 1
+		}
+		sim, _, _ := run(p, b, *steps, 16, moe.Auto)
+		if p == 2 {
+			t2 = sim
+		}
+		strong.AddRow(p, b, sim, fmt.Sprintf("%.2f", t2/sim))
+	}
+	emit(strong)
+
+	// R9: phase breakdown at the largest configuration, per a2a
+	// algorithm.
+	br := metrics.NewTable("R9: MoE phase wall-time breakdown (s, summed over steps)",
+		"a2a", "gate", "dispatch", "expert", "combine")
+	for _, algo := range []moe.A2AAlgo{moe.Pairwise, moe.Hierarchical} {
+		_, _, tm := run(*maxRanks, *batch, *steps, 2**maxRanks, algo)
+		br.AddRow(algo.String(), tm.Gate, tm.Dispatch, tm.Expert, tm.Combine)
+	}
+	emit(br)
+}

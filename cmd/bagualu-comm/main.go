@@ -1,0 +1,115 @@
+// Command bagualu-comm regenerates the collective micro-benchmarks
+// (experiments R4 and R8): all-to-all and all-reduce virtual time and
+// inter-supernode traffic versus message size, rank count, and
+// algorithm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bagualu/internal/metrics"
+	"bagualu/internal/mpi"
+	"bagualu/internal/simnet"
+	"bagualu/internal/sunway"
+)
+
+func main() {
+	var (
+		ranks = flag.Int("ranks", 32, "world size")
+		perSN = flag.Int("nodes-per-sn", 4, "nodes per supernode")
+		rpn   = flag.Int("ranks-per-node", 2, "ranks per node")
+		minKB = flag.Int("min-kb", 1, "smallest per-rank payload in KiB")
+		maxKB = flag.Int("max-kb", 4096, "largest per-rank payload in KiB")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	nodes := (*ranks + *rpn - 1) / *rpn
+	sns := (nodes + *perSN - 1) / *perSN
+	machine := sunway.TestMachine(sns, *perSN)
+	topo := simnet.New(machine, *rpn)
+
+	emit := func(t *metrics.Table) {
+		if *csv {
+			t.WriteCSV(os.Stdout)
+		} else {
+			t.WriteText(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	// R4: all-to-all algorithm comparison across message sizes.
+	a2a := metrics.NewTable("R4: all-to-all virtual time (s) by algorithm",
+		"bytes/rank", "direct", "pairwise", "hierarchical", "interSN-msgs-flat", "interSN-msgs-hier")
+	for kb := *minKB; kb <= *maxKB; kb *= 4 {
+		bytes := kb * 1024
+		elems := bytes / 4 / *ranks
+		if elems < 1 {
+			elems = 1
+		}
+		run := func(f func(c *mpi.Comm, ch [][]float32) [][]float32) (float64, int64) {
+			w := mpi.NewWorld(*ranks, topo)
+			w.Run(func(c *mpi.Comm) {
+				chunks := make([][]float32, *ranks)
+				for d := range chunks {
+					chunks[d] = make([]float32, elems)
+				}
+				f(c, chunks)
+			})
+			return w.MaxTime(), w.Stats().MsgsAt(simnet.MachineLevel)
+		}
+		td, _ := run(func(c *mpi.Comm, ch [][]float32) [][]float32 { return c.AllToAllDirect(ch) })
+		tp, mf := run(func(c *mpi.Comm, ch [][]float32) [][]float32 { return c.AllToAllPairwise(ch) })
+		th, mh := run(func(c *mpi.Comm, ch [][]float32) [][]float32 { return c.AllToAllHier(ch) })
+		a2a.AddRow(kb*1024, td, tp, th, mf, mh)
+	}
+	emit(a2a)
+
+	// R8: all-reduce algorithms across sizes.
+	ar := metrics.NewTable("R8: all-reduce virtual time (s) by algorithm",
+		"bytes", "ring", "hierarchical", "interSN-bytes-ring", "interSN-bytes-hier")
+	for kb := *minKB; kb <= *maxKB; kb *= 4 {
+		elems := kb * 1024 / 4
+		run := func(f func(c *mpi.Comm, d []float32) []float32) (float64, int64) {
+			w := mpi.NewWorld(*ranks, topo)
+			w.Run(func(c *mpi.Comm) {
+				f(c, make([]float32, elems))
+			})
+			return w.MaxTime(), w.Stats().BytesAt(simnet.MachineLevel)
+		}
+		tr, br := run(func(c *mpi.Comm, d []float32) []float32 { return c.AllReduceRing(d, mpi.OpSum) })
+		th, bh := run(func(c *mpi.Comm, d []float32) []float32 { return c.AllReduceHier(d, mpi.OpSum) })
+		ar.AddRow(kb*1024, tr, th, br, bh)
+	}
+	emit(ar)
+
+	// R4b: all-to-all scaling with rank count at fixed payload.
+	sc := metrics.NewTable("R4b: all-to-all time vs ranks (64 KiB/rank)",
+		"ranks", "pairwise", "hierarchical", "speedup")
+	for p := 8; p <= *ranks; p *= 2 {
+		n := (p + *rpn - 1) / *rpn
+		s := (n + *perSN - 1) / *perSN
+		tp2 := simnet.New(sunway.TestMachine(s, *perSN), *rpn)
+		elems := 64 * 1024 / 4 / p
+		if elems < 1 {
+			elems = 1
+		}
+		run := func(f func(c *mpi.Comm, ch [][]float32) [][]float32) float64 {
+			w := mpi.NewWorld(p, tp2)
+			w.Run(func(c *mpi.Comm) {
+				chunks := make([][]float32, p)
+				for d := range chunks {
+					chunks[d] = make([]float32, elems)
+				}
+				f(c, chunks)
+			})
+			return w.MaxTime()
+		}
+		tpw := run(func(c *mpi.Comm, ch [][]float32) [][]float32 { return c.AllToAllPairwise(ch) })
+		thi := run(func(c *mpi.Comm, ch [][]float32) [][]float32 { return c.AllToAllHier(ch) })
+		sc.AddRow(p, tpw, thi, tpw/thi)
+	}
+	emit(sc)
+}

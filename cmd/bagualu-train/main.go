@@ -1,0 +1,166 @@
+// Command bagualu-train runs end-to-end hybrid-parallel MoE
+// pretraining on the simulated machine: it spins up a rank-per-
+// goroutine world, builds the MoDa engine on every rank, and trains a
+// scaled-down BaGuaLu model on the synthetic multimodal corpus.
+//
+// Example:
+//
+//	bagualu-train -dp 2 -ep 4 -steps 50 -experts 8 -precision mixed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bagualu/internal/data"
+	"bagualu/internal/moe"
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/parallel"
+	"bagualu/internal/simnet"
+	"bagualu/internal/sunway"
+	"bagualu/internal/trace"
+	"bagualu/internal/train"
+)
+
+func main() {
+	var (
+		dp        = flag.Int("dp", 2, "data-parallel degree")
+		ep        = flag.Int("ep", 4, "expert-parallel degree")
+		steps     = flag.Int("steps", 30, "training steps")
+		batch     = flag.Int("batch", 4, "sequences per rank per step")
+		vocab     = flag.Int("vocab", 256, "vocabulary size")
+		dim       = flag.Int("dim", 64, "model dimension")
+		heads     = flag.Int("heads", 4, "attention heads")
+		layers    = flag.Int("layers", 2, "transformer blocks")
+		seq       = flag.Int("seq", 32, "sequence length")
+		experts   = flag.Int("experts", 8, "experts per MoE layer")
+		topk      = flag.Int("topk", 2, "experts per token")
+		capf      = flag.Float64("capacity", 1.5, "capacity factor")
+		auxw      = flag.Float64("aux", 0.01, "load-balance loss weight")
+		precision = flag.String("precision", "fp32", "fp32|fp16|mixed")
+		lr        = flag.Float64("lr", 3e-3, "peak learning rate")
+		seed      = flag.Uint64("seed", 42, "global seed")
+		accum     = flag.Int("accum", 1, "gradient-accumulation micro-batches per step")
+		recompute = flag.Bool("recompute", false, "activation checkpointing (recompute in backward)")
+		optName   = flag.String("optimizer", "adam", "adam|lamb|sgd")
+		ckpt      = flag.String("checkpoint", "", "path to write the final checkpoint (rank 0 dense shard)")
+		rebalance = flag.Int("rebalance", 0, "migrate experts to balance load every N steps (0 = off)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace timeline to this path")
+		every     = flag.Int("log-every", 5, "print every N steps")
+	)
+	flag.Parse()
+
+	prec := map[string]sunway.Precision{
+		"fp32": sunway.FP32, "fp16": sunway.FP16, "mixed": sunway.Mixed, "bf16": sunway.BF16,
+	}[*precision]
+
+	strat := parallel.Strategy{DataParallel: *dp, ExpertParallel: *ep}
+	mc := parallel.ModelConfig{
+		GPT: nn.GPTConfig{
+			Vocab: *vocab, Dim: *dim, Heads: *heads, Layers: *layers,
+			SeqLen: *seq, FFNHidden: 4 * *dim,
+		},
+		NumExperts:     *experts,
+		TopK:           *topk,
+		CapacityFactor: float32(*capf),
+		AuxLossWeight:  float32(*auxw),
+		MoEHidden:      4 * *dim,
+		MoEEvery:       1,
+		Algo:           moe.Auto,
+		Recompute:      *recompute,
+	}
+	cc := data.CorpusConfig{
+		Vocab: *vocab, SeqLen: *seq, Zipf: 1.0, Determinism: 0.85,
+		ImageFrac: 0.25, Seed: *seed,
+	}
+	tc := train.Config{
+		Batch:     *batch,
+		Precision: prec,
+		Schedule:  train.WarmupCosine{Peak: float32(*lr), Floor: float32(*lr) / 10, Warmup: *steps / 10, Total: *steps},
+		ClipNorm:  1,
+		Accum:     *accum,
+	}
+	var opt train.Optimizer
+	switch *optName {
+	case "lamb":
+		opt = train.NewLAMB(0.01)
+	case "sgd":
+		opt = train.NewSGD(0.9)
+	default:
+		opt = train.NewAdam(0.01)
+	}
+
+	machine := sunway.TestMachine(2, (strat.Size()+3)/4)
+	topo := simnet.New(machine, 2)
+	world := mpi.NewWorld(strat.Size(), topo)
+
+	fmt.Printf("BaGuaLu-sim training: %d ranks (dp=%d x ep=%d), %d experts/layer, precision=%s\n",
+		strat.Size(), *dp, *ep, *experts, prec)
+
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New()
+	}
+	world.Run(func(c *mpi.Comm) {
+		e, err := parallel.NewEngine(c, strat, mc, cc, tc, opt, *seed)
+		if err != nil {
+			log.Fatalf("rank %d: %v", c.Rank(), err)
+		}
+		e.Trace = rec
+		if c.Rank() == 0 {
+			fmt.Printf("global params: %d (%.2f M), tokens/step: %d\n",
+				e.NumParamsGlobal(), float64(e.NumParamsGlobal())/1e6, e.GlobalBatchTokens())
+		}
+		for s := 0; s < *steps; s++ {
+			st := e.Step()
+			if c.Rank() == 0 && (s%*every == 0 || s == *steps-1) {
+				fmt.Printf("step %3d  loss %.4f  aux %.4f  overflow %4d  gnorm %.3f  simtime %.3gs  tok/s(sim) %.3g\n",
+					st.Step, st.Loss, st.AuxLoss, st.Overflow, st.GradNorm, st.SimTime, st.TokensPer)
+			}
+			if *rebalance > 0 && s > 0 && s%*rebalance == 0 {
+				var imbBefore, imbAfter float64
+				if len(e.MoELayers()) > 0 {
+					m := e.MoELayers()[0]
+					counts := m.GatherExpertCounts(c)
+					imbBefore = m.Placement().Imbalance(counts)
+					moves, err := e.RebalanceExperts()
+					if err != nil {
+						log.Fatalf("rank %d: rebalance: %v", c.Rank(), err)
+					}
+					imbAfter = m.Placement().Imbalance(counts)
+					if c.Rank() == 0 {
+						fmt.Printf("        rebalanced %d experts: imbalance %.2f -> %.2f\n", moves, imbBefore, imbAfter)
+					}
+				}
+			}
+		}
+		if *ckpt != "" && c.Rank() == 0 {
+			f, err := os.Create(*ckpt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := train.Save(f, train.Header{Step: int64(*steps)}, e.Trainer.Params()); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("checkpoint written to %s\n", *ckpt)
+		}
+	})
+
+	if rec != nil {
+		if err := rec.WriteFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d events)\n", *traceOut, rec.Len())
+	}
+
+	st := world.Stats()
+	fmt.Printf("\ntraffic: node %.1f MiB / sn %.1f MiB / machine %.1f MiB; virtual makespan %.3gs\n",
+		float64(st.BytesAt(simnet.NodeLevel))/(1<<20),
+		float64(st.BytesAt(simnet.SupernodeLevel))/(1<<20),
+		float64(st.BytesAt(simnet.MachineLevel))/(1<<20),
+		world.MaxTime())
+}

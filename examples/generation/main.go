@@ -1,0 +1,71 @@
+// generation: pretrain a small MoE language model on the synthetic
+// corpus, then sample continuations from it — demonstrating that the
+// reproduction's training stack produces a model that actually
+// learned the corpus's sequence structure (the affine next-token
+// rule), and showing greedy vs temperature sampling.
+//
+//	go run ./examples/generation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bagualu"
+)
+
+func main() {
+	const (
+		vocab  = 32
+		seqLen = 16
+		steps  = 150
+	)
+	r := bagualu.NewRNG(17)
+	model := bagualu.NewGPT(bagualu.GPTConfig{
+		Vocab: vocab, Dim: 32, Heads: 4, Layers: 2, SeqLen: seqLen, FFNHidden: 64,
+	}, r, func(block int, name string, rr *bagualu.RNG) bagualu.Layer {
+		return bagualu.NewLocalMoE(name, rr, bagualu.GateConfig{
+			Dim: 32, NumExperts: 4, TopK: 2, CapacityFactor: 2, AuxLossWeight: 0.01,
+		}, 64)
+	})
+	// Highly deterministic corpus: next = (3*cur + 1) mod vocab most
+	// of the time — learnable and verifiable.
+	corpus, err := bagualu.NewCorpus(bagualu.CorpusConfig{
+		Vocab: vocab, SeqLen: seqLen, Zipf: 0.5, Determinism: 0.95, Seed: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := bagualu.NewTrainer(model, corpus, bagualu.NewAdam(0.01), bagualu.TrainConfig{
+		Batch: 8, Precision: bagualu.FP32,
+		Schedule: bagualu.WarmupCosine(5e-3, 5e-4, 10, steps), ClipNorm: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		m := tr.Step()
+		if s%30 == 0 || s == steps-1 {
+			fmt.Printf("step %3d  loss %.4f\n", m.Step, m.Loss)
+		}
+	}
+
+	prompt := []int{5}
+	fmt.Printf("\nprompt: %v (corpus rule: next = (3*cur+1) mod %d)\n", prompt, vocab)
+
+	greedy := model.Generate(prompt, 8, 0, nil)
+	fmt.Printf("greedy:      %v\n", greedy)
+	follows := 0
+	for i := 1; i < len(greedy); i++ {
+		if greedy[i] == (greedy[i-1]*3+1)%vocab {
+			follows++
+		}
+	}
+	fmt.Printf("             %d/%d transitions follow the learned rule\n", follows, len(greedy)-1)
+
+	rng := bagualu.NewRNG(8)
+	for _, temp := range []float32{0.5, 1.5} {
+		out := model.Generate(prompt, 8, temp, rng)
+		fmt.Printf("T=%.1f:       %v\n", temp, out)
+	}
+}

@@ -1,0 +1,94 @@
+// precision_ablation (experiment R5): train the same MoE language
+// model under FP32, pure FP16, and the paper's mixed-precision policy
+// (FP16 compute + FP32 master weights + dynamic loss scaling), and
+// compare convergence. The expected shape: mixed tracks FP32 closely;
+// pure FP16 trails or destabilizes once updates drop below the FP16
+// resolution.
+//
+//	go run ./examples/precision_ablation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bagualu"
+)
+
+const (
+	vocab  = 64
+	dim    = 32
+	seqLen = 16
+	steps  = 80
+)
+
+func run(prec bagualu.Precision) ([]float32, int) {
+	r := bagualu.NewRNG(11)
+	model := bagualu.NewGPT(bagualu.GPTConfig{
+		Vocab: vocab, Dim: dim, Heads: 4, Layers: 2, SeqLen: seqLen, FFNHidden: 64,
+	}, r, func(block int, name string, rr *bagualu.RNG) bagualu.Layer {
+		return bagualu.NewLocalMoE(name, rr, bagualu.GateConfig{
+			Dim: dim, NumExperts: 4, TopK: 2, CapacityFactor: 1.5, AuxLossWeight: 0.01,
+		}, 64)
+	})
+	corpus, err := bagualu.NewCorpus(bagualu.CorpusConfig{
+		Vocab: vocab, SeqLen: seqLen, Zipf: 1.0, Determinism: 0.9, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := bagualu.NewTrainer(model, corpus, bagualu.NewAdam(0.01), bagualu.TrainConfig{
+		Batch: 8, Precision: prec, Schedule: bagualu.ConstantLR(2e-3), ClipNorm: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var losses []float32
+	for s := 0; s < steps; s++ {
+		m := tr.Step()
+		if !m.Skipped {
+			losses = append(losses, m.Loss)
+		}
+	}
+	return losses, tr.MP.SkippedSteps()
+}
+
+func main() {
+	results := map[string][]float32{}
+	skips := map[string]int{}
+	for _, p := range []bagualu.Precision{bagualu.FP32, bagualu.FP16, bagualu.Mixed, bagualu.BF16} {
+		losses, skipped := run(p)
+		results[p.String()] = losses
+		skips[p.String()] = skipped
+	}
+
+	fmt.Printf("%-6s  %10s  %10s  %10s  %10s\n", "step", "fp32", "fp16", "mixed", "bf16")
+	for s := 0; s < steps; s += 10 {
+		fmt.Printf("%-6d", s)
+		for _, k := range []string{"fp32", "fp16", "mixed", "bf16"} {
+			l := results[k]
+			if s < len(l) {
+				fmt.Printf("  %10.4f", l[s])
+			} else {
+				fmt.Printf("  %10s", "-")
+			}
+		}
+		fmt.Println()
+	}
+	final := func(k string) float32 {
+		l := results[k]
+		return l[len(l)-1]
+	}
+	fmt.Printf("\nfinal:  fp32 %.4f   fp16 %.4f   mixed %.4f   bf16 %.4f\n",
+		final("fp32"), final("fp16"), final("mixed"), final("bf16"))
+	fmt.Printf("overflow-skipped steps: fp32 %d, fp16 %d, mixed %d, bf16 %d\n",
+		skips["fp32"], skips["fp16"], skips["mixed"], skips["bf16"])
+
+	gap := final("mixed") - final("fp32")
+	fmt.Printf("\nmixed-vs-fp32 final-loss gap: %+.4f ", gap)
+	if gap < 0.1 {
+		fmt.Println("(mixed precision tracks fp32 — the paper's numerical strategy holds)")
+	} else {
+		fmt.Println("(unexpectedly large gap)")
+	}
+}

@@ -1,0 +1,3 @@
+module bagualu
+
+go 1.22

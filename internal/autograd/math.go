@@ -1,0 +1,6 @@
+package autograd
+
+import "math"
+
+func sqrt64(x float64) float64 { return math.Sqrt(x) }
+func log64(x float64) float64  { return math.Log(x) }

@@ -1,0 +1,52 @@
+package half
+
+import "sync"
+
+// Table-driven FP16 decode: all 65,536 encodings are precomputed on
+// first use, turning per-element decode into a single indexed load —
+// the software analogue of the hardware conversion units, and the
+// fast path used by bulk tensor quantization.
+
+var (
+	decodeOnce  sync.Once
+	decodeTable []float32
+)
+
+func buildDecodeTable() {
+	decodeTable = make([]float32, 1<<16)
+	for i := range decodeTable {
+		decodeTable[i] = Float16(i).Float32()
+	}
+}
+
+// FastFloat32 decodes h via the lookup table.
+func (h Float16) FastFloat32() float32 {
+	decodeOnce.Do(buildDecodeTable)
+	return decodeTable[h]
+}
+
+// DecodeFast converts src to float32 via the table; dst must be at
+// least as long as src.
+func DecodeFast(dst []float32, src []Float16) {
+	decodeOnce.Do(buildDecodeTable)
+	for i, v := range src {
+		dst[i] = decodeTable[v]
+	}
+}
+
+// QuantizeSliceFast rounds every element of x through FP16 in place
+// using the table for the decode half, and reports overflow like
+// QuantizeSlice.
+func QuantizeSliceFast(x []float32) (overflow bool) {
+	decodeOnce.Do(buildDecodeTable)
+	for i, v := range x {
+		h := FromFloat32(v)
+		if h&0x7fff == 0x7c00 && !isInf32(v) {
+			overflow = true
+		}
+		x[i] = decodeTable[h]
+	}
+	return overflow
+}
+
+func isInf32(v float32) bool { return v > 3.4e38 || v < -3.4e38 }

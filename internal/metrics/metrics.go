@@ -1,0 +1,152 @@
+// Package metrics provides the small measurement plumbing shared by
+// the benchmark harness and the command-line tools: stopwatches,
+// moving averages, and an aligned table/CSV emitter for experiment
+// output.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Stopwatch accumulates wall-clock time across Start/Stop intervals.
+type Stopwatch struct {
+	total   time.Duration
+	started time.Time
+	running bool
+}
+
+// Start begins an interval; nested starts panic.
+func (s *Stopwatch) Start() {
+	if s.running {
+		panic("metrics: Stopwatch started twice")
+	}
+	s.running = true
+	s.started = time.Now()
+}
+
+// Stop ends the current interval.
+func (s *Stopwatch) Stop() {
+	if !s.running {
+		panic("metrics: Stopwatch stopped while idle")
+	}
+	s.total += time.Since(s.started)
+	s.running = false
+}
+
+// Total returns accumulated time.
+func (s *Stopwatch) Total() time.Duration { return s.total }
+
+// Seconds returns accumulated time in seconds.
+func (s *Stopwatch) Seconds() float64 { return s.total.Seconds() }
+
+// Reset zeroes the accumulator.
+func (s *Stopwatch) Reset() { *s = Stopwatch{} }
+
+// EWMA is an exponentially weighted moving average.
+type EWMA struct {
+	Alpha float64
+	value float64
+	init  bool
+}
+
+// Add folds in a sample.
+func (e *EWMA) Add(x float64) {
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.1
+	}
+	if !e.init {
+		e.value = x
+		e.init = true
+		return
+	}
+	e.value = a*x + (1-a)*e.value
+}
+
+// Value returns the current average (0 before any sample).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Table accumulates rows and renders either an aligned text table or
+// CSV; every experiment harness reports through it so outputs are
+// uniform and machine-readable.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v (floats get %g).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.6g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.6g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// WriteText renders an aligned table.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	for i, h := range t.headers {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	b.WriteByte('\n')
+	for i := range t.headers {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders comma-separated values with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.headers, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

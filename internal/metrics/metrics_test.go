@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStopwatchAccumulates(t *testing.T) {
+	var s Stopwatch
+	s.Start()
+	time.Sleep(time.Millisecond)
+	s.Stop()
+	first := s.Total()
+	if first <= 0 {
+		t.Fatal("no time accumulated")
+	}
+	s.Start()
+	time.Sleep(time.Millisecond)
+	s.Stop()
+	if s.Total() <= first {
+		t.Fatal("second interval not accumulated")
+	}
+	s.Reset()
+	if s.Total() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestStopwatchPanicsOnMisuse(t *testing.T) {
+	var s Stopwatch
+	s.Start()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Start not caught")
+			}
+		}()
+		s.Start()
+	}()
+	s.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("Stop while idle not caught")
+		}
+	}()
+	s.Stop()
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first sample = %v", e.Value())
+	}
+	e.Add(20)
+	if e.Value() != 15 {
+		t.Fatalf("after second sample = %v", e.Value())
+	}
+	var d EWMA // default alpha
+	d.Add(1)
+	d.Add(2)
+	if d.Value() <= 1 || d.Value() >= 2 {
+		t.Fatalf("default alpha value = %v", d.Value())
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", 42)
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## demo", "name", "alpha", "1.5", "42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(float32(0.25), "x")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "a,b\n0.25,x\n" {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}

@@ -1,0 +1,456 @@
+package moe
+
+import (
+	"fmt"
+	"time"
+
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/tensor"
+)
+
+// A2AAlgo selects the all-to-all algorithm used for MoE dispatch and
+// combine; Auto picks hierarchically when the communicator spans
+// supernodes.
+type A2AAlgo int
+
+const (
+	// Auto lets the communicator choose by topology.
+	Auto A2AAlgo = iota
+	// Direct sends one eager message per destination.
+	Direct
+	// Pairwise uses P-1 balanced exchange rounds.
+	Pairwise
+	// Hierarchical aggregates at supernode leaders (the paper's
+	// algorithm).
+	Hierarchical
+	// Bruck uses the log-P-message Bruck exchange (latency-optimal
+	// flat baseline).
+	Bruck
+)
+
+// String names the algorithm.
+func (a A2AAlgo) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case Direct:
+		return "direct"
+	case Pairwise:
+		return "pairwise"
+	case Hierarchical:
+		return "hierarchical"
+	case Bruck:
+		return "bruck"
+	default:
+		return fmt.Sprintf("A2AAlgo(%d)", int(a))
+	}
+}
+
+// DistMoE is the distributed expert-parallel MoE layer: the total
+// expert pool is sharded evenly over the ranks of an expert-parallel
+// communicator, and tokens travel to their experts (and back) through
+// an all-to-all exchange each step. It implements nn.Layer for the
+// local token batch.
+//
+// Gate weights must be identical on every rank of the group (the
+// trainer guarantees this by construction seed and by all-reducing
+// gate gradients); each rank gates only its own tokens.
+type DistMoE struct {
+	Cfg          GateConfig
+	Gate         *Gate
+	Experts      []*nn.FeedForward // the local shard, ordered by global expert id
+	LocalExperts int
+	Algo         A2AAlgo
+
+	comm   *mpi.Comm
+	name   string
+	hidden int
+
+	// Expert placement: which rank owns each expert, plus derived
+	// lookup tables. Rebuilt by Migrate.
+	place       *Placement
+	localGlobal []int // local slot -> global expert id
+	slotOf      []int // global expert id -> local slot at its owner
+
+	// Shadowed (locally replicated) hot experts; see shadow.go.
+	shadows    map[int]*nn.FeedForward
+	shadowList []int
+	shadowRefs map[int][]sendRef // shadowed expert -> local (token, k) list
+	shadowOuts map[int]*tensor.Tensor
+
+	// Time accumulates the per-phase wall-clock breakdown.
+	Time Timing
+
+	// Forward caches for backward.
+	x         *tensor.Tensor
+	perTok    [][]slot    // slot.pos = index into sendOrder[dst]
+	sendOrder [][]sendRef // per dst rank: which (token, k) produced row i
+	recvMeta  [][]int     // per src rank: local expert of each received row
+	recvRows  [][]float32 // per src rank: flat received token rows
+	exptOrder [][]rowRef  // per local expert: origin of each batched row
+	yBack     [][]float32 // per dst rank: flat returned expert outputs
+}
+
+// Timing accumulates wall-clock seconds per MoE phase across steps;
+// the communication/computation breakdown experiment (R9) reads it.
+type Timing struct {
+	Gate, Dispatch, Expert, Combine float64
+}
+
+// Reset zeroes the accumulators.
+func (t *Timing) Reset() { *t = Timing{} }
+
+type sendRef struct{ token, k int }
+
+type rowRef struct{ src, pos int } // src rank chunk, row position
+
+// NewDistMoE shards cfg.NumExperts experts over comm. NumExperts must
+// be divisible by the communicator size.
+func NewDistMoE(name string, r *tensor.RNG, cfg GateConfig, hidden int, comm *mpi.Comm, algo A2AAlgo) *DistMoE {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.NumExperts%comm.Size() != 0 {
+		panic(fmt.Sprintf("moe: %d experts not divisible by %d ranks", cfg.NumExperts, comm.Size()))
+	}
+	le := cfg.NumExperts / comm.Size()
+	m := &DistMoE{
+		Cfg:          cfg,
+		Gate:         NewGate(name+".gate", r, cfg),
+		LocalExperts: le,
+		Algo:         algo,
+		comm:         comm,
+		name:         name,
+		hidden:       hidden,
+		place:        NewBlockPlacement(cfg.NumExperts, comm.Size()),
+	}
+	// Every rank draws the full expert-init stream but keeps only its
+	// shard, so expert e has identical weights no matter where it
+	// lives — the property that makes checkpoints layout-independent.
+	for e := 0; e < cfg.NumExperts; e++ {
+		ex := nn.NewFeedForward(fmt.Sprintf("%s.expert%d", name, e), r, cfg.Dim, hidden)
+		if m.place.Owner[e] == comm.Rank() {
+			m.Experts = append(m.Experts, ex)
+		}
+	}
+	m.rebuildLookups()
+	return m
+}
+
+// rebuildLookups refreshes the placement-derived tables after
+// construction or migration.
+func (m *DistMoE) rebuildLookups() {
+	m.localGlobal = m.place.ExpertsOf(m.comm.Rank())
+	m.slotOf = make([]int, m.Cfg.NumExperts)
+	for r := 0; r < m.place.Ranks; r++ {
+		for slot, e := range m.place.ExpertsOf(r) {
+			m.slotOf[e] = slot
+		}
+	}
+}
+
+// Placement returns the current expert placement.
+func (m *DistMoE) Placement() *Placement { return m.place }
+
+// ownerOf returns the rank hosting expert e.
+func (m *DistMoE) ownerOf(e int) int { return m.place.Owner[e] }
+
+func (m *DistMoE) a2a(chunks [][]float32) [][]float32 {
+	switch m.Algo {
+	case Direct:
+		return m.comm.AllToAllDirect(chunks)
+	case Pairwise:
+		return m.comm.AllToAllPairwise(chunks)
+	case Hierarchical:
+		return m.comm.AllToAllHier(chunks)
+	case Bruck:
+		return m.comm.AllToAllBruck(chunks)
+	default:
+		return m.comm.AllToAll(chunks)
+	}
+}
+
+// Forward gates local tokens, dispatches them to expert owners,
+// applies the experts, and combines the returned outputs.
+func (m *DistMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
+	tokens, d := x.Shape[0], x.Shape[1]
+	p := m.comm.Size()
+	m.x = x
+	if len(m.shadowList) > 0 {
+		m.refreshShadows()
+	}
+	t0 := time.Now()
+	routing := m.Gate.Forward(x)
+	m.Time.Gate += time.Since(t0).Seconds()
+
+	// Build per-destination chunks; shadowed experts stay local.
+	dataChunks := make([][]float32, p)
+	metaChunks := make([][]int, p)
+	m.sendOrder = make([][]sendRef, p)
+	m.shadowRefs = make(map[int][]sendRef)
+	m.perTok = make([][]slot, tokens)
+	for t := 0; t < tokens; t++ {
+		as := routing.Assign[t]
+		m.perTok[t] = make([]slot, len(as))
+		for i, a := range as {
+			s := slot{expert: a.Expert, weight: a.Weight, dropped: a.Dropped}
+			if !a.Dropped {
+				if m.isShadowed(a.Expert) {
+					s.shadow = true
+					s.pos = len(m.shadowRefs[a.Expert])
+					m.shadowRefs[a.Expert] = append(m.shadowRefs[a.Expert], sendRef{t, i})
+				} else {
+					dst := m.ownerOf(a.Expert)
+					s.pos = len(m.sendOrder[dst])
+					m.sendOrder[dst] = append(m.sendOrder[dst], sendRef{t, i})
+					dataChunks[dst] = append(dataChunks[dst], x.Row(t)...)
+					metaChunks[dst] = append(metaChunks[dst], m.slotOf[a.Expert])
+				}
+			}
+			m.perTok[t][i] = s
+		}
+	}
+
+	// Dispatch: token rows + routing metadata.
+	t0 = time.Now()
+	m.recvRows = m.a2a(dataChunks)
+	m.recvMeta = m.comm.AllToAllInts(metaChunks)
+	m.Time.Dispatch += time.Since(t0).Seconds()
+
+	// Group received rows per local expert.
+	m.exptOrder = make([][]rowRef, m.LocalExperts)
+	for src := 0; src < p; src++ {
+		for pos, le := range m.recvMeta[src] {
+			m.exptOrder[le] = append(m.exptOrder[le], rowRef{src, pos})
+		}
+	}
+
+	// Run local experts on their batches.
+	outRows := make([][]float32, p) // per src rank, flat outputs aligned with recv order
+	for src := 0; src < p; src++ {
+		outRows[src] = make([]float32, len(m.recvMeta[src])*d)
+	}
+	t0 = time.Now()
+	tensor.ParallelRows(m.LocalExperts, func(lo, hi int) {
+		for le := lo; le < hi; le++ {
+			refs := m.exptOrder[le]
+			if len(refs) == 0 {
+				continue
+			}
+			in := tensor.New(len(refs), d)
+			for i, ref := range refs {
+				copy(in.Row(i), m.recvRows[ref.src][ref.pos*d:(ref.pos+1)*d])
+			}
+			out := m.Experts[le].Forward(in)
+			for i, ref := range refs {
+				copy(outRows[ref.src][ref.pos*d:(ref.pos+1)*d], out.Row(i))
+			}
+		}
+	})
+	m.Time.Expert += time.Since(t0).Seconds()
+
+	// Shadowed experts: apply the local replica to local tokens (no
+	// all-to-all involvement at all).
+	m.shadowOuts = make(map[int]*tensor.Tensor, len(m.shadowList))
+	if len(m.shadowList) > 0 {
+		t0 = time.Now()
+		for _, e := range m.shadowList {
+			refs := m.shadowRefs[e]
+			if len(refs) == 0 {
+				continue
+			}
+			in := tensor.New(len(refs), d)
+			for i, ref := range refs {
+				copy(in.Row(i), x.Row(ref.token))
+			}
+			m.shadowOuts[e] = m.shadows[e].Forward(in)
+		}
+		m.Time.Expert += time.Since(t0).Seconds()
+	}
+
+	// Combine: send outputs back to token owners.
+	t0 = time.Now()
+	m.yBack = m.a2a(outRows)
+	m.Time.Combine += time.Since(t0).Seconds()
+
+	out := tensor.New(tokens, d)
+	for dst := 0; dst < p; dst++ {
+		for i, ref := range m.sendOrder[dst] {
+			s := m.perTok[ref.token][ref.k]
+			y := m.yBack[dst][i*d : (i+1)*d]
+			row := out.Row(ref.token)
+			for j := range row {
+				row[j] += s.weight * y[j]
+			}
+		}
+	}
+	for _, e := range m.shadowList {
+		for i, ref := range m.shadowRefs[e] {
+			s := m.perTok[ref.token][ref.k]
+			y := m.shadowOuts[e].Row(i)
+			row := out.Row(ref.token)
+			for j := range row {
+				row[j] += s.weight * y[j]
+			}
+		}
+	}
+	return out
+}
+
+// Backward runs the reverse dispatch: output gradients travel to the
+// expert owners, expert backward produces input gradients, and those
+// return to the token owners. Gate gradients stay local.
+func (m *DistMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	tokens, d := dout.Shape[0], dout.Shape[1]
+	p := m.comm.Size()
+
+	// Combine-weight gradients for the gate, and ŵ-scaled output
+	// gradients for the experts.
+	dWeights := make([][]float32, tokens)
+	for t := range dWeights {
+		dWeights[t] = make([]float32, len(m.perTok[t]))
+	}
+	dyChunks := make([][]float32, p)
+	for dst := 0; dst < p; dst++ {
+		dyChunks[dst] = make([]float32, len(m.sendOrder[dst])*d)
+		for i, ref := range m.sendOrder[dst] {
+			s := m.perTok[ref.token][ref.k]
+			y := m.yBack[dst][i*d : (i+1)*d]
+			g := dout.Row(ref.token)
+			var dw float64
+			dyRow := dyChunks[dst][i*d : (i+1)*d]
+			for j := range g {
+				dw += float64(g[j]) * float64(y[j])
+				dyRow[j] = s.weight * g[j]
+			}
+			dWeights[ref.token][ref.k] = float32(dw)
+		}
+	}
+	// Shadow assignments: combine-weight grads from the cached local
+	// outputs.
+	shadowDy := make(map[int]*tensor.Tensor, len(m.shadowList))
+	for _, e := range m.shadowList {
+		refs := m.shadowRefs[e]
+		if len(refs) == 0 {
+			continue
+		}
+		dy := tensor.New(len(refs), d)
+		for i, ref := range refs {
+			s := m.perTok[ref.token][ref.k]
+			y := m.shadowOuts[e].Row(i)
+			g := dout.Row(ref.token)
+			var dw float64
+			dyRow := dy.Row(i)
+			for j := range g {
+				dw += float64(g[j]) * float64(y[j])
+				dyRow[j] = s.weight * g[j]
+			}
+			dWeights[ref.token][ref.k] = float32(dw)
+		}
+		shadowDy[e] = dy
+	}
+
+	// Reverse dispatch of output gradients.
+	dyRecv := m.a2a(dyChunks)
+
+	// Expert backward; input grads go back into per-src chunks.
+	dxChunks := make([][]float32, p)
+	for src := 0; src < p; src++ {
+		dxChunks[src] = make([]float32, len(m.recvMeta[src])*d)
+	}
+	tensor.ParallelRows(m.LocalExperts, func(lo, hi int) {
+		for le := lo; le < hi; le++ {
+			refs := m.exptOrder[le]
+			if len(refs) == 0 {
+				continue
+			}
+			dy := tensor.New(len(refs), d)
+			for i, ref := range refs {
+				copy(dy.Row(i), dyRecv[ref.src][ref.pos*d:(ref.pos+1)*d])
+			}
+			dx := m.Experts[le].Backward(dy)
+			for i, ref := range refs {
+				copy(dxChunks[ref.src][ref.pos*d:(ref.pos+1)*d], dx.Row(i))
+			}
+		}
+	})
+
+	// Return input gradients to token owners.
+	dxBack := m.a2a(dxChunks)
+
+	dx := tensor.New(tokens, d)
+	for dst := 0; dst < p; dst++ {
+		for i, ref := range m.sendOrder[dst] {
+			src := dxBack[dst][i*d : (i+1)*d]
+			row := dx.Row(ref.token)
+			for j := range row {
+				row[j] += src[j]
+			}
+		}
+	}
+
+	// Shadow replicas: local backward, then gradients reduced to the
+	// expert's owner.
+	for _, e := range m.shadowList {
+		dy := shadowDy[e]
+		if dy == nil {
+			continue
+		}
+		dxe := m.shadows[e].Backward(dy)
+		for i, ref := range m.shadowRefs[e] {
+			row := dx.Row(ref.token)
+			src := dxe.Row(i)
+			for j := range row {
+				row[j] += src[j]
+			}
+		}
+	}
+	if len(m.shadowList) > 0 {
+		m.reduceShadowGrads()
+	}
+
+	tensor.AddInPlace(dx, m.Gate.Backward(dWeights))
+	return dx
+}
+
+// Params returns the gate and the *local* expert shard. Gate
+// parameters are replicated (all-reduce their grads); expert
+// parameters are sharded (no all-reduce across the expert-parallel
+// group).
+func (m *DistMoE) Params() []*nn.Param {
+	ps := m.Gate.Params()
+	for _, e := range m.Experts {
+		ps = append(ps, e.Params()...)
+	}
+	return ps
+}
+
+// ReplicatedParams returns the parameters that are replicated across
+// the expert-parallel group (the gate projection).
+func (m *DistMoE) ReplicatedParams() []*nn.Param { return m.Gate.Params() }
+
+// ShardedParams returns the parameters owned exclusively by this rank
+// (its experts).
+func (m *DistMoE) ShardedParams() []*nn.Param {
+	var ps []*nn.Param
+	for _, e := range m.Experts {
+		ps = append(ps, e.Params()...)
+	}
+	return ps
+}
+
+// SetGradScale forwards the gradient scale to the gate (see
+// Gate.SetGradScale).
+func (m *DistMoE) SetGradScale(s float32) { m.Gate.SetGradScale(s) }
+
+// AuxLoss returns the gate's load-balance loss for the last batch.
+func (m *DistMoE) AuxLoss() float32 {
+	if m.Gate.routing == nil {
+		return 0
+	}
+	return m.Gate.routing.AuxLoss
+}
+
+// LastRouting exposes the last routing decisions.
+func (m *DistMoE) LastRouting() *Routing { return m.Gate.routing }

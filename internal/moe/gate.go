@@ -1,0 +1,372 @@
+// Package moe implements the Mixture-of-Experts layer family at the
+// heart of BaGuaLu: top-k gating with capacity limits and an
+// auxiliary load-balancing loss, a local (single-rank) MoE layer, and
+// the distributed expert-parallel MoE layer whose dispatch/combine
+// runs over the mpi package's all-to-all.
+//
+// Brain-scale parameter counts come from replicating experts: the
+// 174-trillion-parameter configuration in the paper is a modest
+// transformer with tens of thousands of experts sharded across
+// ~96,000 nodes. Everything in this package is therefore built
+// around that sharding.
+package moe
+
+import (
+	"fmt"
+	"math"
+
+	"bagualu/internal/nn"
+	"bagualu/internal/tensor"
+)
+
+// GateConfig parameterizes the router.
+type GateConfig struct {
+	Dim        int // model dimension
+	NumExperts int // total experts (across all ranks)
+	TopK       int // experts per token (1 or 2 in the paper's configs)
+
+	// CapacityFactor scales per-expert capacity:
+	// capacity = ceil(CapacityFactor * tokens * TopK / NumExperts).
+	// Tokens routed beyond capacity are dropped (their expert
+	// contribution is zero; the residual connection carries them).
+	CapacityFactor float32
+
+	// NoiseStd adds N(0, NoiseStd²) exploration noise to gate logits
+	// before top-k selection (noisy gating). Zero disables.
+	NoiseStd float32
+
+	// AuxLossWeight is the coefficient of the GShard-style load
+	// balance loss: w * E * Σ_e f_e·P̄_e, where f_e is the fraction
+	// of tokens whose top-1 choice is e and P̄_e the mean gate
+	// probability of e. Zero disables.
+	AuxLossWeight float32
+
+	// ZLossWeight is the coefficient of the router z-loss
+	// (ST-MoE): w_z · mean_t (logsumexp_e logits_{t,e})², which keeps
+	// gate logits small and stabilizes low-precision training. Zero
+	// disables.
+	ZLossWeight float32
+
+	// RandomRouting replaces the learned gate with uniform-random
+	// expert assignment (weights 1/TopK, no gate gradient) — the
+	// routing-ablation baseline: perfectly balanced in expectation
+	// but content-blind.
+	RandomRouting bool
+}
+
+// Validate checks the gate configuration.
+func (c GateConfig) Validate() error {
+	switch {
+	case c.Dim <= 0 || c.NumExperts <= 0:
+		return fmt.Errorf("moe: non-positive gate dims %+v", c)
+	case c.TopK < 1 || c.TopK > c.NumExperts:
+		return fmt.Errorf("moe: TopK %d out of range for %d experts", c.TopK, c.NumExperts)
+	case c.CapacityFactor <= 0:
+		return fmt.Errorf("moe: capacity factor %v must be positive", c.CapacityFactor)
+	}
+	return nil
+}
+
+// Assignment is one token-to-expert routing decision.
+type Assignment struct {
+	Expert  int     // expert index in [0, NumExperts)
+	Weight  float32 // normalized combine weight ŵ
+	Dropped bool    // true when the expert was over capacity
+}
+
+// Routing is the gate's output for a batch of tokens.
+type Routing struct {
+	// Assign[t] lists the TopK assignments of token t, in
+	// decreasing-probability order.
+	Assign [][]Assignment
+	// Counts[e] is the number of tokens assigned to expert e after
+	// capacity enforcement; Overflow counts dropped assignments.
+	Counts   []int
+	Overflow int
+	// AuxLoss is the weighted load-balance loss value for this batch.
+	AuxLoss float32
+}
+
+// Capacity returns the per-expert slot limit for a batch of tokens.
+func (c GateConfig) Capacity(tokens int) int {
+	cap := int(math.Ceil(float64(c.CapacityFactor) * float64(tokens) * float64(c.TopK) / float64(c.NumExperts)))
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// Gate is the learned router: a linear projection to expert logits
+// followed by (noisy) top-k selection with capacity enforcement.
+type Gate struct {
+	Cfg  GateConfig
+	Proj *nn.Linear
+
+	rng *tensor.RNG
+
+	// gradScale multiplies the auxiliary-loss gradient; the trainer
+	// sets it to lossScale/accumSteps so the aux gradient matches the
+	// scaling of the main loss gradient flowing in through dWeights.
+	gradScale float32
+
+	// Cached for backward.
+	probs   *tensor.Tensor // [T, E] softmax probabilities
+	routing *Routing
+	top1Cnt []int     // tokens whose top-1 choice was e (for aux f_e)
+	lse     []float32 // per-token logsumexp of the logits (z-loss)
+	zloss   float32
+}
+
+// NewGate constructs a gate with small-norm initialization (routing
+// starts near-uniform, which the load-balance literature recommends).
+func NewGate(name string, r *tensor.RNG, cfg GateConfig) *Gate {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Gate{Cfg: cfg, Proj: nn.NewLinear(name+".proj", r, cfg.Dim, cfg.NumExperts, false), rng: r.Split(), gradScale: 1}
+	tensor.ScaleInPlace(g.Proj.Weight.W, 0.1)
+	return g
+}
+
+// Params returns the gate projection parameters.
+func (g *Gate) Params() []*nn.Param { return g.Proj.Params() }
+
+// SetGradScale sets the multiplier applied to the auxiliary-loss
+// gradient in Backward (loss scale × micro-batch weight).
+func (g *Gate) SetGradScale(s float32) { g.gradScale = s }
+
+// Forward routes a batch of token embeddings x [T, d] and returns the
+// routing decisions. Capacity is enforced in token order (earlier
+// tokens win slots), matching the deterministic dispatch the paper
+// uses.
+func (g *Gate) Forward(x *tensor.Tensor) *Routing {
+	cfg := g.Cfg
+	tokens := x.Shape[0]
+	if cfg.RandomRouting {
+		return g.forwardRandom(tokens)
+	}
+	logits := g.Proj.Forward(x)
+	if cfg.NoiseStd > 0 {
+		for i := range logits.Data {
+			logits.Data[i] += g.rng.Norm() * cfg.NoiseStd
+		}
+	}
+	g.probs = tensor.SoftmaxRows(logits)
+
+	// Router z-loss: penalize large logit magnitudes via the
+	// per-token logsumexp.
+	g.zloss = 0
+	g.lse = nil
+	if cfg.ZLossWeight > 0 {
+		g.lse = make([]float32, tokens)
+		var zsum float64
+		for t := 0; t < tokens; t++ {
+			row := logits.Row(t)
+			m := row[0]
+			for _, v := range row[1:] {
+				if v > m {
+					m = v
+				}
+			}
+			var sum float64
+			for _, v := range row {
+				sum += math.Exp(float64(v - m))
+			}
+			l := float32(math.Log(sum)) + m
+			g.lse[t] = l
+			zsum += float64(l) * float64(l)
+		}
+		g.zloss = cfg.ZLossWeight * float32(zsum/float64(tokens))
+	}
+
+	r := &Routing{
+		Assign: make([][]Assignment, tokens),
+		Counts: make([]int, cfg.NumExperts),
+	}
+	g.top1Cnt = make([]int, cfg.NumExperts)
+	capacity := cfg.Capacity(tokens)
+
+	for t := 0; t < tokens; t++ {
+		row := g.probs.Row(t)
+		idx := topKIndices(row, cfg.TopK)
+		g.top1Cnt[idx[0]]++
+		var sum float32
+		for _, e := range idx {
+			sum += row[e]
+		}
+		as := make([]Assignment, cfg.TopK)
+		for i, e := range idx {
+			a := Assignment{Expert: e, Weight: row[e] / sum}
+			if r.Counts[e] >= capacity {
+				a.Dropped = true
+				r.Overflow++
+			} else {
+				r.Counts[e]++
+			}
+			as[i] = a
+		}
+		r.Assign[t] = as
+	}
+
+	// Load-balance auxiliary loss: E * Σ f_e * P̄_e.
+	if cfg.AuxLossWeight > 0 {
+		var aux float64
+		for e := 0; e < cfg.NumExperts; e++ {
+			f := float64(g.top1Cnt[e]) / float64(tokens)
+			var pbar float64
+			for t := 0; t < tokens; t++ {
+				pbar += float64(g.probs.At(t, e))
+			}
+			pbar /= float64(tokens)
+			aux += f * pbar
+		}
+		r.AuxLoss = cfg.AuxLossWeight * float32(aux) * float32(cfg.NumExperts)
+	}
+	r.AuxLoss += g.zloss
+	g.routing = r
+	return r
+}
+
+// forwardRandom assigns each token TopK uniformly random distinct
+// experts with equal weights and enforces capacity as usual.
+func (g *Gate) forwardRandom(tokens int) *Routing {
+	cfg := g.Cfg
+	r := &Routing{
+		Assign: make([][]Assignment, tokens),
+		Counts: make([]int, cfg.NumExperts),
+	}
+	capacity := cfg.Capacity(tokens)
+	w := 1 / float32(cfg.TopK)
+	for t := 0; t < tokens; t++ {
+		as := make([]Assignment, cfg.TopK)
+		var chosen []int
+		for i := 0; i < cfg.TopK; i++ {
+			e := g.rng.Intn(cfg.NumExperts)
+			for contains(chosen, e) {
+				e = g.rng.Intn(cfg.NumExperts)
+			}
+			chosen = append(chosen, e)
+			a := Assignment{Expert: e, Weight: w}
+			if r.Counts[e] >= capacity {
+				a.Dropped = true
+				r.Overflow++
+			} else {
+				r.Counts[e]++
+			}
+			as[i] = a
+		}
+		r.Assign[t] = as
+	}
+	g.routing = r
+	g.probs = nil
+	return r
+}
+
+// Backward receives dL/dŵ for every (token, k) assignment (zero for
+// dropped slots is fine — weights of dropped assignments still got
+// gradients only if the caller chose so; BaGuaLu zeroes them) and
+// returns dL/dx through the gate projection. It also injects the
+// auxiliary-loss gradient.
+func (g *Gate) Backward(dWeights [][]float32) *tensor.Tensor {
+	cfg := g.Cfg
+	tokens := len(dWeights)
+	if cfg.RandomRouting {
+		// Random routing is not differentiable and carries no
+		// parameters' worth of gradient; input gradient is zero.
+		return tensor.New(tokens, cfg.Dim)
+	}
+	dprobs := tensor.New(tokens, cfg.NumExperts)
+
+	for t := 0; t < tokens; t++ {
+		as := g.routing.Assign[t]
+		row := g.probs.Row(t)
+		// ŵ_i = p_i / s with s = Σ_{j∈K} p_j:
+		// dL/dp_i = (dL/dŵ_i - Σ_j dL/dŵ_j·ŵ_j) / s for i ∈ K.
+		var s float32
+		for _, a := range as {
+			s += row[a.Expert]
+		}
+		var mix float32
+		for i, a := range as {
+			mix += dWeights[t][i] * a.Weight
+		}
+		for i, a := range as {
+			dprobs.Set((dWeights[t][i]-mix)/s, t, a.Expert)
+		}
+	}
+
+	// Aux loss: dL_aux/dp_{t,e} = w * E * f_e / T (f treated as
+	// constant, the standard straight-through choice).
+	if cfg.AuxLossWeight > 0 {
+		for e := 0; e < cfg.NumExperts; e++ {
+			f := float32(g.top1Cnt[e]) / float32(tokens)
+			d := cfg.AuxLossWeight * float32(cfg.NumExperts) * f / float32(tokens) * g.gradScale
+			if d == 0 {
+				continue
+			}
+			for t := 0; t < tokens; t++ {
+				dprobs.Set(dprobs.At(t, e)+d, t, e)
+			}
+		}
+	}
+
+	// Softmax jacobian: dlogit_m = p_m (dp_m - Σ_n dp_n p_n).
+	dlogits := tensor.New(tokens, cfg.NumExperts)
+	tensor.Parallel(tokens, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			p := g.probs.Row(t)
+			dp := dprobs.Row(t)
+			var dot float64
+			for j := range p {
+				dot += float64(p[j]) * float64(dp[j])
+			}
+			out := dlogits.Row(t)
+			for j := range p {
+				out[j] = p[j] * (dp[j] - float32(dot))
+			}
+		}
+	})
+	// z-loss gradient: d/dlogit_e (lse²) = 2·lse·softmax_e.
+	if cfg.ZLossWeight > 0 && g.lse != nil {
+		coeff := 2 * cfg.ZLossWeight / float32(tokens) * g.gradScale
+		for t := 0; t < tokens; t++ {
+			p := g.probs.Row(t)
+			out := dlogits.Row(t)
+			c := coeff * g.lse[t]
+			for j := range p {
+				out[j] += c * p[j]
+			}
+		}
+	}
+	return g.Proj.Backward(dlogits)
+}
+
+// topKIndices returns the indices of the k largest values in row, in
+// decreasing order. k is small (1 or 2 in practice), so selection by
+// repeated scan is optimal.
+func topKIndices(row []float32, k int) []int {
+	idx := make([]int, 0, k)
+	for len(idx) < k {
+		best := -1
+		var bv float32
+		for j, v := range row {
+			if contains(idx, j) {
+				continue
+			}
+			if best < 0 || v > bv {
+				best, bv = j, v
+			}
+		}
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+package moe
+
+import (
+	"fmt"
+
+	"bagualu/internal/nn"
+	"bagualu/internal/tensor"
+)
+
+// LocalMoE is a Mixture-of-Experts layer with all experts resident on
+// the local rank. It implements nn.Layer, so it drops into the FFN
+// slot of a transformer block. It is both the single-node baseline
+// and the per-rank compute kernel of the distributed layer.
+type LocalMoE struct {
+	Cfg     GateConfig
+	Gate    *Gate
+	Experts []*nn.FeedForward
+
+	// Cached per forward call.
+	routing *Routing
+	x       *tensor.Tensor
+	perTok  [][]slot // mirror of routing with expert-batch positions
+	outputs []*tensor.Tensor
+	dout    *tensor.Tensor
+}
+
+// slot records where a token's copy landed inside an expert batch.
+type slot struct {
+	expert  int
+	pos     int // row within the expert's gathered batch
+	weight  float32
+	dropped bool
+	shadow  bool // dist-only: handled by a local replica, not the all-to-all
+}
+
+// NewLocalMoE builds the gate plus NumExperts feed-forward experts,
+// each d -> hidden -> d.
+func NewLocalMoE(name string, r *tensor.RNG, cfg GateConfig, hidden int) *LocalMoE {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &LocalMoE{Cfg: cfg, Gate: NewGate(name+".gate", r, cfg)}
+	for e := 0; e < cfg.NumExperts; e++ {
+		m.Experts = append(m.Experts, nn.NewFeedForward(fmt.Sprintf("%s.expert%d", name, e), r, cfg.Dim, hidden))
+	}
+	return m
+}
+
+// Forward routes tokens to experts and combines their outputs.
+func (m *LocalMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
+	tokens, d := x.Shape[0], x.Shape[1]
+	m.x = x
+	m.routing = m.Gate.Forward(x)
+
+	// Gather token rows per expert, in token order.
+	gather := make([][]int, m.Cfg.NumExperts) // expert -> token indices
+	m.perTok = make([][]slot, tokens)
+	for t := 0; t < tokens; t++ {
+		as := m.routing.Assign[t]
+		m.perTok[t] = make([]slot, len(as))
+		for i, a := range as {
+			s := slot{expert: a.Expert, weight: a.Weight, dropped: a.Dropped}
+			if !a.Dropped {
+				s.pos = len(gather[a.Expert])
+				gather[a.Expert] = append(gather[a.Expert], t)
+			}
+			m.perTok[t][i] = s
+		}
+	}
+
+	// Run each expert on its batch.
+	m.outputs = make([]*tensor.Tensor, m.Cfg.NumExperts)
+	tensor.ParallelRows(m.Cfg.NumExperts, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			if len(gather[e]) == 0 {
+				m.outputs[e] = nil
+				continue
+			}
+			in := tensor.New(len(gather[e]), d)
+			for i, t := range gather[e] {
+				copy(in.Row(i), x.Row(t))
+			}
+			m.outputs[e] = m.Experts[e].Forward(in)
+		}
+	})
+
+	// Combine: out[t] = Σ ŵ_i · y_{e_i}.
+	out := tensor.New(tokens, d)
+	for t := 0; t < tokens; t++ {
+		row := out.Row(t)
+		for _, s := range m.perTok[t] {
+			if s.dropped {
+				continue
+			}
+			y := m.outputs[s.expert].Row(s.pos)
+			for j := range row {
+				row[j] += s.weight * y[j]
+			}
+		}
+	}
+	return out
+}
+
+// Backward propagates gradients to experts, gate, and input.
+func (m *LocalMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	tokens, d := dout.Shape[0], dout.Shape[1]
+	m.dout = dout
+
+	// Gradient w.r.t. combine weights, for the gate.
+	dWeights := make([][]float32, tokens)
+	// Per-expert output gradients (ŵ-scaled dout rows).
+	dy := make([]*tensor.Tensor, m.Cfg.NumExperts)
+	rowsOf := make([][]int, m.Cfg.NumExperts) // expert -> source tokens
+	for t := 0; t < tokens; t++ {
+		dWeights[t] = make([]float32, len(m.perTok[t]))
+		for i, s := range m.perTok[t] {
+			if s.dropped {
+				continue
+			}
+			y := m.outputs[s.expert].Row(s.pos)
+			g := dout.Row(t)
+			var dw float64
+			for j := range g {
+				dw += float64(g[j]) * float64(y[j])
+			}
+			dWeights[t][i] = float32(dw)
+			rowsOf[s.expert] = append(rowsOf[s.expert], t)
+		}
+	}
+	for e := range dy {
+		if m.outputs[e] == nil {
+			continue
+		}
+		dy[e] = tensor.New(m.outputs[e].Shape...)
+	}
+	for t := 0; t < tokens; t++ {
+		for _, s := range m.perTok[t] {
+			if s.dropped {
+				continue
+			}
+			dst := dy[s.expert].Row(s.pos)
+			g := dout.Row(t)
+			for j := range dst {
+				dst[j] += s.weight * g[j]
+			}
+		}
+	}
+
+	// Expert backward, scattering input grads back to tokens.
+	dx := tensor.New(tokens, d)
+	var dxs = make([]*tensor.Tensor, m.Cfg.NumExperts)
+	tensor.ParallelRows(m.Cfg.NumExperts, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			if dy[e] == nil {
+				continue
+			}
+			dxs[e] = m.Experts[e].Backward(dy[e])
+		}
+	})
+	for e, dxe := range dxs {
+		if dxe == nil {
+			continue
+		}
+		for i, t := range rowsOf[e] {
+			dst := dx.Row(t)
+			src := dxe.Row(i)
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+	}
+
+	// Gate backward adds its input-gradient contribution.
+	tensor.AddInPlace(dx, m.Gate.Backward(dWeights))
+	return dx
+}
+
+// Params returns gate plus all expert parameters.
+func (m *LocalMoE) Params() []*nn.Param {
+	ps := m.Gate.Params()
+	for _, e := range m.Experts {
+		ps = append(ps, e.Params()...)
+	}
+	return ps
+}
+
+// SetGradScale forwards the gradient scale to the gate (see
+// Gate.SetGradScale).
+func (m *LocalMoE) SetGradScale(s float32) { m.Gate.SetGradScale(s) }
+
+// AuxLoss returns the load-balance loss of the last forward pass.
+func (m *LocalMoE) AuxLoss() float32 {
+	if m.routing == nil {
+		return 0
+	}
+	return m.routing.AuxLoss
+}
+
+// LastRouting exposes the most recent routing decisions (for load
+// balance experiments).
+func (m *LocalMoE) LastRouting() *Routing { return m.routing }

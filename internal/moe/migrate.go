@@ -1,0 +1,110 @@
+package moe
+
+import (
+	"fmt"
+	"sort"
+
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/tensor"
+)
+
+// Migrate applies a new expert placement: every expert whose owner
+// changes has its weights shipped point-to-point from the old owner
+// to the new one. All ranks of the expert-parallel group must call
+// Migrate with an identical plan (it is a collective).
+//
+// Optimizer state of moved experts is not transferred — exactly the
+// trade real systems make when they rebalance (Adam moments restart
+// for migrated experts). LastRouting caches are invalidated.
+//
+// This is the mechanism behind load-aware expert rebalancing: gather
+// per-expert token counts, plan with Placement.Rebalanced, Migrate.
+func (m *DistMoE) Migrate(newPlace *Placement) error {
+	if newPlace.NumExperts != m.Cfg.NumExperts || newPlace.Ranks != m.comm.Size() {
+		return fmt.Errorf("moe: migration plan shape %dx%d does not match %dx%d",
+			newPlace.NumExperts, newPlace.Ranks, m.Cfg.NumExperts, m.comm.Size())
+	}
+	if err := newPlace.Validate(); err != nil {
+		return err
+	}
+	moves := m.place.Moves(newPlace)
+	rank := m.comm.Rank()
+
+	// Current experts by global id for quick lookup.
+	byGlobal := map[int]*nn.FeedForward{}
+	for i, e := range m.localGlobal {
+		byGlobal[e] = m.Experts[i]
+	}
+
+	// Ship outgoing experts; tag by move index (the move list is
+	// identical on every rank, so tags match up).
+	const migrateTagBase = 1 << 20
+	for i, e := range moves {
+		oldOwner, newOwner := m.place.Owner[e], newPlace.Owner[e]
+		tag := migrateTagBase + i
+		if oldOwner == rank {
+			ex := byGlobal[e]
+			var flat []float32
+			for _, p := range ex.Params() {
+				flat = append(flat, p.W.Data...)
+			}
+			m.comm.Send(newOwner, tag, flat)
+			delete(byGlobal, e)
+		}
+		if newOwner == rank {
+			flat := m.comm.Recv(oldOwner, tag)
+			ex := nn.NewFeedForward(fmt.Sprintf("%s.expert%d", m.name, e), tensor.NewRNG(0), m.Cfg.Dim, m.hidden)
+			off := 0
+			for _, p := range ex.Params() {
+				copy(p.W.Data, flat[off:off+p.W.Len()])
+				off += p.W.Len()
+			}
+			if off != len(flat) {
+				return fmt.Errorf("moe: migrated expert %d payload %d, want %d", e, len(flat), off)
+			}
+			byGlobal[e] = ex
+		}
+	}
+
+	// Install the new placement and rebuild the ordered local shard.
+	m.place = newPlace
+	m.rebuildLookups()
+	globals := make([]int, 0, len(byGlobal))
+	for e := range byGlobal {
+		globals = append(globals, e)
+	}
+	sort.Ints(globals)
+	if len(globals) != m.LocalExperts {
+		return fmt.Errorf("moe: rank %d holds %d experts after migration, want %d", rank, len(globals), m.LocalExperts)
+	}
+	m.Experts = m.Experts[:0]
+	for _, e := range globals {
+		m.Experts = append(m.Experts, byGlobal[e])
+	}
+	// Invalidate forward caches.
+	m.perTok = nil
+	m.sendOrder = nil
+	m.recvMeta = nil
+	m.exptOrder = nil
+	m.yBack = nil
+	return nil
+}
+
+// GatherExpertCounts all-reduces the last routing's per-expert token
+// counts over comm, giving every rank the global load picture the
+// rebalancer plans from. Returns zeros if no forward pass has run.
+func (m *DistMoE) GatherExpertCounts(comm *mpi.Comm) []int {
+	counts := make([]float32, m.Cfg.NumExperts)
+	if r := m.Gate.routing; r != nil {
+		for e, c := range r.Counts {
+			counts[e] = float32(c)
+		}
+	}
+	red := comm.AllReduce(counts, mpi.OpSum)
+	out := make([]int, len(red))
+	for i, v := range red {
+		out[i] = int(v)
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package moe
+
+import (
+	"math"
+	"testing"
+
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/simnet"
+	"bagualu/internal/tensor"
+)
+
+// runShadowStep runs one forward/backward on 4 ranks with the given
+// shadow set and returns per-rank outputs, input grads, and the
+// owner-side gradient of expert `watch`.
+func runShadowStep(t *testing.T, shadowed []int, watch int) (outs, dxs []*tensor.Tensor, watchGrad *tensor.Tensor) {
+	t.Helper()
+	const P, tokens, d = 4, 6, 8
+	outs = make([]*tensor.Tensor, P)
+	dxs = make([]*tensor.Tensor, P)
+	w := mpi.NewWorld(P, distTestTopo())
+	w.Run(func(c *mpi.Comm) {
+		r := tensor.NewRNG(90)
+		m := NewDistMoE("moe", r, gateCfg(d, 8, 2), 16, c, Auto)
+		if shadowed != nil {
+			if err := m.SetShadows(shadowed); err != nil {
+				t.Error(err)
+				panic(err)
+			}
+		}
+		xr := tensor.NewRNG(91 + uint64(c.Rank()))
+		x := tensor.Randn(xr, 1, tokens, d)
+		nn.ZeroGrads(m.Params())
+		outs[c.Rank()] = m.Forward(x)
+		dxs[c.Rank()] = m.Backward(tensor.Ones(tokens, d))
+		if m.place.Owner[watch] == c.Rank() {
+			// First param (up-projection weight) of the watched expert.
+			watchGrad = m.Experts[m.slotOf[watch]].Params()[0].G.Clone()
+		}
+	})
+	return outs, dxs, watchGrad
+}
+
+func TestShadowedExpertMatchesUnshadowed(t *testing.T) {
+	const watch = 3
+	plainOuts, plainDxs, plainGrad := runShadowStep(t, nil, watch)
+	shOuts, shDxs, shGrad := runShadowStep(t, []int{watch}, watch)
+	for rank := range plainOuts {
+		if !plainOuts[rank].AllClose(shOuts[rank], 1e-5) {
+			t.Fatalf("rank %d: shadowing changed outputs", rank)
+		}
+		if !plainDxs[rank].AllClose(shDxs[rank], 1e-5) {
+			t.Fatalf("rank %d: shadowing changed input grads", rank)
+		}
+	}
+	if plainGrad == nil || shGrad == nil {
+		t.Fatal("watched expert gradient not captured")
+	}
+	if !plainGrad.AllClose(shGrad, 1e-4) {
+		t.Fatal("shadowing changed the owner's expert gradient")
+	}
+}
+
+func TestShadowAllExperts(t *testing.T) {
+	// Shadowing everything removes all dispatch traffic: the
+	// all-to-alls carry zero-length chunks.
+	const P, tokens, d = 4, 6, 8
+	topo := distTestTopo()
+	traffic := func(shadowAll bool) int64 {
+		w := mpi.NewWorld(P, topo)
+		w.Run(func(c *mpi.Comm) {
+			r := tensor.NewRNG(92)
+			m := NewDistMoE("moe", r, gateCfg(d, 8, 2), 16, c, Auto)
+			if shadowAll {
+				if err := m.SetShadows([]int{0, 1, 2, 3, 4, 5, 6, 7}); err != nil {
+					panic(err)
+				}
+			}
+			xr := tensor.NewRNG(93 + uint64(c.Rank()))
+			x := tensor.Randn(xr, 1, tokens, d)
+			m.Forward(x)
+			m.Backward(tensor.Ones(tokens, d))
+		})
+		var total int64
+		for l := simnet.SelfLevel; l <= simnet.MachineLevel; l++ {
+			total += w.Stats().BytesAt(l)
+		}
+		return total
+	}
+	// Not asserting less total traffic (weight bcast/reduce dominates
+	// at this tiny scale) — asserting correctness of the extremes is
+	// done above; here just confirm both paths complete.
+	if traffic(false) == 0 || traffic(true) == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+func TestShadowReducesDispatchBytesForHotExpert(t *testing.T) {
+	// Concentrate traffic on expert 0 and count only machine-level
+	// bytes (the expensive level the optimization targets) of the
+	// dispatch path with large token batches.
+	const P, tokens, d = 4, 64, 8
+	topo := distTestTopo()
+	run := func(shadow bool) int64 {
+		w := mpi.NewWorld(P, topo)
+		w.Run(func(c *mpi.Comm) {
+			r := tensor.NewRNG(94)
+			cfg := gateCfg(d, 4, 1)
+			m := NewDistMoE("moe", r, cfg, 8, c, Auto)
+			m.Gate.Proj.Weight.W.Zero()
+			for i := 0; i < d; i++ {
+				m.Gate.Proj.Weight.W.Set(10, i, 0) // everything to expert 0
+			}
+			if shadow {
+				if err := m.SetShadows([]int{0}); err != nil {
+					panic(err)
+				}
+			}
+			w.Stats().Reset()
+			xr := tensor.NewRNG(95 + uint64(c.Rank()))
+			x := tensor.Uniform(xr, 0.5, 1.5, tokens, d)
+			m.Forward(x)
+			m.Backward(tensor.Ones(tokens, d))
+		})
+		return w.Stats().BytesAt(simnet.MachineLevel)
+	}
+	plain := run(false)
+	shadowed := run(true)
+	// The win is in bytes: the hot expert's token volume (64 tokens x
+	// d floats x 4 exchanges) dwarfs the replica's weight
+	// bcast/reduce (~76 floats each way).
+	if shadowed >= plain {
+		t.Fatalf("shadowing did not reduce machine-level bytes: %d -> %d", plain, shadowed)
+	}
+}
+
+func TestShadowTrainingTrajectoryUnchanged(t *testing.T) {
+	// Multiple optimizer steps: the shadowed run must track the
+	// unshadowed run exactly (weights refreshed from the canonical
+	// copy each forward).
+	const P, tokens, d = 2, 8, 4
+	run := func(shadow bool) []float32 {
+		var final []float32
+		w := mpi.NewWorld(P, nil)
+		w.Run(func(c *mpi.Comm) {
+			r := tensor.NewRNG(96)
+			m := NewDistMoE("moe", r, gateCfg(d, 4, 1), 8, c, Auto)
+			if shadow {
+				if err := m.SetShadows([]int{1, 2}); err != nil {
+					panic(err)
+				}
+			}
+			xr := tensor.NewRNG(97 + uint64(c.Rank()))
+			for step := 0; step < 4; step++ {
+				x := tensor.Randn(xr, 1, tokens, d)
+				nn.ZeroGrads(m.Params())
+				m.Forward(x)
+				m.Backward(tensor.Ones(tokens, d))
+				for _, p := range m.Params() {
+					tensor.AXPY(-0.01, p.G, p.W)
+				}
+			}
+			if c.Rank() == 0 {
+				final = append([]float32(nil), m.Experts[0].Params()[0].W.Data...)
+			}
+		})
+		return final
+	}
+	a := run(false)
+	b := run(true)
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > 1e-5 {
+			t.Fatalf("weight %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSetShadowsValidation(t *testing.T) {
+	w := mpi.NewWorld(2, nil)
+	w.Run(func(c *mpi.Comm) {
+		r := tensor.NewRNG(98)
+		m := NewDistMoE("moe", r, gateCfg(4, 4, 1), 8, c, Auto)
+		if err := m.SetShadows([]int{9}); err == nil {
+			t.Error("out-of-range shadow accepted")
+		}
+		if err := m.SetShadows([]int{1, 1}); err == nil {
+			t.Error("duplicate shadow accepted")
+		}
+		if err := m.SetShadows([]int{2, 0}); err != nil {
+			t.Error(err)
+		}
+		got := m.Shadows()
+		if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+			t.Errorf("Shadows() = %v", got)
+		}
+		if err := m.SetShadows(nil); err != nil {
+			t.Error(err)
+		}
+		if len(m.Shadows()) != 0 {
+			t.Error("clear failed")
+		}
+	})
+}
+
+func TestShadowWorthwhile(t *testing.T) {
+	w := mpi.NewWorld(2, nil)
+	w.Run(func(c *mpi.Comm) {
+		r := tensor.NewRNG(99)
+		m := NewDistMoE("moe", r, gateCfg(4, 4, 1), 8, c, Auto)
+		// Expert words = 2*4*8 + 8 + 4 = 76; threshold c*d > 2*76
+		// => c > 38.
+		counts := []int{1000, 50, 10, 0}
+		hot := m.ShadowWorthwhile(counts, 1)
+		if len(hot) != 2 || hot[0] != 0 || hot[1] != 1 {
+			t.Errorf("hot experts = %v", hot)
+		}
+		// factor 10: c·d > 1520 => only expert 0 (1000·4).
+		if got := m.ShadowWorthwhile(counts, 10); len(got) != 1 || got[0] != 0 {
+			t.Errorf("strict factor hot = %v", got)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives completing the MPI subset: Scatter,
+// variable-length AllGather, and the inclusive prefix Scan used by
+// deterministic global token indexing.
+
+// Scatter distributes root's per-rank chunks: rank r receives
+// chunks[r]. Non-root ranks pass nil.
+func (c *Comm) Scatter(root int, chunks [][]float32) []float32 {
+	seq := c.nextSeq()
+	tag := collTag(c.id, seq, 0)
+	if c.rank == root {
+		if len(chunks) != c.Size() {
+			panic(fmt.Sprintf("mpi: Scatter with %d chunks on a size-%d communicator", len(chunks), c.Size()))
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.sendStep(r, tag, chunks[r], nil)
+			}
+		}
+		return append([]float32(nil), chunks[root]...)
+	}
+	m := c.recvStep(root, tag)
+	return m.data
+}
+
+// AllGatherV concatenates variable-length contributions in rank
+// order on every rank, also returning the per-rank offsets into the
+// result (offsets[r] is where rank r's data starts; offsets[P] is the
+// total length).
+func (c *Comm) AllGatherV(data []float32) (all []float32, offsets []int) {
+	// Exchange lengths first, then route the payloads with a ring.
+	lens := c.AllGatherInts([]int{len(data)})
+	p := c.Size()
+	offsets = make([]int, p+1)
+	for r := 0; r < p; r++ {
+		offsets[r+1] = offsets[r] + lens[r]
+	}
+	all = make([]float32, offsets[p])
+	copy(all[offsets[c.rank]:], data)
+
+	seq := c.nextSeq()
+	tag := collTag(c.id, seq, 0)
+	next := (c.rank + 1) % p
+	prev := (c.rank - 1 + p) % p
+	for s := 0; s < p-1; s++ {
+		sendChunk := (c.rank - s + p) % p
+		recvChunk := (c.rank - s - 1 + p) % p
+		c.sendStep(next, tag, all[offsets[sendChunk]:offsets[sendChunk+1]], nil)
+		m := c.recvStep(prev, tag)
+		copy(all[offsets[recvChunk]:offsets[recvChunk+1]], m.data)
+	}
+	return all, offsets
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(data_0, ..., data_r). Linear chain algorithm.
+func (c *Comm) Scan(data []float32, op ReduceOp) []float32 {
+	seq := c.nextSeq()
+	tag := collTag(c.id, seq, 0)
+	acc := append([]float32(nil), data...)
+	if c.rank > 0 {
+		m := c.recvStep(c.rank-1, tag)
+		op(acc, m.data)
+	}
+	if c.rank < c.Size()-1 {
+		c.sendStep(c.rank+1, tag, acc, nil)
+	}
+	return acc
+}
+
+// ExclusiveScanInts computes the exclusive integer prefix sum: rank r
+// receives sum of values from ranks < r (0 on rank 0). Used to assign
+// globally unique contiguous index ranges (e.g. token offsets).
+func (c *Comm) ExclusiveScanInts(value int) int {
+	inc := c.Scan([]float32{float32(value)}, OpSum)
+	return int(inc[0]) - value
+}

@@ -1,0 +1,175 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bagualu/internal/simnet"
+	"bagualu/internal/sunway"
+	"bagualu/internal/tensor"
+)
+
+// Property-based fuzzing of the collectives: for randomized world
+// sizes, payload lengths, and contents, every algorithm must agree
+// with a serially-computed reference.
+
+func fuzzTopo(ranks int) *simnet.Topology {
+	nodes := (ranks + 1) / 2
+	sns := (nodes + 1) / 2
+	if sns < 1 {
+		sns = 1
+	}
+	return simnet.New(sunway.TestMachine(sns, 2), 2)
+}
+
+func TestPropAllReduceMatchesSerialSum(t *testing.T) {
+	f := func(seed uint64, pRaw, nRaw uint8) bool {
+		p := int(pRaw)%7 + 1
+		n := int(nRaw)%33 + 1
+		r := tensor.NewRNG(seed)
+		inputs := make([][]float32, p)
+		want := make([]float64, n)
+		for rank := 0; rank < p; rank++ {
+			inputs[rank] = make([]float32, n)
+			for i := range inputs[rank] {
+				v := r.Float32()*2 - 1
+				inputs[rank][i] = v
+				want[i] += float64(v)
+			}
+		}
+		ok := true
+		for _, algo := range []func(c *Comm, d []float32) []float32{
+			func(c *Comm, d []float32) []float32 { return c.AllReduceRing(d, OpSum) },
+			func(c *Comm, d []float32) []float32 { return c.AllReduceHier(d, OpSum) },
+		} {
+			w := NewWorld(p, fuzzTopo(p))
+			w.Run(func(c *Comm) {
+				got := algo(c, inputs[c.Rank()])
+				for i := range got {
+					if math.Abs(float64(got[i])-want[i]) > 1e-4 {
+						ok = false
+					}
+				}
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropAllToAllAlgorithmsAgreeFuzz(t *testing.T) {
+	f := func(seed uint64, pRaw uint8) bool {
+		p := int(pRaw)%8 + 1
+		r := tensor.NewRNG(seed)
+		// Random variable-length chunk matrix.
+		chunks := make([][][]float32, p) // [src][dst]
+		for s := 0; s < p; s++ {
+			chunks[s] = make([][]float32, p)
+			for d := 0; d < p; d++ {
+				n := r.Intn(5)
+				chunks[s][d] = make([]float32, n)
+				for i := range chunks[s][d] {
+					chunks[s][d][i] = float32(s*1000 + d*10 + i)
+				}
+			}
+		}
+		algos := []func(c *Comm, ch [][]float32) [][]float32{
+			func(c *Comm, ch [][]float32) [][]float32 { return c.AllToAllDirect(ch) },
+			func(c *Comm, ch [][]float32) [][]float32 { return c.AllToAllPairwise(ch) },
+			func(c *Comm, ch [][]float32) [][]float32 { return c.AllToAllBruck(ch) },
+			func(c *Comm, ch [][]float32) [][]float32 { return c.AllToAllHier(ch) },
+		}
+		ok := true
+		for _, algo := range algos {
+			w := NewWorld(p, fuzzTopo(p))
+			w.Run(func(c *Comm) {
+				mine := make([][]float32, p)
+				for d := 0; d < p; d++ {
+					mine[d] = chunks[c.Rank()][d]
+				}
+				got := algo(c, mine)
+				for s := 0; s < p; s++ {
+					want := chunks[s][c.Rank()]
+					if len(got[s]) != len(want) {
+						ok = false
+						return
+					}
+					for i := range want {
+						if got[s][i] != want[i] {
+							ok = false
+							return
+						}
+					}
+				}
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropBcastReduceDual(t *testing.T) {
+	// Reduce of all-ones then Bcast must deliver the world size to
+	// every rank, for any size and root.
+	f := func(pRaw, rootRaw uint8) bool {
+		p := int(pRaw)%9 + 1
+		root := int(rootRaw) % p
+		ok := true
+		w := NewWorld(p, nil)
+		w.Run(func(c *Comm) {
+			red := c.Reduce(root, []float32{1}, OpSum)
+			var out []float32
+			if c.Rank() == root {
+				out = red
+			}
+			got := c.Bcast(root, out)
+			if got[0] != float32(p) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropVirtualTimeMonotone(t *testing.T) {
+	// A rank's clock never runs backward across any collective mix.
+	f := func(seed uint64) bool {
+		p := int(seed%6) + 2
+		ok := true
+		w := NewWorld(p, fuzzTopo(p))
+		w.Run(func(c *Comm) {
+			prev := c.Now()
+			steps := []func(){
+				func() { c.Barrier() },
+				func() { c.AllReduce([]float32{1, 2}, OpSum) },
+				func() { c.AllGather([]float32{float32(c.Rank())}) },
+				func() {
+					chunks := make([][]float32, p)
+					for d := range chunks {
+						chunks[d] = []float32{1}
+					}
+					c.AllToAll(chunks)
+				},
+			}
+			for _, s := range steps {
+				s()
+				if c.Now() < prev {
+					ok = false
+				}
+				prev = c.Now()
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

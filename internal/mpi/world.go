@@ -1,0 +1,235 @@
+// Package mpi is a message-passing runtime over goroutines that
+// mirrors the MPI subset BaGuaLu uses: communicators with split,
+// point-to-point send/recv, and the collectives (barrier, bcast,
+// reduce, all-reduce, all-gather, reduce-scatter, all-to-all) with
+// multiple algorithms including the hierarchical, topology-aware
+// variants the paper contributes.
+//
+// Bytes move for real between rank goroutines; *time* is virtual.
+// Every rank carries a logical clock, each message is priced by the
+// simnet α–β hierarchy, and a receive advances the receiver's clock
+// to the message's arrival time. Collective algorithms therefore
+// exhibit the same relative costs as on the modeled machine, while
+// the data path stays fully testable.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bagualu/internal/simnet"
+)
+
+// AnySource matches a message from any sender in Recv.
+const AnySource = -1
+
+// message is an in-flight transfer between ranks.
+type message struct {
+	src    int // global source rank
+	tag    int
+	data   []float32
+	ints   []int
+	arrive float64 // virtual arrival time at the destination
+}
+
+// nbytes prices the payload: float32 data plus 8-byte ints.
+func (m *message) nbytes() int { return 4*len(m.data) + 8*len(m.ints) }
+
+// mailbox is the single-consumer message queue of one rank.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+	closed  bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m message) {
+	b.mu.Lock()
+	b.pending = append(b.pending, m)
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+// take blocks until a message matching (src, tag) is available and
+// removes it. src may be AnySource.
+func (b *mailbox) take(src, tag int) message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i := range b.pending {
+			m := &b.pending[i]
+			if (src == AnySource || m.src == src) && m.tag == tag {
+				got := *m
+				b.pending = append(b.pending[:i], b.pending[i+1:]...)
+				return got
+			}
+		}
+		if b.closed {
+			panic(fmt.Sprintf("mpi: Recv(src=%d, tag=%d) on closed world", src, tag))
+		}
+		b.cond.Wait()
+	}
+}
+
+// Stats aggregates traffic counters across the run, split by
+// hierarchy level. All fields are updated atomically.
+type Stats struct {
+	Msgs  [4]atomic.Int64 // indexed by simnet.Level
+	Bytes [4]atomic.Int64
+}
+
+// MsgsAt returns the message count at a level.
+func (s *Stats) MsgsAt(l simnet.Level) int64 { return s.Msgs[l].Load() }
+
+// BytesAt returns the byte count at a level.
+func (s *Stats) BytesAt(l simnet.Level) int64 { return s.Bytes[l].Load() }
+
+// TotalBytes sums bytes over all levels.
+func (s *Stats) TotalBytes() int64 {
+	var t int64
+	for i := range s.Bytes {
+		t += s.Bytes[i].Load()
+	}
+	return t
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	for i := range s.Msgs {
+		s.Msgs[i].Store(0)
+		s.Bytes[i].Store(0)
+	}
+}
+
+// World is a set of communicating ranks sharing a topology.
+type World struct {
+	size  int
+	topo  *simnet.Topology
+	boxes []*mailbox
+	stats Stats
+
+	timeMu   sync.Mutex
+	maxTime  float64
+	finished bool
+}
+
+// NewWorld creates a world of size ranks priced by topo. A nil topo
+// defaults to a uniform zero-cost network (pure functional mode).
+func NewWorld(size int, topo *simnet.Topology) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d", size))
+	}
+	if topo == nil {
+		topo = simnet.Uniform(0, 1<<40)
+	}
+	w := &World{size: size, topo: topo, boxes: make([]*mailbox, size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Topology returns the pricing topology.
+func (w *World) Topology() *simnet.Topology { return w.topo }
+
+// Stats returns the traffic counters.
+func (w *World) Stats() *Stats { return &w.stats }
+
+// MaxTime returns the largest virtual completion time across ranks,
+// valid after Run returns. This is the simulated makespan.
+func (w *World) MaxTime() float64 {
+	w.timeMu.Lock()
+	defer w.timeMu.Unlock()
+	return w.maxTime
+}
+
+// Run starts one goroutine per rank executing fn and waits for all
+// of them. Each rank receives a world communicator. A panicking rank
+// propagates its panic to the caller after the others are unblocked.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+					// Unblock any rank waiting on us.
+					w.closeAll()
+				}
+			}()
+			c := newWorldComm(w, rank)
+			fn(c)
+			w.timeMu.Lock()
+			if c.proc.now > w.maxTime {
+				w.maxTime = c.proc.now
+			}
+			w.timeMu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		}
+	}
+}
+
+func (w *World) closeAll() {
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock()
+		b.cond.Broadcast()
+	}
+}
+
+// proc is the per-goroutine state of a rank: its global id and
+// virtual clock. All communicators of the same rank share it.
+type proc struct {
+	w      *World
+	global int
+	now    float64
+}
+
+// send moves a payload to dst (global rank), charging virtual time.
+func (p *proc) send(dst, tag int, data []float32, ints []int) {
+	if dst < 0 || dst >= p.w.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d (world size %d)", dst, p.w.size))
+	}
+	m := message{src: p.global, tag: tag, data: data, ints: ints}
+	n := m.nbytes()
+	level := p.w.topo.LevelOf(p.global, dst)
+	beta := p.w.topo.Beta[level]
+	alpha := p.w.topo.Alpha[level]
+	start := p.now
+	// The sender is occupied while injecting the message; the wire
+	// adds latency on top.
+	p.now += float64(n) * beta
+	m.arrive = start + alpha + float64(n)*beta
+	p.w.stats.Msgs[level].Add(1)
+	p.w.stats.Bytes[level].Add(int64(n))
+	p.w.boxes[dst].put(m)
+}
+
+// recv blocks for a matching message and advances the clock to its
+// arrival.
+func (p *proc) recv(src, tag int) message {
+	m := p.w.boxes[p.global].take(src, tag)
+	if m.arrive > p.now {
+		p.now = m.arrive
+	}
+	return m
+}

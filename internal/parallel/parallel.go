@@ -1,0 +1,401 @@
+// Package parallel implements BaGuaLu's hybrid "MoDa" parallelization
+// strategy: every rank is simultaneously a data-parallel worker (it
+// trains on its own token shard) and an expert-parallel worker (it
+// hosts a shard of every MoE layer's expert pool).
+//
+// The process grid is DataParallel × ExpertParallel. Expert-parallel
+// groups are contiguous rank ranges, so MoE all-to-all traffic stays
+// as low in the network hierarchy as the machine allows; data-
+// parallel groups stride across them. Gradient synchronization is
+// two-tier:
+//
+//   - dense parameters (attention, layer norms, embeddings, gates)
+//     are replicated on every rank and all-reduced over the world;
+//   - expert parameters are replicated only across the ranks holding
+//     the same shard (one per expert-parallel group) and all-reduced
+//     over that data-parallel communicator.
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bagualu/internal/trace"
+
+	"bagualu/internal/data"
+	"bagualu/internal/moe"
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/tensor"
+	"bagualu/internal/train"
+)
+
+// Strategy is the process-grid shape.
+type Strategy struct {
+	DataParallel   int
+	ExpertParallel int
+}
+
+// Size returns the total rank count.
+func (s Strategy) Size() int { return s.DataParallel * s.ExpertParallel }
+
+// Validate checks the grid.
+func (s Strategy) Validate() error {
+	if s.DataParallel < 1 || s.ExpertParallel < 1 {
+		return fmt.Errorf("parallel: invalid strategy %+v", s)
+	}
+	return nil
+}
+
+// ModelConfig describes the MoE transformer to build.
+type ModelConfig struct {
+	GPT nn.GPTConfig
+
+	// MoE configuration. NumExperts is the total pool per MoE layer
+	// and must be divisible by ExpertParallel. MoEEvery selects which
+	// blocks use MoE (every n-th block; 1 = all, 0 = none -> dense
+	// baseline).
+	NumExperts     int
+	TopK           int
+	CapacityFactor float32
+	AuxLossWeight  float32
+	ZLossWeight    float32
+	MoEHidden      int
+	MoEEvery       int
+	Algo           moe.A2AAlgo
+
+	// Recompute enables activation checkpointing (see nn.GPT). The
+	// MoE all-to-alls re-run during backward, doubling dispatch
+	// traffic — the real memory/communication trade at scale.
+	Recompute bool
+}
+
+// Validate checks the model configuration.
+func (m ModelConfig) Validate() error {
+	if err := m.GPT.Validate(); err != nil {
+		return err
+	}
+	if m.MoEEvery > 0 {
+		if m.NumExperts <= 0 || m.MoEHidden <= 0 {
+			return fmt.Errorf("parallel: MoE enabled but experts=%d hidden=%d", m.NumExperts, m.MoEHidden)
+		}
+	}
+	return nil
+}
+
+// StepStats aggregates one engine step across ranks.
+type StepStats struct {
+	Step      int
+	Loss      float32 // world-mean cross-entropy
+	AuxLoss   float32 // world-mean auxiliary loss
+	Overflow  int     // total dropped assignments
+	GradNorm  float32 // local (post-sync) gradient norm at rank 0
+	WallFwd   float64 // seconds, rank-local
+	WallBwd   float64
+	WallSync  float64
+	MoE       moe.Timing // accumulated MoE phase breakdown
+	SimTime   float64    // virtual seconds elapsed on this rank
+	TokensPer float64    // tokens/virtual-second across the world (0 if no sim time)
+}
+
+// Engine is the per-rank training engine. Construct one inside
+// World.Run with the same seed on every rank.
+type Engine struct {
+	Comm     *mpi.Comm
+	EP       *mpi.Comm // expert-parallel group (contiguous ranks)
+	DP       *mpi.Comm // data-parallel group (strided ranks)
+	Strategy Strategy
+	Model    *nn.GPT
+	Trainer  *train.Trainer
+
+	moeLayers    []*moe.DistMoE
+	denseParams  []*nn.Param
+	expertParams []*nn.Param
+	batch        int
+	clipNorm     float32
+	lastGradNorm float32
+	computeRate  float64 // virtual FLOP/s per rank; 0 = don't charge compute
+
+	// Trace, when non-nil, receives a per-rank timeline of step and
+	// MoE phase spans (export with trace.WriteChromeTrace).
+	Trace *trace.Recorder
+
+	wallBase time.Time
+	wallSet  bool
+}
+
+// NewEngine builds the model, communicators, corpus shard, and
+// trainer for this rank. seed must match across ranks; the corpus is
+// automatically decorrelated per rank.
+func NewEngine(c *mpi.Comm, strat Strategy, mc ModelConfig, corpusCfg data.CorpusConfig, tc train.Config, opt train.Optimizer, seed uint64) (*Engine, error) {
+	if err := strat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	if strat.Size() != c.Size() {
+		return nil, fmt.Errorf("parallel: strategy needs %d ranks, world has %d", strat.Size(), c.Size())
+	}
+	if mc.MoEEvery > 0 && mc.NumExperts%strat.ExpertParallel != 0 {
+		return nil, fmt.Errorf("parallel: %d experts not divisible by EP=%d", mc.NumExperts, strat.ExpertParallel)
+	}
+
+	e := &Engine{Comm: c, Strategy: strat, batch: tc.Batch, clipNorm: tc.ClipNorm}
+	// The engine clips by the *distributed* global norm after the
+	// gradient sync; the trainer's local clip would use a norm that
+	// differs across ranks (expert shards differ) and desynchronize
+	// the dense replicas.
+	tc.ClipNorm = 0
+	// Contiguous expert-parallel groups; strided data-parallel groups.
+	e.EP = c.Split(c.Rank()/strat.ExpertParallel, c.Rank())
+	e.DP = c.Split(c.Rank()%strat.ExpertParallel, c.Rank())
+
+	r := tensor.NewRNG(seed)
+	var ffn nn.FFNFactory
+	if mc.MoEEvery > 0 {
+		ffn = func(block int, name string, rr *tensor.RNG) nn.Layer {
+			if block%mc.MoEEvery != 0 {
+				return nn.NewFeedForward(name+".dense", rr, mc.GPT.Dim, mc.GPT.FFNHidden)
+			}
+			gc := moe.GateConfig{
+				Dim:            mc.GPT.Dim,
+				NumExperts:     mc.NumExperts,
+				TopK:           mc.TopK,
+				CapacityFactor: mc.CapacityFactor,
+				AuxLossWeight:  mc.AuxLossWeight,
+				ZLossWeight:    mc.ZLossWeight,
+			}
+			m := moe.NewDistMoE(name, rr, gc, mc.MoEHidden, e.EP, mc.Algo)
+			e.moeLayers = append(e.moeLayers, m)
+			return m
+		}
+	}
+	e.Model = nn.NewGPT(mc.GPT, r, ffn)
+	e.Model.Recompute = mc.Recompute
+
+	// Partition parameters into expert-sharded and dense/replicated.
+	sharded := map[*nn.Param]bool{}
+	for _, m := range e.moeLayers {
+		for _, p := range m.ShardedParams() {
+			sharded[p] = true
+		}
+	}
+	for _, p := range e.Model.Params() {
+		if sharded[p] {
+			e.expertParams = append(e.expertParams, p)
+		} else {
+			e.denseParams = append(e.denseParams, p)
+		}
+	}
+
+	// Per-rank corpus shard: decorrelate by rank.
+	cc := corpusCfg
+	cc.Seed = corpusCfg.Seed + uint64(c.Rank())*1_000_003
+	corpus, err := data.NewSynthetic(cc)
+	if err != nil {
+		return nil, err
+	}
+
+	tr, err := train.NewTrainer(e.Model, corpus, opt, tc)
+	if err != nil {
+		return nil, err
+	}
+	tr.PostBackward = e.syncGradients
+	e.Trainer = tr
+	return e, nil
+}
+
+// SetComputeRate makes Step charge simulated compute time (the
+// step's analytic FLOPs divided by rate) to the rank's virtual clock,
+// so virtual-time throughput reflects compute as well as
+// communication. rate is sustained FLOP/s per rank; 0 disables.
+func (e *Engine) SetComputeRate(rate float64) { e.computeRate = rate }
+
+// stepFlops estimates forward+backward FLOPs for one local batch:
+// 6 FLOPs per active parameter per token plus the attention
+// quadratic term.
+func (e *Engine) stepFlops() float64 {
+	tokens := float64(e.batch * e.Model.Cfg.SeqLen)
+	active := float64(nn.NumParams(e.denseParams))
+	if len(e.moeLayers) > 0 {
+		perExpert := float64(nn.NumParams(e.expertParams)) / float64(len(e.moeLayers)) / float64(e.moeLayers[0].LocalExperts)
+		for _, m := range e.moeLayers {
+			active += float64(m.Cfg.TopK) * perExpert
+		}
+	}
+	quad := 12 * float64(e.Model.Cfg.Layers) * float64(e.Model.Cfg.SeqLen) * float64(e.Model.Cfg.Dim)
+	return tokens * (6*active + quad)
+}
+
+// MoELayers returns this rank's distributed MoE layers.
+func (e *Engine) MoELayers() []*moe.DistMoE { return e.moeLayers }
+
+// DenseParams returns the world-replicated parameters.
+func (e *Engine) DenseParams() []*nn.Param { return e.denseParams }
+
+// ExpertParams returns this rank's expert shard parameters.
+func (e *Engine) ExpertParams() []*nn.Param { return e.expertParams }
+
+// syncGradients is the two-tier gradient synchronization followed by
+// distributed gradient-norm clipping.
+func (e *Engine) syncGradients([]*nn.Param) {
+	world := float32(e.Comm.Size())
+	// Dense parameters: bucketed all-reduce over the world.
+	allReduceBucketed(e.Comm, e.denseParams, 1/world)
+	// Expert parameters: all-reduce over the data-parallel group;
+	// the sum then covers every rank's tokens, so normalize by the
+	// world size to match the dense average-loss scaling.
+	if e.DP.Size() > 1 || world > 1 {
+		allReduceBucketed(e.DP, e.expertParams, 1/world)
+	}
+
+	// Distributed global gradient norm: the dense part is identical
+	// on every rank; the expert shards are distinct within an
+	// expert-parallel group (and replicated across data-parallel
+	// peers), so summing shard norms over the EP communicator yields
+	// the true global norm, identically on every rank.
+	denseSq := sumSquares(e.denseParams)
+	expertSq := sumSquares(e.expertParams)
+	totalSq := denseSq
+	if e.EP.Size() > 1 {
+		red := e.EP.AllReduce([]float32{float32(expertSq)}, mpi.OpSum)
+		totalSq += float64(red[0])
+	} else {
+		totalSq += expertSq
+	}
+	norm := float32(math.Sqrt(totalSq))
+	e.lastGradNorm = norm
+	if e.clipNorm > 0 && norm > e.clipNorm {
+		scale := e.clipNorm / norm
+		for _, p := range e.denseParams {
+			tensor.ScaleInPlace(p.G, scale)
+		}
+		for _, p := range e.expertParams {
+			tensor.ScaleInPlace(p.G, scale)
+		}
+	}
+}
+
+func sumSquares(params []*nn.Param) float64 {
+	var sum float64
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			sum += float64(g) * float64(g)
+		}
+	}
+	return sum
+}
+
+// allReduceBucketed concatenates gradients into one buffer, reduces
+// it, rescales, and unpacks — the gradient-bucketing optimization
+// every large-scale trainer applies to avoid per-tensor latency.
+func allReduceBucketed(c *mpi.Comm, params []*nn.Param, scale float32) {
+	if len(params) == 0 {
+		return
+	}
+	total := 0
+	for _, p := range params {
+		total += p.G.Len()
+	}
+	buf := make([]float32, total)
+	off := 0
+	for _, p := range params {
+		copy(buf[off:], p.G.Data)
+		off += p.G.Len()
+	}
+	if c.Size() > 1 {
+		buf = c.AllReduce(buf, mpi.OpSum)
+	}
+	off = 0
+	for _, p := range params {
+		copy(p.G.Data, buf[off:off+p.G.Len()])
+		tensor.ScaleInPlace(p.G, scale)
+		off += p.G.Len()
+	}
+}
+
+// Step runs one synchronous training step and returns world-level
+// statistics (identical on every rank).
+func (e *Engine) Step() StepStats {
+	for _, m := range e.moeLayers {
+		m.Time.Reset()
+	}
+	simStart := e.Comm.Now()
+	if !e.wallSet {
+		e.wallBase = time.Now()
+		e.wallSet = true
+	}
+	t0 := time.Now()
+	local := e.Trainer.Step()
+	wallStep := time.Since(t0).Seconds()
+	if e.computeRate > 0 {
+		e.Comm.Compute(e.stepFlops() / e.computeRate)
+	}
+	if e.Trace != nil {
+		start := t0.Sub(e.wallBase).Seconds()
+		e.Trace.Span("step", e.Comm.Rank(), start, start+wallStep)
+		// MoE phases laid out sequentially inside the step span
+		// (their per-step deltas were reset at the top of Step).
+		cursor := start
+		for _, phase := range []struct {
+			name string
+			dur  float64
+		}{
+			{"moe-gate", e.sumMoE(func(t moe.Timing) float64 { return t.Gate })},
+			{"moe-dispatch", e.sumMoE(func(t moe.Timing) float64 { return t.Dispatch })},
+			{"moe-expert", e.sumMoE(func(t moe.Timing) float64 { return t.Expert })},
+			{"moe-combine", e.sumMoE(func(t moe.Timing) float64 { return t.Combine })},
+		} {
+			if phase.dur > 0 {
+				e.Trace.Span(phase.name, e.Comm.Rank(), cursor, cursor+phase.dur)
+				cursor += phase.dur
+			}
+		}
+	}
+
+	st := StepStats{Step: local.Step, GradNorm: e.lastGradNorm}
+	// Aggregate loss/aux/overflow across the world.
+	agg := e.Comm.AllReduce([]float32{local.Loss, local.AuxLoss, float32(local.Overflow)}, mpi.OpSum)
+	world := float32(e.Comm.Size())
+	st.Loss = agg[0] / world
+	st.AuxLoss = agg[1] / world
+	st.Overflow = int(agg[2])
+	for _, m := range e.moeLayers {
+		st.MoE.Gate += m.Time.Gate
+		st.MoE.Dispatch += m.Time.Dispatch
+		st.MoE.Expert += m.Time.Expert
+		st.MoE.Combine += m.Time.Combine
+	}
+	st.WallFwd = wallStep // fwd+bwd+update; finer split comes from MoE timing
+	st.SimTime = e.Comm.Now() - simStart
+	if st.SimTime > 0 {
+		tokens := float64(e.batch*e.Model.Cfg.SeqLen) * float64(e.Comm.Size())
+		st.TokensPer = tokens / st.SimTime
+	}
+	return st
+}
+
+// sumMoE folds a Timing accessor over this rank's MoE layers.
+func (e *Engine) sumMoE(f func(moe.Timing) float64) float64 {
+	var total float64
+	for _, m := range e.moeLayers {
+		total += f(m.Time)
+	}
+	return total
+}
+
+// GlobalBatchTokens returns tokens consumed per step across all ranks.
+func (e *Engine) GlobalBatchTokens() int {
+	return e.batch * e.Model.Cfg.SeqLen * e.Comm.Size()
+}
+
+// NumParamsGlobal estimates the global parameter count: dense params
+// once plus each rank's expert shard summed over expert-parallel
+// ranks.
+func (e *Engine) NumParamsGlobal() int {
+	dense := nn.NumParams(e.denseParams)
+	expertLocal := nn.NumParams(e.expertParams)
+	return dense + expertLocal*e.Strategy.ExpertParallel
+}

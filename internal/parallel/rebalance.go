@@ -1,0 +1,96 @@
+package parallel
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bagualu/internal/nn"
+	"bagualu/internal/train"
+)
+
+// RebalanceExperts runs the load-aware expert migration loop once:
+// for every MoE layer it gathers global per-expert token counts (from
+// the most recent step), plans a balanced placement, migrates expert
+// weights within the expert-parallel group, and refreshes the
+// engine's and trainer's parameter partitions. It is a collective —
+// every rank must call it at the same point. Returns the total number
+// of experts that moved.
+func (e *Engine) RebalanceExperts() (int, error) {
+	moves := 0
+	for _, m := range e.moeLayers {
+		counts := m.GatherExpertCounts(e.Comm)
+		plan := m.Placement().Rebalanced(counts)
+		moves += len(m.Placement().Moves(plan))
+		if err := m.Migrate(plan); err != nil {
+			return moves, err
+		}
+	}
+	e.refreshParams()
+	return moves, nil
+}
+
+// refreshParams rebuilds the dense/expert parameter partitions and
+// the trainer's view after expert migration.
+func (e *Engine) refreshParams() {
+	sharded := map[*nn.Param]bool{}
+	for _, m := range e.moeLayers {
+		for _, p := range m.ShardedParams() {
+			sharded[p] = true
+		}
+	}
+	e.denseParams = e.denseParams[:0]
+	e.expertParams = e.expertParams[:0]
+	for _, p := range e.Model.Params() {
+		if sharded[p] {
+			e.expertParams = append(e.expertParams, p)
+		} else {
+			e.denseParams = append(e.denseParams, p)
+		}
+	}
+	e.Trainer.RefreshParams()
+}
+
+// SaveSharded writes a distributed checkpoint into dir: one
+// dense.ckpt (written by world rank 0, covering every replicated
+// parameter) plus one expert shard file per expert-parallel slot
+// (written by the data-parallel-rank-0 replica of that slot). This is
+// how a 174T-parameter model checkpoints without any node ever
+// holding the full state.
+func (e *Engine) SaveSharded(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	step := int64(e.Trainer.StepCount())
+	if e.Comm.Rank() == 0 {
+		if err := train.SaveFile(filepath.Join(dir, "dense.ckpt"), train.Header{Step: step}, e.denseParams); err != nil {
+			return err
+		}
+	}
+	if e.DP.Rank() == 0 && len(e.expertParams) > 0 {
+		name := fmt.Sprintf("expert-ep%04d.ckpt", e.EP.Rank())
+		if err := train.SaveFile(filepath.Join(dir, name), train.Header{Step: step}, e.expertParams); err != nil {
+			return err
+		}
+	}
+	// Make completion globally visible before anyone proceeds.
+	e.Comm.Barrier()
+	return nil
+}
+
+// LoadSharded restores a checkpoint written by SaveSharded. The grid
+// shape and expert placement must match the saving run (shard files
+// are keyed by expert-parallel rank).
+func (e *Engine) LoadSharded(dir string) error {
+	if _, err := train.LoadFile(filepath.Join(dir, "dense.ckpt"), e.denseParams); err != nil {
+		return err
+	}
+	if len(e.expertParams) > 0 {
+		name := fmt.Sprintf("expert-ep%04d.ckpt", e.EP.Rank())
+		if _, err := train.LoadFile(filepath.Join(dir, name), e.expertParams); err != nil {
+			return err
+		}
+	}
+	e.Comm.Barrier()
+	return nil
+}

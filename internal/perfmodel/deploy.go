@@ -1,0 +1,273 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"bagualu/internal/simnet"
+	"bagualu/internal/sunway"
+)
+
+// A2AStrategy selects the analytic all-to-all cost model.
+type A2AStrategy int
+
+const (
+	// A2AFlat prices the pairwise exchange: every rank exchanges
+	// directly with every other rank.
+	A2AFlat A2AStrategy = iota
+	// A2AHierarchical prices the paper's supernode-leader
+	// aggregation.
+	A2AHierarchical
+)
+
+// String names the strategy.
+func (a A2AStrategy) String() string {
+	if a == A2AHierarchical {
+		return "hierarchical"
+	}
+	return "flat"
+}
+
+// Deployment maps a model onto a machine.
+type Deployment struct {
+	Machine      *sunway.Machine
+	RanksPerNode int // MPI ranks per node (1 per core group = 6 on SW26010-Pro)
+
+	// Grid: DataParallel × ExpertParallel must equal the rank count.
+	DataParallel   int
+	ExpertParallel int
+
+	BatchPerRank int // sequences per rank per step
+	Precision    sunway.Precision
+
+	// Efficiency is the fraction of per-node peak the GEMM kernels
+	// sustain (measured ~0.3–0.5 on SW26010-Pro for this workload
+	// class; a modeling knob, reported with every projection).
+	Efficiency float64
+
+	A2A A2AStrategy
+
+	// ZeRO enables ZeRO-1-style sharding of the replicated (dense +
+	// gate) parameters' optimizer state across the whole machine:
+	// each rank keeps only FP16 working weights locally and a 1/P
+	// slice of the FP32 master/m/v state. Without it, trillion-
+	// parameter configurations cannot fit the 96 GiB node budget —
+	// this is the paper's memory strategy.
+	ZeRO bool
+
+	// OverlapSync models overlapping the gradient all-reduce with
+	// the backward pass (standard in synchronous pretraining): up to
+	// two-thirds of compute time (the backward share) hides sync.
+	OverlapSync bool
+}
+
+// Ranks returns the total rank count.
+func (d Deployment) Ranks() int { return d.Machine.Nodes() * d.RanksPerNode }
+
+// Validate checks grid consistency.
+func (d Deployment) Validate() error {
+	if err := d.Machine.Validate(); err != nil {
+		return err
+	}
+	if d.RanksPerNode <= 0 || d.BatchPerRank <= 0 {
+		return fmt.Errorf("perfmodel: non-positive deployment %+v", d)
+	}
+	if d.DataParallel*d.ExpertParallel != d.Ranks() {
+		return fmt.Errorf("perfmodel: grid %dx%d != %d ranks",
+			d.DataParallel, d.ExpertParallel, d.Ranks())
+	}
+	if d.Efficiency <= 0 || d.Efficiency > 1 {
+		return fmt.Errorf("perfmodel: efficiency %v out of (0,1]", d.Efficiency)
+	}
+	return nil
+}
+
+// Report is the projected behaviour of one training step.
+type Report struct {
+	Spec  ModelSpec
+	Ranks int
+	Eff   float64
+
+	ComputeTime float64 // seconds
+	A2ATime     float64
+	SyncTime    float64
+	StepTime    float64
+
+	TokensPerStep  float64
+	TokensPerSec   float64
+	SustainedFlops float64
+	PeakFraction   float64
+
+	MemPerNodeGiB float64
+	Fits          bool
+}
+
+// bytesPerElem is the wire size of an activation element in the given
+// precision (half-precision activations in FP16/Mixed).
+func bytesPerElem(p sunway.Precision) float64 {
+	switch p {
+	case sunway.FP64:
+		return 8
+	case sunway.FP16, sunway.Mixed:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// Project computes the analytic report for one synchronous training
+// step of spec under this deployment.
+func (d Deployment) Project(spec ModelSpec) (Report, error) {
+	if err := d.Validate(); err != nil {
+		return Report{}, err
+	}
+	if err := spec.Validate(); err != nil {
+		return Report{}, err
+	}
+	if spec.MoEEvery > 0 && spec.NumExperts%d.ExpertParallel != 0 {
+		return Report{}, fmt.Errorf("perfmodel: %d experts not divisible by EP=%d", spec.NumExperts, d.ExpertParallel)
+	}
+	topo := simnet.New(d.Machine, d.RanksPerNode)
+	ranks := d.Ranks()
+	tokensPerRank := float64(d.BatchPerRank * spec.SeqLen)
+	r := Report{Spec: spec, Ranks: ranks, Eff: d.Efficiency}
+	r.TokensPerStep = tokensPerRank * float64(ranks)
+
+	// Compute: forward+backward FLOPs per rank against node peak.
+	nodeFlops := d.Machine.NodeFlops(d.Precision) * d.Efficiency
+	rankFlops := nodeFlops / float64(d.RanksPerNode)
+	r.ComputeTime = tokensPerRank * spec.FlopsPerToken() / rankFlops
+
+	// Communication: 4 all-to-alls per MoE layer per step (dispatch
+	// and combine, forward and backward), each moving
+	// tokensPerRank·TopK·Dim elements per rank.
+	if spec.MoEEvery > 0 && d.ExpertParallel > 1 {
+		perA2ABytes := tokensPerRank * float64(spec.TopK) * float64(spec.Dim) * bytesPerElem(d.Precision)
+		one := d.a2aCost(topo, d.ExpertParallel, perA2ABytes)
+		r.A2ATime = float64(4*spec.MoELayers()) * one
+	}
+
+	// Gradient sync: dense params all-reduced over the world (ring:
+	// 2·(P-1)/P·bytes at the worst link), expert params over the
+	// data-parallel group. Gradients travel at wire precision (the
+	// paper communicates half-precision gradients in mixed mode).
+	gradBytes := func(n int64) float64 { return float64(n) * bytesPerElem(d.Precision) }
+	r.SyncTime = d.allReduceCost(topo, ranks, gradBytes(spec.DenseParams()))
+	if d.DataParallel > 1 && spec.MoEEvery > 0 {
+		shard := spec.ExpertParamsTotal() / int64(d.ExpertParallel)
+		r.SyncTime += d.allReduceCost(topo, d.DataParallel, gradBytes(shard))
+	}
+
+	visibleSync := r.SyncTime
+	if d.OverlapSync {
+		// The backward pass (≈ 2/3 of compute) can hide sync.
+		hidden := math.Min(r.SyncTime, 2.0/3.0*r.ComputeTime)
+		visibleSync -= hidden
+	}
+	r.StepTime = r.ComputeTime + r.A2ATime + visibleSync
+	r.TokensPerSec = r.TokensPerStep / r.StepTime
+	r.SustainedFlops = r.TokensPerStep * spec.FlopsPerToken() / r.StepTime
+	r.PeakFraction = r.SustainedFlops / (d.Machine.NodeFlops(d.Precision) * float64(d.Machine.Nodes()))
+
+	// Memory: per-rank model state (dense replicated + expert shard)
+	// plus activations for the local batch.
+	bpp := d.Precision.BytesPerParam()
+	denseBpp := bpp
+	if d.ZeRO {
+		// FP16 working copy replicated; FP32 master + Adam m/v
+		// sharded 1/P across the machine.
+		denseBpp = bytesPerElem(d.Precision) + (bpp-bytesPerElem(d.Precision))/float64(ranks)
+	}
+	stateBytes := float64(spec.DenseParams())*denseBpp +
+		float64(spec.ExpertParamsTotal())/float64(d.ExpertParallel)*bpp
+	// Activations: ~(attention + FFN intermediates) per token per
+	// layer; 12·d·L elements is the standard rough count with
+	// recomputation disabled, halved assuming activation
+	// checkpointing (which BaGuaLu requires at these scales).
+	actBytes := tokensPerRank * 6 * float64(spec.Dim) * float64(spec.Layers) * bytesPerElem(d.Precision)
+	r.MemPerNodeGiB = (stateBytes + actBytes) * float64(d.RanksPerNode) / (1 << 30)
+	r.Fits = r.MemPerNodeGiB <= d.Machine.NodeMemGiB
+	return r, nil
+}
+
+// a2aCost prices one all-to-all over an expert-parallel group of p
+// ranks, each contributing bytes of traffic split evenly across
+// destinations.
+func (d Deployment) a2aCost(t *simnet.Topology, p int, bytes float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	perPeer := bytes / float64(p-1)
+	// Count peers of rank 0 at each level within a contiguous group.
+	nodePeers := float64(min(p-1, t.RanksPerNode-1))
+	snPeers := float64(min(p-1, t.RanksPerSupernode()-1)) - nodePeers
+	machinePeers := float64(p-1) - nodePeers - snPeers
+	if machinePeers < 0 {
+		machinePeers = 0
+	}
+	switch d.A2A {
+	case A2AHierarchical:
+		if machinePeers == 0 {
+			return d.flatCost(t, nodePeers, snPeers, 0, perPeer)
+		}
+		// The paper's topology-aware exchange with balanced leader
+		// sharding: ranks first combine their traffic at node level,
+		// nodes exchange one aggregated message per peer node within
+		// the supernode, and each node ships one aggregated message
+		// per remote *supernode* (to its index-peer node there),
+		// which then scatters locally. Per-rank accounting: total
+		// bytes are unchanged (plus staging copies), but the number
+		// of inter-supernode messages collapses from machinePeers to
+		// supernodes-1.
+		rsn := float64(t.RanksPerSupernode())
+		supernodes := math.Ceil(float64(p) / rsn)
+		machineBytes := machinePeers * perPeer
+		crossNodeBytes := (snPeers + machinePeers) * perPeer
+
+		// Gather to node level and final scatter from node level.
+		stage := 2 * t.CostAtLevel(simnet.NodeLevel, int(crossNodeBytes))
+		// Intra-supernode node-to-node exchange (direct part) plus
+		// staging of the cross-SN aggregate through supernode links.
+		local := nodePeers*t.CostAtLevel(simnet.NodeLevel, int(perPeer)) +
+			snPeers*t.CostAtLevel(simnet.SupernodeLevel, int(perPeer))
+		stage += 2 * t.CostAtLevel(simnet.SupernodeLevel, int(machineBytes))
+		// Inter-supernode: supernodes-1 aggregated messages carrying
+		// this rank's share of the machine-level bytes, over the
+		// oversubscribed bisection.
+		xchg := (supernodes-1)*t.Alpha[simnet.MachineLevel] +
+			machineBytes*t.Beta[simnet.MachineLevel]*d.Machine.BisectionOversub
+		return stage + local + xchg
+	default:
+		return d.flatCost(t, nodePeers, snPeers, machinePeers, perPeer)
+	}
+}
+
+// flatCost prices direct pairwise exchange given peer counts per
+// level.
+func (d Deployment) flatCost(t *simnet.Topology, nodePeers, snPeers, machinePeers, perPeer float64) float64 {
+	c := nodePeers * t.CostAtLevel(simnet.NodeLevel, int(perPeer))
+	c += snPeers * t.CostAtLevel(simnet.SupernodeLevel, int(perPeer))
+	mc := machinePeers * t.CostAtLevel(simnet.MachineLevel, int(perPeer))
+	// Cross-supernode pairwise traffic all crosses the bisection.
+	c += mc * d.Machine.BisectionOversub
+	return c
+}
+
+// allReduceCost prices a hierarchical ring all-reduce of n bytes over
+// p ranks: intra-supernode reduce + leader ring + broadcast.
+func (d Deployment) allReduceCost(t *simnet.Topology, p int, bytes float64) float64 {
+	if p <= 1 || bytes == 0 {
+		return 0
+	}
+	rsn := t.RanksPerSupernode()
+	if p <= rsn {
+		// Ring within a supernode: 2·(p-1)/p·bytes at supernode links.
+		return 2 * float64(p-1) / float64(p) * t.CostAtLevel(simnet.SupernodeLevel, int(bytes)) / 1
+	}
+	supernodes := (p + rsn - 1) / rsn
+	// Local reduce + broadcast move the full buffer twice over
+	// supernode links; the leader ring crosses the bisection.
+	local := 2 * t.CostAtLevel(simnet.SupernodeLevel, int(bytes))
+	ring := 2 * float64(supernodes-1) / float64(supernodes) * t.CostAtLevel(simnet.MachineLevel, int(bytes)) * d.Machine.BisectionOversub
+	return local + ring
+}

@@ -1,0 +1,42 @@
+package perfmodel
+
+import "fmt"
+
+// SweepExperts projects the same deployment across expert counts —
+// the analytic form of MoE's central claim: total parameters grow
+// with the expert pool while per-token compute (and therefore step
+// time) stays nearly flat, until gate cost and memory intervene.
+// Every count must be divisible by the deployment's ExpertParallel.
+func SweepExperts(d Deployment, base ModelSpec, counts []int) ([]Report, error) {
+	reports := make([]Report, 0, len(counts))
+	for _, e := range counts {
+		spec := base
+		spec.NumExperts = e
+		if spec.MoEEvery <= 0 {
+			return nil, fmt.Errorf("perfmodel: SweepExperts needs a MoE spec")
+		}
+		rep, err := d.Project(spec)
+		if err != nil {
+			return nil, fmt.Errorf("perfmodel: experts=%d: %w", e, err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// SweepBatch projects across per-rank batch sizes, exposing the
+// compute/communication balance: small batches are latency-bound
+// (collectives dominate), large batches amortize them.
+func SweepBatch(d Deployment, spec ModelSpec, batches []int) ([]Report, error) {
+	reports := make([]Report, 0, len(batches))
+	for _, b := range batches {
+		dd := d
+		dd.BatchPerRank = b
+		rep, err := dd.Project(spec)
+		if err != nil {
+			return nil, fmt.Errorf("perfmodel: batch=%d: %w", b, err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

@@ -1,0 +1,146 @@
+// Package simnet models the hierarchical interconnect of the New
+// Generation Sunway machine as an α–β (latency–bandwidth) cost
+// hierarchy over three levels: intra-node, intra-supernode, and
+// inter-supernode.
+//
+// The mpi package moves real bytes between goroutines but charges
+// *virtual time* according to this model, so collective-algorithm
+// experiments reproduce the topology effects the paper exploits
+// (e.g. hierarchical all-to-all beating pairwise exchange once
+// traffic crosses supernodes) without the actual network.
+package simnet
+
+import (
+	"fmt"
+
+	"bagualu/internal/sunway"
+)
+
+// Level identifies which tier of the hierarchy a message crosses.
+type Level int
+
+const (
+	// SelfLevel is a rank sending to itself (memcpy).
+	SelfLevel Level = iota
+	// NodeLevel is communication between ranks on the same node.
+	NodeLevel
+	// SupernodeLevel is between nodes within one supernode.
+	SupernodeLevel
+	// MachineLevel is between supernodes.
+	MachineLevel
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case SelfLevel:
+		return "self"
+	case NodeLevel:
+		return "intra-node"
+	case SupernodeLevel:
+		return "intra-supernode"
+	case MachineLevel:
+		return "inter-supernode"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Topology maps ranks onto the machine hierarchy and prices messages.
+// Ranks are laid out densely: rank r lives on node r/RanksPerNode,
+// and node n lives in supernode n/NodesPerSupernode. This matches the
+// natural MPI rank ordering on the real machine.
+type Topology struct {
+	RanksPerNode      int
+	NodesPerSupernode int
+
+	// α (startup latency, seconds) and inverse-β (seconds per byte)
+	// per level. Self transfers are priced at memory-copy speed.
+	Alpha [4]float64
+	Beta  [4]float64 // seconds per byte
+}
+
+// New builds a Topology from a machine description and a ranks-per-
+// node choice (the paper runs one MPI rank per core group, i.e. 6 per
+// node; tests often use 1).
+func New(m *sunway.Machine, ranksPerNode int) *Topology {
+	if ranksPerNode <= 0 {
+		ranksPerNode = 1
+	}
+	const gib = 1024 * 1024 * 1024
+	t := &Topology{
+		RanksPerNode:      ranksPerNode,
+		NodesPerSupernode: m.NodesPerSupernode,
+	}
+	t.Alpha[SelfLevel] = 50e-9
+	t.Beta[SelfLevel] = 1 / (m.CGMemBWGiBs * gib)
+	t.Alpha[NodeLevel] = m.IntraNodeLatency
+	t.Beta[NodeLevel] = 1 / (m.IntraNodeBWGiBs * gib)
+	t.Alpha[SupernodeLevel] = m.IntraSNLatency
+	t.Beta[SupernodeLevel] = 1 / (m.IntraSNBWGiBs * gib)
+	t.Alpha[MachineLevel] = m.InterSNLatency
+	t.Beta[MachineLevel] = 1 / (m.InterSNBWGiBs * gib)
+	return t
+}
+
+// Uniform returns a flat topology where every pair of distinct ranks
+// is priced identically — the "no hierarchy" baseline for ablations.
+func Uniform(alpha float64, bwGiBs float64) *Topology {
+	const gib = 1024 * 1024 * 1024
+	t := &Topology{RanksPerNode: 1, NodesPerSupernode: 1 << 30}
+	for l := SelfLevel; l <= MachineLevel; l++ {
+		t.Alpha[l] = alpha
+		t.Beta[l] = 1 / (bwGiBs * gib)
+	}
+	t.Alpha[SelfLevel] = 0
+	t.Beta[SelfLevel] = 0
+	return t
+}
+
+// Node returns the node index of a rank.
+func (t *Topology) Node(rank int) int { return rank / t.RanksPerNode }
+
+// Supernode returns the supernode index of a rank.
+func (t *Topology) Supernode(rank int) int {
+	return t.Node(rank) / t.NodesPerSupernode
+}
+
+// LevelOf classifies the path between two ranks.
+func (t *Topology) LevelOf(a, b int) Level {
+	switch {
+	case a == b:
+		return SelfLevel
+	case t.Node(a) == t.Node(b):
+		return NodeLevel
+	case t.Supernode(a) == t.Supernode(b):
+		return SupernodeLevel
+	default:
+		return MachineLevel
+	}
+}
+
+// Cost returns the α–β transfer time in seconds for nbytes between
+// two ranks.
+func (t *Topology) Cost(a, b int, nbytes int) float64 {
+	l := t.LevelOf(a, b)
+	return t.Alpha[l] + float64(nbytes)*t.Beta[l]
+}
+
+// CostAtLevel prices nbytes at a given level directly.
+func (t *Topology) CostAtLevel(l Level, nbytes int) float64 {
+	return t.Alpha[l] + float64(nbytes)*t.Beta[l]
+}
+
+// LeaderOfSupernode returns the lowest rank in the same supernode as
+// rank, given the world size. Hierarchical collectives use it as the
+// aggregation point.
+func (t *Topology) LeaderOfSupernode(rank int) int {
+	ranksPerSN := t.RanksPerNode * t.NodesPerSupernode
+	return (rank / ranksPerSN) * ranksPerSN
+}
+
+// RanksPerSupernode returns the number of ranks grouped under one
+// supernode leader.
+func (t *Topology) RanksPerSupernode() int {
+	return t.RanksPerNode * t.NodesPerSupernode
+}

@@ -1,0 +1,118 @@
+package simnet
+
+import (
+	"testing"
+
+	"bagualu/internal/sunway"
+)
+
+func topo() *Topology {
+	// 2 supernodes x 2 nodes x 2 ranks = 8 ranks.
+	return New(sunway.TestMachine(2, 2), 2)
+}
+
+func TestLevelClassification(t *testing.T) {
+	tp := topo()
+	cases := []struct {
+		a, b int
+		want Level
+	}{
+		{0, 0, SelfLevel},
+		{0, 1, NodeLevel},      // same node
+		{0, 2, SupernodeLevel}, // same supernode, different node
+		{0, 4, MachineLevel},   // different supernode
+		{3, 2, NodeLevel},
+		{7, 0, MachineLevel},
+		{5, 6, SupernodeLevel},
+	}
+	for _, c := range cases {
+		if got := tp.LevelOf(c.a, c.b); got != c.want {
+			t.Errorf("LevelOf(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNodeAndSupernodeMapping(t *testing.T) {
+	tp := topo()
+	if tp.Node(5) != 2 {
+		t.Fatalf("Node(5) = %d", tp.Node(5))
+	}
+	if tp.Supernode(5) != 1 {
+		t.Fatalf("Supernode(5) = %d", tp.Supernode(5))
+	}
+	if tp.RanksPerSupernode() != 4 {
+		t.Fatalf("RanksPerSupernode = %d", tp.RanksPerSupernode())
+	}
+	if tp.LeaderOfSupernode(6) != 4 {
+		t.Fatalf("LeaderOfSupernode(6) = %d", tp.LeaderOfSupernode(6))
+	}
+	if tp.LeaderOfSupernode(0) != 0 {
+		t.Fatalf("LeaderOfSupernode(0) = %d", tp.LeaderOfSupernode(0))
+	}
+}
+
+func TestCostMonotoneInHierarchy(t *testing.T) {
+	tp := topo()
+	n := 1 << 16
+	self := tp.Cost(0, 0, n)
+	node := tp.Cost(0, 1, n)
+	sn := tp.Cost(0, 2, n)
+	machine := tp.Cost(0, 4, n)
+	if !(self < node && node < sn && sn < machine) {
+		t.Fatalf("costs not monotone: %v %v %v %v", self, node, sn, machine)
+	}
+}
+
+func TestCostAlphaBetaStructure(t *testing.T) {
+	tp := topo()
+	// Cost must be affine in message size.
+	c0 := tp.Cost(0, 4, 0)
+	c1 := tp.Cost(0, 4, 1000)
+	c2 := tp.Cost(0, 4, 2000)
+	if c0 != tp.Alpha[MachineLevel] {
+		t.Fatalf("zero-byte cost %v != alpha %v", c0, tp.Alpha[MachineLevel])
+	}
+	if diff := (c2 - c1) - (c1 - c0); diff > 1e-18 || diff < -1e-18 {
+		t.Fatalf("cost not affine: %v", diff)
+	}
+}
+
+func TestCostAtLevelMatchesCost(t *testing.T) {
+	tp := topo()
+	if tp.CostAtLevel(MachineLevel, 500) != tp.Cost(0, 7, 500) {
+		t.Fatal("CostAtLevel disagrees with Cost")
+	}
+}
+
+func TestUniformTopology(t *testing.T) {
+	tp := Uniform(1e-6, 10)
+	// All distinct-rank pairs are priced identically regardless of
+	// the nominal level.
+	if tp.Cost(0, 99, 4096) != tp.Cost(0, 1, 4096) {
+		t.Fatal("uniform topology prices pairs differently")
+	}
+	if tp.Cost(0, 1, 0) != 1e-6 {
+		t.Fatalf("uniform alpha = %v", tp.Cost(0, 1, 0))
+	}
+	if tp.Cost(5, 5, 1000) != 0 {
+		t.Fatal("self transfer should be free in uniform topology")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{
+		SelfLevel: "self", NodeLevel: "intra-node",
+		SupernodeLevel: "intra-supernode", MachineLevel: "inter-supernode",
+	} {
+		if l.String() != want {
+			t.Errorf("Level %d string = %q", l, l.String())
+		}
+	}
+}
+
+func TestDefaultRanksPerNode(t *testing.T) {
+	tp := New(sunway.TestMachine(1, 2), 0) // 0 -> defaults to 1
+	if tp.RanksPerNode != 1 {
+		t.Fatalf("RanksPerNode = %d", tp.RanksPerNode)
+	}
+}

@@ -1,0 +1,112 @@
+package sunway
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFullMachineShape(t *testing.T) {
+	m := NewGenerationSunway()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes() != 96000 {
+		t.Fatalf("Nodes = %d, want 96000", m.Nodes())
+	}
+	// The headline: over 37 million cores.
+	if m.Cores() <= 37_000_000 {
+		t.Fatalf("Cores = %d, want > 37M", m.Cores())
+	}
+	if m.CoresPerNode() != 390 {
+		t.Fatalf("CoresPerNode = %d, want 390", m.CoresPerNode())
+	}
+	if m.CoreGroups() != 96000*6 {
+		t.Fatalf("CoreGroups = %d", m.CoreGroups())
+	}
+}
+
+func TestPeakFlopsOrdering(t *testing.T) {
+	m := NewGenerationSunway()
+	if !(m.PeakFlopsFP16() > m.PeakFlopsFP32()) {
+		t.Fatal("fp16 peak must exceed fp32 peak")
+	}
+	// Full machine half-precision peak should be in exaflop range.
+	if m.PeakFlopsFP16() < 1e18 {
+		t.Fatalf("fp16 peak %.3g < 1 EFLOPS", m.PeakFlopsFP16())
+	}
+}
+
+func TestNodeFlops(t *testing.T) {
+	m := NewGenerationSunway()
+	if m.NodeFlops(FP16) != m.NodeFlops(Mixed) {
+		t.Fatal("mixed must use fp16 rate")
+	}
+	if m.NodeFlops(FP64) != m.CGGflopsFP64*6*1e9 {
+		t.Fatalf("NodeFlops(FP64) = %v", m.NodeFlops(FP64))
+	}
+}
+
+func TestTestMachine(t *testing.T) {
+	m := TestMachine(2, 4)
+	if m.Nodes() != 8 {
+		t.Fatalf("Nodes = %d", m.Nodes())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	cases := []func(*Machine){
+		func(m *Machine) { m.Supernodes = 0 },
+		func(m *Machine) { m.CPEsPerCoreGroup = 0 },
+		func(m *Machine) { m.CGGflopsFP16 = 0 },
+		func(m *Machine) { m.NodeMemGiB = -1 },
+		func(m *Machine) { m.InterSNBWGiBs = 0 },
+		func(m *Machine) { m.BisectionOversub = 0.5 },
+	}
+	for i, mut := range cases {
+		m := NewGenerationSunway()
+		mut(m)
+		if m.Validate() == nil {
+			t.Errorf("case %d: invalid machine accepted", i)
+		}
+	}
+}
+
+func TestPrecisionStrings(t *testing.T) {
+	for p, want := range map[Precision]string{
+		FP64: "fp64", FP32: "fp32", FP16: "fp16", Mixed: "mixed",
+	} {
+		if p.String() != want {
+			t.Errorf("Precision %d = %q", p, p.String())
+		}
+	}
+}
+
+func TestBytesPerParam(t *testing.T) {
+	// Mixed mode: fp16 weight + fp32 master + fp32 m + fp32 v = 14.
+	if BytesPerParam := Mixed.BytesPerParam(); BytesPerParam != 14 {
+		t.Fatalf("Mixed BytesPerParam = %v", BytesPerParam)
+	}
+	if FP32.BytesPerParam() != 12 {
+		t.Fatalf("FP32 BytesPerParam = %v", FP32.BytesPerParam())
+	}
+	if !(FP16.BytesPerParam() < Mixed.BytesPerParam()) {
+		t.Fatal("fp16 must be smaller than mixed")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := NewGenerationSunway().String()
+	if !strings.Contains(s, "96000 nodes") {
+		t.Fatalf("summary %q missing node count", s)
+	}
+}
+
+func TestTotalMem(t *testing.T) {
+	m := TestMachine(1, 2)
+	if m.TotalMemGiB() != 2*96 {
+		t.Fatalf("TotalMemGiB = %v", m.TotalMemGiB())
+	}
+}

@@ -1,0 +1,196 @@
+package tensor
+
+import "fmt"
+
+// Matrix-multiply kernels. These are the hot loops of the whole
+// reproduction; they use register-blocked inner kernels over
+// goroutine-parallel row panels, the same decomposition the paper
+// applies across CPE clusters (64 compute cores per core group).
+
+// MatMul returns a@b for a [m,k] and b [k,n].
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := mmDims("MatMul", a, b, false)
+	out := New(m, n)
+	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// MatMulInto computes out = a@b, reusing out's storage. out must have
+// shape [m,n].
+func MatMulInto(out, a, b *Tensor) {
+	m, k, n := mmDims("MatMulInto", a, b, false)
+	if len(out.Shape) != 2 || out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto out shape %v, want [%d %d]", out.Shape, m, n))
+	}
+	out.Zero()
+	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+}
+
+// MatMulTransB returns a@bᵀ for a [m,k] and b [n,k]. This is the
+// layout of the backward pass w.r.t. inputs when weights are stored
+// [out,in].
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB shapes %v, %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	out := New(m, n)
+	ParallelRows(m, func(s, e int) {
+		for i := s; i < e; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var sum float32
+				for p := 0; p < k; p++ {
+					sum += arow[p] * brow[p]
+				}
+				orow[j] = sum
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransA returns aᵀ@b for a [k,m] and b [k,n]; the layout of
+// the backward pass w.r.t. weights.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA shapes %v, %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	// Parallelize over output rows (columns of a); each worker owns a
+	// disjoint slice of out so no synchronization is needed.
+	ParallelRows(m, func(s, e int) {
+		for p := 0; p < k; p++ {
+			arow := a.Data[p*m : (p+1)*m]
+			brow := b.Data[p*n : (p+1)*n]
+			for i := s; i < e; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatVec returns a@x for a [m,k] and x [k].
+func MatVec(a, x *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(x.Shape) != 1 || a.Shape[1] != x.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec shapes %v, %v", a.Shape, x.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	out := New(m)
+	Parallel(m, func(s, e int) {
+		for i := s; i < e; i++ {
+			row := a.Data[i*k : (i+1)*k]
+			var sum float32
+			for p := 0; p < k; p++ {
+				sum += row[p] * x.Data[p]
+			}
+			out.Data[i] = sum
+		}
+	})
+	return out
+}
+
+func mmDims(op string, a, b *Tensor, transB bool) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires rank-2 tensors, got %v, %v", op, a.Shape, b.Shape))
+	}
+	if a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v, %v", op, a.Shape, b.Shape))
+	}
+	return a.Shape[0], a.Shape[1], b.Shape[1]
+}
+
+// matmulInto accumulates a@b into out (out must be zeroed by the
+// caller). i-k-j loop order streams b rows through the cache; the
+// row-panel parallelism gives each worker a disjoint out region.
+func matmulInto(out, a, b []float32, m, k, n int) {
+	ParallelRows(m, func(s, e int) {
+		for i := s; i < e; i++ {
+			arow := a[i*k : (i+1)*k]
+			orow := out[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// BatchMatMul multiplies two rank-3 tensors batch-wise: a [B,m,k] @
+// b [B,k,n] -> [B,m,n]. Used by multi-head attention.
+func BatchMatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 3 || len(b.Shape) != 3 || a.Shape[0] != b.Shape[0] || a.Shape[2] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: BatchMatMul shapes %v, %v", a.Shape, b.Shape))
+	}
+	bs, m, k, n := a.Shape[0], a.Shape[1], a.Shape[2], b.Shape[2]
+	out := New(bs, m, n)
+	ParallelRows(bs, func(s, e int) {
+		for bi := s; bi < e; bi++ {
+			ab := a.Data[bi*m*k : (bi+1)*m*k]
+			bb := b.Data[bi*k*n : (bi+1)*k*n]
+			ob := out.Data[bi*m*n : (bi+1)*m*n]
+			for i := 0; i < m; i++ {
+				arow := ab[i*k : (i+1)*k]
+				orow := ob[i*n : (i+1)*n]
+				for p := 0; p < k; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := bb[p*n : (p+1)*n]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// BatchMatMulTransB multiplies a [B,m,k] @ bᵀ [B,n,k] -> [B,m,n];
+// the Q@Kᵀ pattern in attention.
+func BatchMatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 3 || len(b.Shape) != 3 || a.Shape[0] != b.Shape[0] || a.Shape[2] != b.Shape[2] {
+		panic(fmt.Sprintf("tensor: BatchMatMulTransB shapes %v, %v", a.Shape, b.Shape))
+	}
+	bs, m, k, n := a.Shape[0], a.Shape[1], a.Shape[2], b.Shape[1]
+	out := New(bs, m, n)
+	ParallelRows(bs, func(s, e int) {
+		for bi := s; bi < e; bi++ {
+			ab := a.Data[bi*m*k : (bi+1)*m*k]
+			bb := b.Data[bi*n*k : (bi+1)*n*k]
+			ob := out.Data[bi*m*n : (bi+1)*m*n]
+			for i := 0; i < m; i++ {
+				arow := ab[i*k : (i+1)*k]
+				orow := ob[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					brow := bb[j*k : (j+1)*k]
+					var sum float32
+					for p := 0; p < k; p++ {
+						sum += arow[p] * brow[p]
+					}
+					orow[j] = sum
+				}
+			}
+		}
+	})
+	return out
+}

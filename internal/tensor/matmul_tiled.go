@@ -1,0 +1,143 @@
+package tensor
+
+// Tiled GEMM kernel modeled on the blocking scheme used for the
+// SW26010-Pro CPE mesh: the output is processed in MC×NC macro-tiles
+// with a KC-deep panel of B packed contiguously (the analogue of
+// staging a tile in CPE local store), and a 4×4 register micro-kernel
+// accumulates each micro-tile. On cache hierarchies this is the same
+// optimization the paper's hand-written kernels perform with DMA.
+
+const (
+	tileM = 64  // rows per macro-tile (per-worker unit)
+	tileN = 64  // cols per macro-tile
+	tileK = 128 // reduction panel depth
+	micro = 4   // register micro-kernel edge
+)
+
+// MatMulTiled returns a@b for a [m,k] and b [k,n] using the tiled
+// kernel. It is numerically equivalent to MatMul up to float
+// reassociation and considerably faster for large matrices.
+func MatMulTiled(a, b *Tensor) *Tensor {
+	m, k, n := mmDims("MatMulTiled", a, b, false)
+	out := New(m, n)
+	// Parallelize across row macro-tiles; each worker owns disjoint
+	// output rows.
+	mTiles := (m + tileM - 1) / tileM
+	ParallelRows(mTiles, func(lo, hi int) {
+		// Per-worker packed panel of B (KC x NC), reused across the
+		// k-loop, mirroring a CPE local-store tile.
+		panel := make([]float32, tileK*tileN)
+		for ti := lo; ti < hi; ti++ {
+			i0 := ti * tileM
+			i1 := min(i0+tileM, m)
+			for j0 := 0; j0 < n; j0 += tileN {
+				j1 := min(j0+tileN, n)
+				for p0 := 0; p0 < k; p0 += tileK {
+					p1 := min(p0+tileK, k)
+					packB(panel, b.Data, p0, p1, j0, j1, n)
+					macroKernel(out.Data, a.Data, panel, i0, i1, j0, j1, p0, p1, k, n)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// packB copies B[p0:p1, j0:j1] into a contiguous row-major panel with
+// stride (j1-j0), improving locality of the inner loops.
+func packB(panel, b []float32, p0, p1, j0, j1, n int) {
+	w := j1 - j0
+	for p := p0; p < p1; p++ {
+		copy(panel[(p-p0)*w:(p-p0)*w+w], b[p*n+j0:p*n+j1])
+	}
+}
+
+// macroKernel updates out[i0:i1, j0:j1] += A[i0:i1, p0:p1] @ panel.
+func macroKernel(out, a, panel []float32, i0, i1, j0, j1, p0, p1, k, n int) {
+	w := j1 - j0
+	kd := p1 - p0
+	i := i0
+	for ; i+micro <= i1; i += micro {
+		j := 0
+		for ; j+micro <= w; j += micro {
+			microKernel4x4(out, a, panel, i, j0+j, j, kd, k, n, w, p0)
+		}
+		// Column remainder.
+		for ; j < w; j++ {
+			for di := 0; di < micro; di++ {
+				var sum float32
+				arow := a[(i+di)*k+p0:]
+				for p := 0; p < kd; p++ {
+					sum += arow[p] * panel[p*w+j]
+				}
+				out[(i+di)*n+j0+j] += sum
+			}
+		}
+	}
+	// Row remainder.
+	for ; i < i1; i++ {
+		arow := a[i*k+p0:]
+		orow := out[i*n+j0 : i*n+j1]
+		for p := 0; p < kd; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			prow := panel[p*w : (p+1)*w]
+			for j, pv := range prow {
+				orow[j] += av * pv
+			}
+		}
+	}
+}
+
+// microKernel4x4 accumulates a 4x4 output block held in registers.
+func microKernel4x4(out, a, panel []float32, i, jAbs, j, kd, k, n, w, p0 int) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	a0 := a[(i+0)*k+p0:]
+	a1 := a[(i+1)*k+p0:]
+	a2 := a[(i+2)*k+p0:]
+	a3 := a[(i+3)*k+p0:]
+	for p := 0; p < kd; p++ {
+		b0 := panel[p*w+j]
+		b1 := panel[p*w+j+1]
+		b2 := panel[p*w+j+2]
+		b3 := panel[p*w+j+3]
+		av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+		c00 += av0 * b0
+		c01 += av0 * b1
+		c02 += av0 * b2
+		c03 += av0 * b3
+		c10 += av1 * b0
+		c11 += av1 * b1
+		c12 += av1 * b2
+		c13 += av1 * b3
+		c20 += av2 * b0
+		c21 += av2 * b1
+		c22 += av2 * b2
+		c23 += av2 * b3
+		c30 += av3 * b0
+		c31 += av3 * b1
+		c32 += av3 * b2
+		c33 += av3 * b3
+	}
+	out[(i+0)*n+jAbs] += c00
+	out[(i+0)*n+jAbs+1] += c01
+	out[(i+0)*n+jAbs+2] += c02
+	out[(i+0)*n+jAbs+3] += c03
+	out[(i+1)*n+jAbs] += c10
+	out[(i+1)*n+jAbs+1] += c11
+	out[(i+1)*n+jAbs+2] += c12
+	out[(i+1)*n+jAbs+3] += c13
+	out[(i+2)*n+jAbs] += c20
+	out[(i+2)*n+jAbs+1] += c21
+	out[(i+2)*n+jAbs+2] += c22
+	out[(i+2)*n+jAbs+3] += c23
+	out[(i+3)*n+jAbs] += c30
+	out[(i+3)*n+jAbs+1] += c31
+	out[(i+3)*n+jAbs+2] += c32
+	out[(i+3)*n+jAbs+3] += c33
+}

@@ -1,0 +1,158 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Neural-network-specific kernels: numerically stable softmax family,
+// layer normalization, and the activation functions used by the
+// transformer/MoE stack.
+
+// SoftmaxRows applies a numerically stable softmax to every row of a
+// rank-2 tensor and returns the result.
+func SoftmaxRows(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: SoftmaxRows on shape %v", a.Shape))
+	}
+	r, c := a.Shape[0], a.Shape[1]
+	out := New(r, c)
+	Parallel(r, func(s, e int) {
+		for i := s; i < e; i++ {
+			softmaxRow(out.Data[i*c:(i+1)*c], a.Data[i*c:(i+1)*c])
+		}
+	})
+	return out
+}
+
+func softmaxRow(dst, src []float32) {
+	m := src[0]
+	for _, v := range src[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for j, v := range src {
+		ev := math.Exp(float64(v - m))
+		dst[j] = float32(ev)
+		sum += ev
+	}
+	inv := float32(1 / sum)
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+// LogSoftmaxRows applies log-softmax to every row of a rank-2 tensor.
+func LogSoftmaxRows(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: LogSoftmaxRows on shape %v", a.Shape))
+	}
+	r, c := a.Shape[0], a.Shape[1]
+	out := New(r, c)
+	Parallel(r, func(s, e int) {
+		for i := s; i < e; i++ {
+			src := a.Data[i*c : (i+1)*c]
+			dst := out.Data[i*c : (i+1)*c]
+			m := src[0]
+			for _, v := range src[1:] {
+				if v > m {
+					m = v
+				}
+			}
+			var sum float64
+			for _, v := range src {
+				sum += math.Exp(float64(v - m))
+			}
+			lse := float32(math.Log(sum)) + m
+			for j, v := range src {
+				dst[j] = v - lse
+			}
+		}
+	})
+	return out
+}
+
+// LayerNormRows normalizes every row to zero mean and unit variance,
+// then applies elementwise gain and bias. gamma and beta have shape
+// [cols]; eps guards the variance.
+func LayerNormRows(a, gamma, beta *Tensor, eps float32) *Tensor {
+	if len(a.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: LayerNormRows on shape %v", a.Shape))
+	}
+	r, c := a.Shape[0], a.Shape[1]
+	if gamma.Len() != c || beta.Len() != c {
+		panic(fmt.Sprintf("tensor: LayerNormRows gamma/beta length %d/%d, want %d", gamma.Len(), beta.Len(), c))
+	}
+	out := New(r, c)
+	Parallel(r, func(s, e int) {
+		for i := s; i < e; i++ {
+			src := a.Data[i*c : (i+1)*c]
+			dst := out.Data[i*c : (i+1)*c]
+			var mean float64
+			for _, v := range src {
+				mean += float64(v)
+			}
+			mean /= float64(c)
+			var varsum float64
+			for _, v := range src {
+				d := float64(v) - mean
+				varsum += d * d
+			}
+			inv := 1 / math.Sqrt(varsum/float64(c)+float64(eps))
+			for j, v := range src {
+				dst[j] = float32((float64(v)-mean)*inv)*gamma.Data[j] + beta.Data[j]
+			}
+		}
+	})
+	return out
+}
+
+// GELU applies the Gaussian error linear unit (tanh approximation)
+// elementwise.
+func GELU(a *Tensor) *Tensor {
+	return Apply(a, geluScalar)
+}
+
+func geluScalar(x float32) float32 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	xf := float64(x)
+	return float32(0.5 * xf * (1 + math.Tanh(c*(xf+0.044715*xf*xf*xf))))
+}
+
+// GELUGrad returns d/dx GELU(x) evaluated elementwise at a.
+func GELUGrad(a *Tensor) *Tensor {
+	return Apply(a, func(x float32) float32 {
+		const c = 0.7978845608028654
+		xf := float64(x)
+		inner := c * (xf + 0.044715*xf*xf*xf)
+		t := math.Tanh(inner)
+		dinner := c * (1 + 3*0.044715*xf*xf)
+		return float32(0.5*(1+t) + 0.5*xf*(1-t*t)*dinner)
+	})
+}
+
+// ReLU applies max(0,x) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	return Apply(a, func(x float32) float32 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	return Apply(a, func(x float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	})
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Tensor) *Tensor {
+	return Apply(a, func(x float32) float32 {
+		return float32(math.Tanh(float64(x)))
+	})
+}

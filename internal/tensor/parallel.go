@@ -1,0 +1,101 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps kernel parallelism. It defaults to GOMAXPROCS and
+// can be lowered in tests via SetMaxWorkers.
+var (
+	workerMu   sync.RWMutex
+	maxWorkers = runtime.GOMAXPROCS(0)
+)
+
+// SetMaxWorkers bounds the number of goroutines used by parallel
+// kernels. n < 1 resets to GOMAXPROCS. It returns the previous value.
+func SetMaxWorkers(n int) int {
+	workerMu.Lock()
+	defer workerMu.Unlock()
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return prev
+}
+
+// Workers returns the current kernel parallelism bound.
+func Workers() int {
+	workerMu.RLock()
+	defer workerMu.RUnlock()
+	return maxWorkers
+}
+
+// minParallel is the smallest amount of work (in loop iterations) per
+// goroutine that makes fan-out worthwhile; below it kernels run
+// serially.
+const minParallel = 2048
+
+// Parallel splits [0,n) into contiguous chunks and runs fn on each
+// chunk, using up to Workers() goroutines. fn is called with
+// half-open ranges [start,end). It runs serially when n is small.
+func Parallel(n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w <= 1 || n < minParallel {
+		fn(0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ParallelRows runs fn on row ranges of a matrix with rows rows,
+// forcing fan-out whenever rows >= 2*Workers(), regardless of the
+// per-row cost. Use for kernels whose rows are individually expensive
+// (e.g. GEMM panels).
+func ParallelRows(rows int, fn func(start, end int)) {
+	if rows <= 0 {
+		return
+	}
+	w := Workers()
+	if w <= 1 || rows < 2 {
+		fn(0, rows)
+		return
+	}
+	if w > rows {
+		w = rows
+	}
+	chunk := (rows + w - 1) / w
+	var wg sync.WaitGroup
+	for start := 0; start < rows; start += chunk {
+		end := start + chunk
+		if end > rows {
+			end = rows
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

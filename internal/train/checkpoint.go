@@ -1,0 +1,185 @@
+package train
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"bagualu/internal/nn"
+)
+
+// Checkpoint format: a little-endian binary stream of named tensors.
+// BaGuaLu checkpoints 174T parameters by having each rank write its
+// own expert shard; the same property holds here because Save takes
+// whatever parameter list the caller owns (a rank passes only its
+// local params).
+const (
+	ckptMagic   = 0xBA60A1 // "BaGuaLu"
+	ckptVersion = 1
+)
+
+// Header carries run metadata stored alongside the weights.
+type Header struct {
+	Step      int64
+	LossScale float32
+}
+
+// Save writes a checkpoint of params to w.
+func Save(w io.Writer, hdr Header, params []*nn.Param) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(ckptMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(ckptVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hdr.Step); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hdr.LossScale); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeString(bw, p.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.W.Shape))); err != nil {
+			return err
+		}
+		for _, d := range p.W.Shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.W.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores a checkpoint into params, matching tensors by name.
+// Every parameter in params must be present in the stream with an
+// identical shape; extra tensors in the stream are ignored.
+func Load(r io.Reader, params []*nn.Param) (Header, error) {
+	br := bufio.NewReader(r)
+	var hdr Header
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return hdr, err
+	}
+	if magic != ckptMagic {
+		return hdr, fmt.Errorf("train: bad checkpoint magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return hdr, err
+	}
+	if version != ckptVersion {
+		return hdr, fmt.Errorf("train: unsupported checkpoint version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hdr.Step); err != nil {
+		return hdr, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hdr.LossScale); err != nil {
+		return hdr, err
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return hdr, err
+	}
+	byName := make(map[string]*nn.Param, len(params))
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	loaded := make(map[string]bool)
+	for i := uint32(0); i < count; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return hdr, err
+		}
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return hdr, err
+		}
+		shape := make([]int, rank)
+		n := 1
+		for j := range shape {
+			var d uint32
+			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+				return hdr, err
+			}
+			shape[j] = int(d)
+			n *= int(d)
+		}
+		buf := make([]float32, n)
+		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+			return hdr, err
+		}
+		p := byName[name]
+		if p == nil {
+			continue // tensor not owned by this rank
+		}
+		if len(p.W.Data) != n {
+			return hdr, fmt.Errorf("train: checkpoint tensor %q has %d elements, param has %d", name, n, len(p.W.Data))
+		}
+		copy(p.W.Data, buf)
+		loaded[name] = true
+	}
+	for _, p := range params {
+		if !loaded[p.Name] {
+			return hdr, fmt.Errorf("train: checkpoint missing tensor %q", p.Name)
+		}
+	}
+	return hdr, nil
+}
+
+// SaveFile writes a checkpoint to path.
+func SaveFile(path string, hdr Header, params []*nn.Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, hdr, params); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores a checkpoint from path.
+func LoadFile(path string, params []*nn.Param) (Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, err
+	}
+	defer f.Close()
+	return Load(f, params)
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("train: unreasonable name length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

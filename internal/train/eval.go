@@ -1,0 +1,46 @@
+package train
+
+import (
+	"math"
+
+	"bagualu/internal/data"
+	"bagualu/internal/nn"
+	"bagualu/internal/tensor"
+)
+
+// EvalResult summarizes a forward-only evaluation pass.
+type EvalResult struct {
+	Loss       float64 // mean cross-entropy per token
+	Perplexity float64 // exp(Loss)
+	Accuracy   float64 // next-token top-1 accuracy
+	Tokens     int
+}
+
+// Evaluate runs the model forward on `batches` fresh batches from the
+// corpus (no gradients, no updates) and reports loss, perplexity, and
+// top-1 next-token accuracy — the held-out metrics the convergence
+// experiments report.
+func Evaluate(model *nn.GPT, corpus *data.Corpus, batches, batchSize int) EvalResult {
+	var res EvalResult
+	var lossSum float64
+	correct := 0
+	for b := 0; b < batches; b++ {
+		ids, targets := corpus.Batch(batchSize)
+		logits := model.Forward(ids)
+		var ce nn.SoftmaxCrossEntropy
+		lossSum += float64(ce.Forward(logits, targets)) * float64(len(targets))
+		preds := tensor.ArgMaxRows(logits)
+		for i, p := range preds {
+			if p == targets[i] {
+				correct++
+			}
+		}
+		res.Tokens += len(targets)
+	}
+	if res.Tokens > 0 {
+		res.Loss = lossSum / float64(res.Tokens)
+		res.Perplexity = math.Exp(res.Loss)
+		res.Accuracy = float64(correct) / float64(res.Tokens)
+	}
+	return res
+}

@@ -1,0 +1,160 @@
+package train
+
+import (
+	"bagualu/internal/half"
+	"bagualu/internal/nn"
+	"bagualu/internal/sunway"
+)
+
+// MixedPrecision implements the paper's numerical strategy for the
+// SW26010-Pro half-precision units: FP16 working weights and
+// gradients with FP32 master weights and dynamic loss scaling.
+//
+// Per step:
+//  1. the loss gradient is scaled by Scale before backward;
+//  2. after backward, gradients are rounded through FP16 (emulating
+//     FP16 gradient storage) and checked for overflow;
+//  3. on overflow the step is skipped and Scale halves; otherwise
+//     gradients are unscaled, the optimizer updates the FP32 masters,
+//     and the working weights are refreshed as FP16 roundings of the
+//     masters;
+//  4. after GrowthInterval consecutive good steps Scale doubles.
+type MixedPrecision struct {
+	Mode sunway.Precision
+
+	Scale          float32
+	GrowthInterval int
+	MaxScale       float32
+
+	goodSteps int
+	skipped   int
+	masters   [][]float32 // FP32 master copy per param
+	params    []*nn.Param
+}
+
+// NewMixedPrecision wraps params in the given precision mode. FP32
+// mode is a no-op passthrough; FP16/Mixed quantize; BF16 is modeled
+// via sunway.FP16 with Mode distinctions handled by the caller.
+func NewMixedPrecision(mode sunway.Precision, params []*nn.Param) *MixedPrecision {
+	mp := &MixedPrecision{
+		Mode:           mode,
+		Scale:          1024,
+		GrowthInterval: 100,
+		MaxScale:       65536,
+		params:         params,
+	}
+	if mode == sunway.BF16 {
+		mp.quantizeWeights()
+	}
+	if mode == sunway.Mixed {
+		for _, p := range params {
+			m := make([]float32, len(p.W.Data))
+			copy(m, p.W.Data)
+			mp.masters = append(mp.masters, m)
+		}
+		mp.quantizeWeights()
+	}
+	return mp
+}
+
+// LossScale returns the current loss scale (1 when scaling is off).
+// BF16 keeps the FP32 exponent range and needs no scaling.
+func (mp *MixedPrecision) LossScale() float32 {
+	if mp.Mode == sunway.FP16 || mp.Mode == sunway.Mixed {
+		return mp.Scale
+	}
+	return 1
+}
+
+// SkippedSteps reports how many steps were dropped due to overflow.
+func (mp *MixedPrecision) SkippedSteps() int { return mp.skipped }
+
+// quantizeWeights rounds working weights through the mode's storage
+// format.
+func (mp *MixedPrecision) quantizeWeights() {
+	for _, p := range mp.params {
+		if mp.Mode == sunway.BF16 {
+			half.BQuantizeSlice(p.W.Data)
+		} else {
+			half.QuantizeSliceFast(p.W.Data)
+		}
+	}
+}
+
+// PrepareGrads post-processes gradients after backward: quantizes
+// them per the mode and reports whether the step must be skipped
+// because of overflow. On a good step the gradients are left
+// unscaled (divided by the loss scale), ready for the optimizer.
+func (mp *MixedPrecision) PrepareGrads() (ok bool) {
+	switch mp.Mode {
+	case sunway.FP32, sunway.FP64:
+		return true
+	case sunway.BF16:
+		// bfloat16 gradients: round, no overflow handling needed
+		// (the exponent range matches FP32).
+		for _, p := range mp.params {
+			half.BQuantizeSlice(p.G.Data)
+			if p.G.HasNaN() {
+				mp.skipped++
+				return false
+			}
+		}
+		return true
+	case sunway.FP16, sunway.Mixed:
+		overflow := false
+		for _, p := range mp.params {
+			if half.QuantizeSliceFast(p.G.Data) {
+				overflow = true
+			}
+			if p.G.HasNaN() {
+				overflow = true
+			}
+		}
+		if overflow {
+			mp.skipped++
+			mp.goodSteps = 0
+			if mp.Scale > 1 {
+				mp.Scale /= 2
+			}
+			return false
+		}
+		ScaleGrads(mp.params, 1/mp.Scale)
+		return true
+	default:
+		return true
+	}
+}
+
+// Apply runs the optimizer against the right weight copy and refreshes
+// the FP16 working weights in Mixed mode.
+func (mp *MixedPrecision) Apply(opt Optimizer, lr float32) {
+	if mp.Mode != sunway.Mixed {
+		opt.Step(mp.params, lr)
+		if mp.Mode == sunway.FP16 || mp.Mode == sunway.BF16 {
+			mp.quantizeWeights()
+		}
+		mp.afterGoodStep()
+		return
+	}
+	// Swap masters in, update, swap rounded copies out.
+	for i, p := range mp.params {
+		copy(p.W.Data, mp.masters[i])
+	}
+	opt.Step(mp.params, lr)
+	for i, p := range mp.params {
+		copy(mp.masters[i], p.W.Data)
+		half.QuantizeSliceFast(p.W.Data)
+	}
+	mp.afterGoodStep()
+}
+
+func (mp *MixedPrecision) afterGoodStep() {
+	if mp.Mode != sunway.FP16 && mp.Mode != sunway.Mixed {
+		return
+	}
+	mp.goodSteps++
+	if mp.goodSteps >= mp.GrowthInterval && mp.Scale < mp.MaxScale {
+		mp.Scale *= 2
+		mp.goodSteps = 0
+	}
+}

@@ -1,0 +1,445 @@
+package train
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"bagualu/internal/data"
+	"bagualu/internal/half"
+	"bagualu/internal/nn"
+	"bagualu/internal/sunway"
+	"bagualu/internal/tensor"
+)
+
+// quadParam builds a parameter whose loss is 0.5*||w - target||².
+func quadParam(vals ...float32) *nn.Param {
+	return nn.NewParam("w", tensor.FromSlice(vals, len(vals)))
+}
+
+func quadGrad(p *nn.Param, target []float32) {
+	for i := range p.W.Data {
+		p.G.Data[i] = p.W.Data[i] - target[i]
+	}
+}
+
+func TestSGDConverges(t *testing.T) {
+	p := quadParam(5, -3)
+	target := []float32{1, 2}
+	opt := NewSGD(0)
+	for i := 0; i < 100; i++ {
+		quadGrad(p, target)
+		opt.Step([]*nn.Param{p}, 0.3)
+	}
+	if math.Abs(float64(p.W.Data[0]-1)) > 1e-3 || math.Abs(float64(p.W.Data[1]-2)) > 1e-3 {
+		t.Fatalf("SGD did not converge: %v", p.W.Data)
+	}
+}
+
+func TestSGDMomentumFasterOnIllConditioned(t *testing.T) {
+	// Momentum must not diverge and should reach the target.
+	p := quadParam(10)
+	opt := NewSGD(0.9)
+	for i := 0; i < 300; i++ {
+		quadGrad(p, []float32{0})
+		opt.Step([]*nn.Param{p}, 0.05)
+	}
+	if math.Abs(float64(p.W.Data[0])) > 1e-2 {
+		t.Fatalf("momentum SGD did not converge: %v", p.W.Data[0])
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	p := quadParam(5, -3, 100)
+	target := []float32{1, 2, -7}
+	opt := NewAdam(0)
+	for i := 0; i < 5000; i++ {
+		quadGrad(p, target)
+		opt.Step([]*nn.Param{p}, 0.05)
+	}
+	for i, want := range target {
+		if math.Abs(float64(p.W.Data[i]-want)) > 0.15 {
+			t.Fatalf("Adam did not converge: %v", p.W.Data)
+		}
+	}
+	if opt.StepCount() != 5000 {
+		t.Fatalf("StepCount = %d", opt.StepCount())
+	}
+}
+
+func TestAdamWeightDecayShrinksWeights(t *testing.T) {
+	// With zero gradient, AdamW decay must shrink the weight.
+	p := quadParam(4)
+	opt := NewAdam(0.1)
+	for i := 0; i < 50; i++ {
+		p.G.Zero()
+		opt.Step([]*nn.Param{p}, 0.1)
+	}
+	if p.W.Data[0] >= 4 {
+		t.Fatalf("weight decay had no effect: %v", p.W.Data[0])
+	}
+}
+
+func TestWarmupCosineShape(t *testing.T) {
+	s := WarmupCosine{Peak: 1, Floor: 0.1, Warmup: 10, Total: 110}
+	if s.LR(0) >= s.LR(9) {
+		t.Fatal("warmup not increasing")
+	}
+	if math.Abs(float64(s.LR(10)-1)) > 0.1 {
+		t.Fatalf("LR at end of warmup = %v", s.LR(10))
+	}
+	if s.LR(60) >= s.LR(10) || s.LR(60) <= s.LR(109) {
+		t.Fatal("cosine not decreasing")
+	}
+	if s.LR(200) != 0.1 {
+		t.Fatalf("LR after total = %v, want floor", s.LR(200))
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := quadParam(3, 4) // grad norm 5 after quadGrad with target 0
+	quadGrad(p, []float32{0, 0})
+	pre := ClipGradNorm([]*nn.Param{p}, 1)
+	if math.Abs(float64(pre-5)) > 1e-5 {
+		t.Fatalf("pre-clip norm %v", pre)
+	}
+	if math.Abs(float64(GlobalGradNorm([]*nn.Param{p})-1)) > 1e-5 {
+		t.Fatalf("post-clip norm %v", GlobalGradNorm([]*nn.Param{p}))
+	}
+	// No-op when under the limit.
+	quadGrad(p, []float32{2.9, 4})
+	pre = ClipGradNorm([]*nn.Param{p}, 10)
+	post := GlobalGradNorm([]*nn.Param{p})
+	if math.Abs(float64(pre-post)) > 1e-6 {
+		t.Fatal("clip modified in-range gradients")
+	}
+}
+
+func TestMixedPrecisionOverflowSkipsAndHalves(t *testing.T) {
+	p := quadParam(1)
+	mp := NewMixedPrecision(sunway.Mixed, []*nn.Param{p})
+	mp.Scale = 1024
+	p.G.Data[0] = 1e7 // overflows FP16
+	if mp.PrepareGrads() {
+		t.Fatal("overflow not detected")
+	}
+	if mp.Scale != 512 {
+		t.Fatalf("scale = %v, want 512", mp.Scale)
+	}
+	if mp.SkippedSteps() != 1 {
+		t.Fatalf("skipped = %d", mp.SkippedSteps())
+	}
+}
+
+func TestMixedPrecisionGrowth(t *testing.T) {
+	p := quadParam(1)
+	mp := NewMixedPrecision(sunway.Mixed, []*nn.Param{p})
+	mp.Scale = 4
+	mp.GrowthInterval = 3
+	opt := NewSGD(0)
+	for i := 0; i < 3; i++ {
+		p.G.Data[0] = 4 // pretend scaled grad
+		if !mp.PrepareGrads() {
+			t.Fatal("spurious overflow")
+		}
+		mp.Apply(opt, 0)
+	}
+	if mp.Scale != 8 {
+		t.Fatalf("scale = %v, want 8 after growth interval", mp.Scale)
+	}
+}
+
+func TestMixedPrecisionUnscales(t *testing.T) {
+	p := quadParam(0)
+	mp := NewMixedPrecision(sunway.Mixed, []*nn.Param{p})
+	mp.Scale = 8
+	p.G.Data[0] = 16 // scaled gradient
+	if !mp.PrepareGrads() {
+		t.Fatal("overflow?")
+	}
+	if p.G.Data[0] != 2 {
+		t.Fatalf("unscaled grad = %v, want 2", p.G.Data[0])
+	}
+}
+
+func TestMixedPrecisionMastersKeepPrecision(t *testing.T) {
+	// Updates smaller than FP16 resolution must still accumulate via
+	// the FP32 master copy.
+	p := quadParam(1)
+	mp := NewMixedPrecision(sunway.Mixed, []*nn.Param{p})
+	mp.Scale = 1
+	mp.GrowthInterval = 1 << 30 // keep the scale fixed for this test
+	opt := NewSGD(0)
+	for i := 0; i < 1000; i++ {
+		p.G.Data[0] = 1e-4 // below FP16 ulp at 1.0 (≈ 5e-4... close)
+		mp.PrepareGrads()
+		mp.Apply(opt, 1)
+	}
+	// Master should have moved by ~0.1.
+	if p.W.Data[0] > 0.95 {
+		t.Fatalf("master accumulation failed: w = %v", p.W.Data[0])
+	}
+}
+
+func TestFP32ModeIsPassthrough(t *testing.T) {
+	p := quadParam(1)
+	mp := NewMixedPrecision(sunway.FP32, []*nn.Param{p})
+	if mp.LossScale() != 1 {
+		t.Fatalf("fp32 loss scale %v", mp.LossScale())
+	}
+	p.G.Data[0] = 1e7
+	if !mp.PrepareGrads() {
+		t.Fatal("fp32 must not overflow-skip")
+	}
+}
+
+func tinyModel(seed uint64) (*nn.GPT, *data.Corpus) {
+	r := tensor.NewRNG(seed)
+	cfg := nn.GPTConfig{Vocab: 32, Dim: 16, Heads: 2, Layers: 1, SeqLen: 8, FFNHidden: 32}
+	model := nn.NewGPT(cfg, r, nil)
+	corpus, err := data.NewSynthetic(data.CorpusConfig{
+		Vocab: 32, SeqLen: 8, Zipf: 0.5, Determinism: 0.9, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return model, corpus
+}
+
+func TestTrainerLossDecreases(t *testing.T) {
+	model, corpus := tinyModel(1)
+	tr, err := NewTrainer(model, corpus, NewAdam(0), Config{
+		Batch: 4, Precision: sunway.FP32, Schedule: ConstantLR(3e-3), ClipNorm: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last float32
+	for i := 0; i < 40; i++ {
+		m := tr.Step()
+		if i == 0 {
+			first = m.Loss
+		}
+		last = m.Loss
+		if m.GradNorm < 0 {
+			t.Fatal("negative grad norm")
+		}
+	}
+	if last >= first*0.9 {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+	if tr.StepCount() != 40 {
+		t.Fatalf("StepCount = %d", tr.StepCount())
+	}
+}
+
+func TestTrainerMixedPrecisionTrains(t *testing.T) {
+	model, corpus := tinyModel(2)
+	tr, err := NewTrainer(model, corpus, NewAdam(0), Config{
+		Batch: 4, Precision: sunway.Mixed, Schedule: ConstantLR(3e-3), ClipNorm: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last float32
+	for i := 0; i < 40; i++ {
+		m := tr.Step()
+		if i == 0 {
+			first = m.Loss
+		}
+		if !m.Skipped {
+			last = m.Loss
+		}
+	}
+	if last >= first*0.95 {
+		t.Fatalf("mixed-precision loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestTrainerValidatesConfig(t *testing.T) {
+	model, corpus := tinyModel(3)
+	if _, err := NewTrainer(model, corpus, NewSGD(0), Config{Batch: 0}); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+	badCorpus, _ := data.NewSynthetic(data.CorpusConfig{Vocab: 32, SeqLen: 4, Seed: 1})
+	if _, err := NewTrainer(model, badCorpus, NewSGD(0), Config{Batch: 1}); err == nil {
+		t.Fatal("mismatched seq len accepted")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	model, _ := tinyModel(4)
+	params := model.Params()
+	var buf bytes.Buffer
+	if err := Save(&buf, Header{Step: 42, LossScale: 2048}, params); err != nil {
+		t.Fatal(err)
+	}
+	// Perturb, then restore.
+	orig := make([][]float32, len(params))
+	for i, p := range params {
+		orig[i] = append([]float32(nil), p.W.Data...)
+		for j := range p.W.Data {
+			p.W.Data[j] += 1
+		}
+	}
+	hdr, err := Load(bytes.NewReader(buf.Bytes()), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Step != 42 || hdr.LossScale != 2048 {
+		t.Fatalf("header %+v", hdr)
+	}
+	for i, p := range params {
+		for j := range p.W.Data {
+			if p.W.Data[j] != orig[i][j] {
+				t.Fatalf("param %s not restored", p.Name)
+			}
+		}
+	}
+}
+
+func TestCheckpointMissingTensor(t *testing.T) {
+	model, _ := tinyModel(5)
+	params := model.Params()
+	var buf bytes.Buffer
+	if err := Save(&buf, Header{}, params[:len(params)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()), params); err == nil {
+		t.Fatal("missing tensor not reported")
+	}
+}
+
+func TestCheckpointBadMagic(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8}), nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	p := quadParam(1, 2)
+	var buf bytes.Buffer
+	if err := Save(&buf, Header{}, []*nn.Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	p2 := quadParam(1, 2, 3) // same name, different shape
+	if _, err := Load(bytes.NewReader(buf.Bytes()), []*nn.Param{p2}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	p := quadParam(7)
+	path := t.TempDir() + "/ckpt.bin"
+	if err := SaveFile(path, Header{Step: 1}, []*nn.Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	p.W.Data[0] = 0
+	if _, err := LoadFile(path, []*nn.Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	if p.W.Data[0] != 7 {
+		t.Fatal("file round trip failed")
+	}
+}
+
+func TestBF16ModeTrains(t *testing.T) {
+	model, corpus := tinyModel(50)
+	tr, err := NewTrainer(model, corpus, NewAdam(0), Config{
+		Batch: 4, Precision: sunway.BF16, Schedule: ConstantLR(3e-3), ClipNorm: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MP.LossScale() != 1 {
+		t.Fatalf("bf16 must not loss-scale, got %v", tr.MP.LossScale())
+	}
+	var first, last float32
+	for i := 0; i < 40; i++ {
+		m := tr.Step()
+		if i == 0 {
+			first = m.Loss
+		}
+		last = m.Loss
+	}
+	if last >= first*0.95 {
+		t.Fatalf("bf16 training did not reduce loss: %v -> %v", first, last)
+	}
+}
+
+func TestBF16WeightsAreRepresentable(t *testing.T) {
+	model, corpus := tinyModel(51)
+	tr, err := NewTrainer(model, corpus, NewSGD(0), Config{
+		Batch: 2, Precision: sunway.BF16, Schedule: ConstantLR(1e-2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Step()
+	// Every weight must round-trip bf16 exactly (i.e. already be a
+	// bf16 value).
+	for _, p := range tr.Params() {
+		for i, v := range p.W.Data {
+			if half.BRoundTrip32(v) != v {
+				t.Fatalf("%s[%d] = %v is not bf16-representable", p.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestBF16HugeGradientsDoNotOverflow(t *testing.T) {
+	p := quadParam(1)
+	mp := NewMixedPrecision(sunway.BF16, []*nn.Param{p})
+	p.G.Data[0] = 1e30 // far beyond FP16 range, fine for bf16
+	if !mp.PrepareGrads() {
+		t.Fatal("bf16 spuriously skipped a large-gradient step")
+	}
+	if mp.SkippedSteps() != 0 {
+		t.Fatal("bf16 counted a skip")
+	}
+}
+
+func TestEvaluateUntrainedNearUniform(t *testing.T) {
+	model, corpus := tinyModel(90)
+	res := Evaluate(model, corpus, 4, 4)
+	if res.Tokens != 4*4*8 {
+		t.Fatalf("tokens = %d", res.Tokens)
+	}
+	// Untrained: loss near ln(vocab)=ln(32)≈3.47, ppl near 32.
+	if math.Abs(res.Loss-math.Log(32)) > 0.7 {
+		t.Fatalf("untrained loss %v, want ~%v", res.Loss, math.Log(32))
+	}
+	if math.Abs(res.Perplexity-math.Exp(res.Loss)) > 1e-9 {
+		t.Fatal("perplexity != exp(loss)")
+	}
+	if res.Accuracy < 0 || res.Accuracy > 0.3 {
+		t.Fatalf("untrained accuracy %v", res.Accuracy)
+	}
+}
+
+func TestEvaluateImprovesWithTraining(t *testing.T) {
+	model, corpus := tinyModel(91)
+	tr, err := NewTrainer(model, corpus, NewAdam(0), Config{
+		Batch: 4, Precision: sunway.FP32, Schedule: ConstantLR(3e-3), ClipNorm: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalCorpus, _ := data.NewSynthetic(data.CorpusConfig{
+		Vocab: 32, SeqLen: 8, Zipf: 0.5, Determinism: 0.9, Seed: 999,
+	})
+	before := Evaluate(model, evalCorpus, 4, 4)
+	for i := 0; i < 60; i++ {
+		tr.Step()
+	}
+	evalCorpus2, _ := data.NewSynthetic(data.CorpusConfig{
+		Vocab: 32, SeqLen: 8, Zipf: 0.5, Determinism: 0.9, Seed: 999,
+	})
+	after := Evaluate(model, evalCorpus2, 4, 4)
+	if after.Loss >= before.Loss {
+		t.Fatalf("held-out loss did not improve: %v -> %v", before.Loss, after.Loss)
+	}
+	if after.Accuracy <= before.Accuracy {
+		t.Fatalf("held-out accuracy did not improve: %v -> %v", before.Accuracy, after.Accuracy)
+	}
+}

@@ -1,0 +1,195 @@
+package train
+
+import (
+	"fmt"
+
+	"bagualu/internal/data"
+	"bagualu/internal/moe"
+	"bagualu/internal/nn"
+	"bagualu/internal/sunway"
+	"bagualu/internal/tensor"
+)
+
+// AuxLossLayer is implemented by MoE layers that contribute an
+// auxiliary load-balancing loss.
+type AuxLossLayer interface {
+	AuxLoss() float32
+	LastRouting() *moe.Routing
+}
+
+// Config drives a single-rank training run.
+type Config struct {
+	Batch     int
+	Precision sunway.Precision
+	Schedule  Schedule
+	ClipNorm  float32 // 0 disables clipping
+
+	// Accum is the number of micro-batches whose gradients are
+	// accumulated before one optimizer step (gradient accumulation,
+	// how the paper reaches machine-scale global batches without
+	// machine-scale activation memory). 0 or 1 disables.
+	Accum int
+}
+
+// Metrics summarizes one training step.
+type Metrics struct {
+	Step     int
+	Loss     float32 // cross-entropy (excludes aux)
+	AuxLoss  float32 // summed MoE balance loss
+	GradNorm float32
+	LR       float32
+	Skipped  bool // step dropped by loss-scale overflow
+	Overflow int  // MoE capacity overflow count
+	Scale    float32
+}
+
+// Trainer runs synchronous next-token pretraining of a GPT model on a
+// synthetic corpus, with the configured precision policy. It is the
+// single-rank engine the parallel package replicates.
+type Trainer struct {
+	Model  *nn.GPT
+	Corpus *data.Corpus
+	Opt    Optimizer
+	Cfg    Config
+
+	MP     *MixedPrecision
+	params []*nn.Param
+	loss   nn.SoftmaxCrossEntropy
+	step   int
+
+	// PostBackward, when non-nil, runs after gradients are computed
+	// and before the optimizer step; the parallel engine injects the
+	// gradient all-reduce here.
+	PostBackward func(params []*nn.Param)
+}
+
+// NewTrainer wires a model, corpus, and optimizer together.
+func NewTrainer(model *nn.GPT, corpus *data.Corpus, opt Optimizer, cfg Config) (*Trainer, error) {
+	if cfg.Batch <= 0 {
+		return nil, fmt.Errorf("train: batch %d", cfg.Batch)
+	}
+	if corpus.Config().SeqLen != model.Cfg.SeqLen {
+		return nil, fmt.Errorf("train: corpus seq len %d != model %d", corpus.Config().SeqLen, model.Cfg.SeqLen)
+	}
+	if corpus.Config().Vocab != model.Cfg.Vocab {
+		return nil, fmt.Errorf("train: corpus vocab %d != model %d", corpus.Config().Vocab, model.Cfg.Vocab)
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = ConstantLR(1e-3)
+	}
+	t := &Trainer{Model: model, Corpus: corpus, Opt: opt, Cfg: cfg}
+	t.params = model.Params()
+	t.MP = NewMixedPrecision(cfg.Precision, t.params)
+	return t, nil
+}
+
+// Params returns the trainable parameters.
+func (t *Trainer) Params() []*nn.Param { return t.params }
+
+// RefreshParams re-collects the model's parameter list after a
+// structural change (e.g. expert migration) and rebuilds the
+// precision state. Mixed-precision master copies are re-snapshotted
+// from the current weights; optimizer moments for unchanged
+// parameters survive (they are keyed by parameter identity).
+func (t *Trainer) RefreshParams() {
+	t.params = t.Model.Params()
+	t.MP = NewMixedPrecision(t.Cfg.Precision, t.params)
+}
+
+// StepCount returns the number of Step calls so far.
+func (t *Trainer) StepCount() int { return t.step }
+
+// Step draws Accum micro-batches, accumulates their gradients, and
+// applies one optimizer update.
+func (t *Trainer) Step() Metrics {
+	accum := t.Cfg.Accum
+	if accum < 1 {
+		accum = 1
+	}
+	nn.ZeroGrads(t.params)
+	m := Metrics{Step: t.step}
+	for micro := 0; micro < accum; micro++ {
+		ids, targets := t.Corpus.Batch(t.Cfg.Batch)
+		loss, aux, over := t.microStep(ids, targets, 1/float32(accum))
+		m.Loss += loss / float32(accum)
+		m.AuxLoss += aux / float32(accum)
+		m.Overflow += over
+	}
+	return t.finishStep(m)
+}
+
+// StepOn runs one cycle on caller-provided tokens (the parallel
+// engine feeds per-rank shards). Gradient accumulation is not applied
+// here; use Step for that.
+func (t *Trainer) StepOn(ids, targets []int) Metrics {
+	nn.ZeroGrads(t.params)
+	m := Metrics{Step: t.step}
+	m.Loss, m.AuxLoss, m.Overflow = t.microStep(ids, targets, 1)
+	return t.finishStep(m)
+}
+
+// gradScaler is implemented by MoE layers whose internally injected
+// gradients (the aux loss) must track the loss scale and micro-batch
+// weight.
+type gradScaler interface{ SetGradScale(float32) }
+
+// microStep accumulates one micro-batch's gradients (scaled by
+// weight) without touching the optimizer.
+func (t *Trainer) microStep(ids, targets []int, weight float32) (loss, aux float32, overflow int) {
+	scale := t.MP.LossScale() * weight
+	for _, b := range t.Model.Blocks {
+		if g, ok := b.FFN.(gradScaler); ok {
+			g.SetGradScale(scale)
+		}
+	}
+	logits := t.Model.Forward(ids)
+	loss = t.loss.Forward(logits, targets)
+	aux, overflow = t.collectAux()
+
+	dlogits := t.loss.Backward()
+	if s := t.MP.LossScale() * weight; s != 1 {
+		tensor.ScaleInPlace(dlogits, s)
+	}
+	t.Model.Backward(dlogits)
+	// Note: the MoE aux-loss gradient is injected inside the gate
+	// backward (already part of Model.Backward).
+	return loss, aux, overflow
+}
+
+// finishStep runs the precision policy, gradient sync hook, clipping,
+// and the optimizer.
+func (t *Trainer) finishStep(m Metrics) Metrics {
+	if !t.MP.PrepareGrads() {
+		m.Skipped = true
+		m.Scale = t.MP.LossScale()
+		t.step++
+		return m
+	}
+	if t.PostBackward != nil {
+		t.PostBackward(t.params)
+	}
+	if t.Cfg.ClipNorm > 0 {
+		m.GradNorm = ClipGradNorm(t.params, t.Cfg.ClipNorm)
+	} else {
+		m.GradNorm = GlobalGradNorm(t.params)
+	}
+	m.LR = t.Cfg.Schedule.LR(t.step)
+	t.MP.Apply(t.Opt, m.LR)
+	m.Scale = t.MP.LossScale()
+	t.step++
+	return m
+}
+
+// collectAux sums auxiliary losses and overflow counts over the
+// model's MoE layers.
+func (t *Trainer) collectAux() (aux float32, overflow int) {
+	for _, b := range t.Model.Blocks {
+		if l, ok := b.FFN.(AuxLossLayer); ok {
+			aux += l.AuxLoss()
+			if r := l.LastRouting(); r != nil {
+				overflow += r.Overflow
+			}
+		}
+	}
+	return aux, overflow
+}
