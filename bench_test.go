@@ -523,6 +523,112 @@ func BenchmarkAblationRouting(b *testing.B) {
 	}
 }
 
+// --- GEMM kernels: naive vs. tiled, square and remainder shapes ---
+//
+// The odd shapes (65×130×67) exercise the tiled kernel's row/column/
+// panel remainder paths, which square power-of-two shapes never hit.
+// Results are recorded in BENCH_1.json.
+
+func gemmShapes() []struct {
+	name    string
+	m, k, n int
+} {
+	return []struct {
+		name    string
+		m, k, n int
+	}{
+		{"64x64x64", 64, 64, 64},
+		{"65x130x67", 65, 130, 67},
+		{"512x512x512", 512, 512, 512},
+	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, sh := range gemmShapes() {
+		r := tensor.NewRNG(42)
+		a := tensor.Uniform(r, -1, 1, sh.m, sh.k)
+		bb := tensor.Uniform(r, -1, 1, sh.k, sh.n)
+		kernels := []struct {
+			name string
+			f    func(x, y *tensor.Tensor) *tensor.Tensor
+		}{
+			{"naive", tensor.MatMulNaive},
+			{"tiled", tensor.MatMulTiled},
+			{"dispatch", tensor.MatMul},
+		}
+		for _, kn := range kernels {
+			b.Run(fmt.Sprintf("%s/%s", kn.name, sh.name), func(b *testing.B) {
+				b.ReportAllocs()
+				flops := 2 * float64(sh.m) * float64(sh.k) * float64(sh.n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					kn.f(a, bb)
+				}
+				b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+			})
+		}
+	}
+}
+
+func BenchmarkMatMulTransB(b *testing.B) {
+	for _, sh := range gemmShapes() {
+		r := tensor.NewRNG(43)
+		a := tensor.Uniform(r, -1, 1, sh.m, sh.k)
+		bb := tensor.Uniform(r, -1, 1, sh.n, sh.k)
+		kernels := []struct {
+			name string
+			f    func(x, y *tensor.Tensor) *tensor.Tensor
+		}{
+			{"naive", tensor.MatMulTransBNaive},
+			{"dispatch", tensor.MatMulTransB},
+		}
+		for _, kn := range kernels {
+			b.Run(fmt.Sprintf("%s/%s", kn.name, sh.name), func(b *testing.B) {
+				b.ReportAllocs()
+				flops := 2 * float64(sh.m) * float64(sh.k) * float64(sh.n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					kn.f(a, bb)
+				}
+				b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+			})
+		}
+	}
+}
+
+// BenchmarkTrainStep measures the steady-state training step of a
+// small MoE transformer — the hot loop the buffer pool, persistent
+// worker pool, and GEMM dispatch target. allocs/op is the headline
+// acceptance metric for the zero-allocation work.
+func BenchmarkTrainStep(b *testing.B) {
+	r := tensor.NewRNG(17)
+	model := nn.NewGPT(nn.GPTConfig{
+		Vocab: 256, Dim: 64, Heads: 4, Layers: 2, SeqLen: 32, FFNHidden: 128,
+	}, r, func(block int, name string, rr *tensor.RNG) nn.Layer {
+		return moe.NewLocalMoE(name, rr, moe.GateConfig{
+			Dim: 64, NumExperts: 4, TopK: 2, CapacityFactor: 1.5, AuxLossWeight: 0.01,
+		}, 128)
+	})
+	corpus, err := data.NewSynthetic(data.CorpusConfig{
+		Vocab: 256, SeqLen: 32, Zipf: 1, Determinism: 0.9, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := train.NewTrainer(model, corpus, train.NewAdam(0), train.Config{
+		Batch: 8, Precision: sunway.FP32, Schedule: train.ConstantLR(1e-3), ClipNorm: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Step() // warm optimizer state and pools before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step()
+	}
+}
+
 // --- Facade sanity ---
 
 func BenchmarkFacadeTrainStep(b *testing.B) {

@@ -32,6 +32,9 @@ type Node struct {
 	graph    *Graph
 	requires bool
 	back     func() // propagates this node's Grad into its parents
+
+	leaf     bool // Input/Param node; its Value is caller-owned
+	poolable bool // op output that exclusively owns its storage
 }
 
 // RequiresGrad reports whether gradients flow through this node.
@@ -51,12 +54,16 @@ func (g *Graph) Len() int { return len(g.nodes) }
 
 // Input records a constant input (no gradient).
 func (g *Graph) Input(t *tensor.Tensor) *Node {
-	return g.add(t, false, nil)
+	n := g.add(t, false, nil)
+	n.leaf = true
+	return n
 }
 
 // Param records a trainable parameter (gradient is accumulated).
 func (g *Graph) Param(t *tensor.Tensor) *Node {
-	return g.add(t, true, nil)
+	n := g.add(t, true, nil)
+	n.leaf = true
+	return n
 }
 
 func (g *Graph) add(t *tensor.Tensor, requires bool, back func()) *Node {
@@ -78,7 +85,11 @@ func (g *Graph) op(t *tensor.Tensor, back func(), parents ...*Node) *Node {
 	if !requires {
 		back = nil
 	}
-	return g.add(t, requires, back)
+	n := g.add(t, requires, back)
+	// Op outputs exclusively own their storage and can be recycled by
+	// Release; views (Reshape) clear this flag.
+	n.poolable = true
+	return n
 }
 
 // accum adds delta into n.Grad, allocating it on first touch.
@@ -114,6 +125,39 @@ func (g *Graph) ZeroGrad() {
 	for _, n := range g.nodes {
 		n.Grad = nil
 	}
+}
+
+// Release recycles the tape's intermediate tensors into the buffer
+// pool and resets the tape, returning the number of tensors released.
+// Leaf nodes (Input/Param) keep their Values and Grads — caller-owned
+// parameters and their gradients survive — but every op output's
+// Value and every intermediate Grad is returned to the pool, so no
+// Node obtained from this graph may be used afterwards except leaves.
+//
+// When an ambient step arena is installed (tensor.SetStepArena), op
+// Values are arena-owned and will be recycled by the arena's Drain;
+// Release then only resets the tape, to avoid double-releasing.
+func (g *Graph) Release() int {
+	freed := 0
+	ownValues := !tensor.HasStepArena()
+	for _, n := range g.nodes {
+		if n.leaf {
+			continue
+		}
+		if n.Grad != nil {
+			tensor.Release(n.Grad)
+			n.Grad = nil
+			freed++
+		}
+		if n.poolable && ownValues {
+			tensor.Release(n.Value)
+			freed++
+		}
+		n.Value = nil
+		n.back = nil
+	}
+	g.nodes = g.nodes[:0]
+	return freed
 }
 
 // ---- Arithmetic ----
@@ -185,6 +229,7 @@ func (g *Graph) MatMul(a, b *Node) *Node {
 // reshaped back).
 func (g *Graph) Reshape(a *Node, shape ...int) *Node {
 	out := g.op(a.Value.Reshape(shape...), nil, a)
+	out.poolable = false // view: shares the parent's storage
 	out.back = func() {
 		a.accum(out.Grad.Reshape(a.Value.Shape...))
 	}

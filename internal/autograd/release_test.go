@@ -1,0 +1,115 @@
+package autograd
+
+import (
+	"testing"
+
+	"bagualu/internal/tensor"
+)
+
+// mlpLoss builds a two-layer MLP graph on the given tape and returns
+// the loss node plus the parameter nodes.
+func mlpLoss(g *Graph, x, w1, b1, w2, b2 *tensor.Tensor, targets []int) (*Node, [4]*Node) {
+	xin := g.Input(x)
+	p1, pb1 := g.Param(w1), g.Param(b1)
+	p2, pb2 := g.Param(w2), g.Param(b2)
+	h := g.GELU(g.AddBias(g.MatMul(xin, p1), pb1))
+	logits := g.AddBias(g.MatMul(h, p2), pb2)
+	loss := g.CrossEntropy(logits, targets)
+	return loss, [4]*Node{p1, pb1, p2, pb2}
+}
+
+// TestReleaseGradEquality rebuilds the same graph on one reused tape,
+// calling Release between iterations so intermediates come from
+// recycled pool buffers, and compares gradients against a fresh
+// never-released tape each time. Exact equality is required: pooled
+// buffers are zero-filled, so recycling must be invisible.
+func TestReleaseGradEquality(t *testing.T) {
+	r := tensor.NewRNG(21)
+	const n, din, dh, classes = 8, 4, 16, 3
+	x := tensor.Randn(r, 1, n, din)
+	targets := make([]int, n)
+	for i := range targets {
+		targets[i] = i % classes
+	}
+	w1 := tensor.XavierInit(r, din, dh, din, dh)
+	b1 := tensor.Zeros(dh)
+	w2 := tensor.XavierInit(r, dh, classes, dh, classes)
+	b2 := tensor.Zeros(classes)
+
+	reused := NewGraph()
+	for iter := 0; iter < 4; iter++ {
+		loss, params := mlpLoss(reused, x, w1, b1, w2, b2, targets)
+		reused.Backward(loss)
+		lossVal := loss.Value.Data[0]
+
+		fresh := NewGraph()
+		fLoss, fParams := mlpLoss(fresh, x, w1, b1, w2, b2, targets)
+		fresh.Backward(fLoss)
+
+		if lossVal != fLoss.Value.Data[0] {
+			t.Fatalf("iter %d: reused-tape loss %v != fresh %v", iter, lossVal, fLoss.Value.Data[0])
+		}
+		for p := range params {
+			got, want := params[p].Grad, fParams[p].Grad
+			for j := range want.Data {
+				if got.Data[j] != want.Data[j] {
+					t.Fatalf("iter %d: param %d grad[%d] %v != %v after Release reuse",
+						iter, p, j, got.Data[j], want.Data[j])
+				}
+			}
+		}
+
+		// Release AFTER the comparison: it retires the reused tape's
+		// intermediates (and gradients) back to the pool for the next
+		// iteration.
+		if freed := reused.Release(); freed == 0 {
+			t.Fatalf("iter %d: Release freed nothing", iter)
+		}
+		if reused.Len() != 0 {
+			t.Fatalf("iter %d: tape not reset, %d nodes", iter, reused.Len())
+		}
+	}
+}
+
+// TestReleaseKeepsLeaves verifies the ownership contract: Release
+// must not touch caller-owned Input/Param values, while op outputs
+// are invalidated.
+func TestReleaseKeepsLeaves(t *testing.T) {
+	g := NewGraph()
+	w := tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	x := tensor.FromSlice([]float32{1, 0, 0, 1}, 2, 2)
+	p := g.Param(w)
+	out := g.Mean(g.MatMul(g.Input(x), p))
+	g.Backward(out)
+	mm := g.nodes[2] // Input, Param, MatMul, Mean
+	if !mm.poolable {
+		t.Fatal("MatMul output not marked poolable")
+	}
+	g.Release()
+	if w.Data == nil || x.Data == nil {
+		t.Fatal("Release freed caller-owned leaf values")
+	}
+	if w.Data[3] != 4 {
+		t.Fatal("leaf value corrupted by Release")
+	}
+	if mm.Value != nil {
+		t.Fatal("op output still referenced after Release")
+	}
+}
+
+// TestReleaseWithAmbientArena: when a step arena is installed, the
+// arena owns every intermediate, so Release must drop references
+// without double-releasing (the arena Drain does the recycling).
+func TestReleaseWithAmbientArena(t *testing.T) {
+	a := tensor.NewArena()
+	prev := tensor.SetStepArena(a)
+	defer tensor.SetStepArena(prev)
+
+	g := NewGraph()
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	out := g.Mean(g.GELU(g.Input(x)))
+	g.Backward(out)
+	g.Release() // must not panic (no double free with the arena)
+	tensor.SetStepArena(prev)
+	a.Drain() // recycles the arena-owned intermediates exactly once
+}

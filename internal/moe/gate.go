@@ -115,6 +115,9 @@ type Gate struct {
 	top1Cnt []int     // tokens whose top-1 choice was e (for aux f_e)
 	lse     []float32 // per-token logsumexp of the logits (z-loss)
 	zloss   float32
+
+	// Reused scratch (the per-token routing loop must not allocate).
+	idxBuf []int
 }
 
 // NewGate constructs a gate with small-norm initialization (routing
@@ -183,18 +186,28 @@ func (g *Gate) Forward(x *tensor.Tensor) *Routing {
 		Assign: make([][]Assignment, tokens),
 		Counts: make([]int, cfg.NumExperts),
 	}
-	g.top1Cnt = make([]int, cfg.NumExperts)
+	if cap(g.top1Cnt) < cfg.NumExperts {
+		g.top1Cnt = make([]int, cfg.NumExperts)
+	} else {
+		g.top1Cnt = g.top1Cnt[:cfg.NumExperts]
+		clear(g.top1Cnt)
+	}
 	capacity := cfg.Capacity(tokens)
 
+	// One flat assignment buffer, subsliced per token (a Routing owns
+	// its assignments — callers may hold it across Forward calls — so
+	// the buffer is per-call, but it is one allocation, not tokens).
+	asBuf := make([]Assignment, tokens*cfg.TopK)
 	for t := 0; t < tokens; t++ {
 		row := g.probs.Row(t)
-		idx := topKIndices(row, cfg.TopK)
+		g.idxBuf = topKIndices(row, cfg.TopK, g.idxBuf[:0])
+		idx := g.idxBuf
 		g.top1Cnt[idx[0]]++
 		var sum float32
 		for _, e := range idx {
 			sum += row[e]
 		}
-		as := make([]Assignment, cfg.TopK)
+		as := asBuf[t*cfg.TopK : (t+1)*cfg.TopK]
 		for i, e := range idx {
 			a := Assignment{Expert: e, Weight: row[e] / sum}
 			if r.Counts[e] >= capacity {
@@ -215,7 +228,7 @@ func (g *Gate) Forward(x *tensor.Tensor) *Routing {
 			f := float64(g.top1Cnt[e]) / float64(tokens)
 			var pbar float64
 			for t := 0; t < tokens; t++ {
-				pbar += float64(g.probs.At(t, e))
+				pbar += float64(g.probs.Data[t*cfg.NumExperts+e])
 			}
 			pbar /= float64(tokens)
 			aux += f * pbar
@@ -273,13 +286,14 @@ func (g *Gate) Backward(dWeights [][]float32) *tensor.Tensor {
 	if cfg.RandomRouting {
 		// Random routing is not differentiable and carries no
 		// parameters' worth of gradient; input gradient is zero.
-		return tensor.New(tokens, cfg.Dim)
+		return tensor.Scratch(tokens, cfg.Dim)
 	}
-	dprobs := tensor.New(tokens, cfg.NumExperts)
+	dprobs := tensor.Scratch(tokens, cfg.NumExperts)
 
 	for t := 0; t < tokens; t++ {
 		as := g.routing.Assign[t]
 		row := g.probs.Row(t)
+		dpRow := dprobs.Row(t)
 		// ŵ_i = p_i / s with s = Σ_{j∈K} p_j:
 		// dL/dp_i = (dL/dŵ_i - Σ_j dL/dŵ_j·ŵ_j) / s for i ∈ K.
 		var s float32
@@ -291,7 +305,7 @@ func (g *Gate) Backward(dWeights [][]float32) *tensor.Tensor {
 			mix += dWeights[t][i] * a.Weight
 		}
 		for i, a := range as {
-			dprobs.Set((dWeights[t][i]-mix)/s, t, a.Expert)
+			dpRow[a.Expert] = (dWeights[t][i] - mix) / s
 		}
 	}
 
@@ -305,13 +319,13 @@ func (g *Gate) Backward(dWeights [][]float32) *tensor.Tensor {
 				continue
 			}
 			for t := 0; t < tokens; t++ {
-				dprobs.Set(dprobs.At(t, e)+d, t, e)
+				dprobs.Data[t*cfg.NumExperts+e] += d
 			}
 		}
 	}
 
 	// Softmax jacobian: dlogit_m = p_m (dp_m - Σ_n dp_n p_n).
-	dlogits := tensor.New(tokens, cfg.NumExperts)
+	dlogits := tensor.Scratch(tokens, cfg.NumExperts)
 	tensor.Parallel(tokens, func(lo, hi int) {
 		for t := lo; t < hi; t++ {
 			p := g.probs.Row(t)
@@ -342,10 +356,11 @@ func (g *Gate) Backward(dWeights [][]float32) *tensor.Tensor {
 }
 
 // topKIndices returns the indices of the k largest values in row, in
-// decreasing order. k is small (1 or 2 in practice), so selection by
-// repeated scan is optimal.
-func topKIndices(row []float32, k int) []int {
-	idx := make([]int, 0, k)
+// decreasing order, appended to buf (pass buf[:0] to reuse storage).
+// k is small (1 or 2 in practice), so selection by repeated scan is
+// optimal.
+func topKIndices(row []float32, k int, buf []int) []int {
+	idx := buf
 	for len(idx) < k {
 		best := -1
 		var bv float32

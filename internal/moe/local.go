@@ -22,6 +22,12 @@ type LocalMoE struct {
 	perTok  [][]slot // mirror of routing with expert-batch positions
 	outputs []*tensor.Tensor
 	dout    *tensor.Tensor
+
+	// Reused flat backing storage for the per-token slices above;
+	// nothing here escapes the layer, so it recycles across steps.
+	slotBuf []slot
+	dwBuf   []float32
+	dwPtrs  [][]float32
 }
 
 // slot records where a token's copy landed inside an expert batch.
@@ -52,12 +58,26 @@ func (m *LocalMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
 	m.x = x
 	m.routing = m.Gate.Forward(x)
 
-	// Gather token rows per expert, in token order.
+	// Gather token rows per expert, in token order. The per-token
+	// slot slices subslice one flat reused buffer.
 	gather := make([][]int, m.Cfg.NumExperts) // expert -> token indices
-	m.perTok = make([][]slot, tokens)
+	if cap(m.perTok) < tokens {
+		m.perTok = make([][]slot, tokens)
+	} else {
+		m.perTok = m.perTok[:tokens]
+	}
+	total := 0
+	for t := 0; t < tokens; t++ {
+		total += len(m.routing.Assign[t])
+	}
+	if cap(m.slotBuf) < total {
+		m.slotBuf = make([]slot, total)
+	}
+	off := 0
 	for t := 0; t < tokens; t++ {
 		as := m.routing.Assign[t]
-		m.perTok[t] = make([]slot, len(as))
+		m.perTok[t] = m.slotBuf[off : off+len(as) : off+len(as)]
+		off += len(as)
 		for i, a := range as {
 			s := slot{expert: a.Expert, weight: a.Weight, dropped: a.Dropped}
 			if !a.Dropped {
@@ -76,7 +96,7 @@ func (m *LocalMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
 				m.outputs[e] = nil
 				continue
 			}
-			in := tensor.New(len(gather[e]), d)
+			in := tensor.Scratch(len(gather[e]), d)
 			for i, t := range gather[e] {
 				copy(in.Row(i), x.Row(t))
 			}
@@ -85,7 +105,7 @@ func (m *LocalMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
 	})
 
 	// Combine: out[t] = Σ ŵ_i · y_{e_i}.
-	out := tensor.New(tokens, d)
+	out := tensor.Scratch(tokens, d)
 	for t := 0; t < tokens; t++ {
 		row := out.Row(t)
 		for _, s := range m.perTok[t] {
@@ -106,13 +126,27 @@ func (m *LocalMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	tokens, d := dout.Shape[0], dout.Shape[1]
 	m.dout = dout
 
-	// Gradient w.r.t. combine weights, for the gate.
-	dWeights := make([][]float32, tokens)
+	// Gradient w.r.t. combine weights, for the gate; flat reused
+	// backing storage, consumed synchronously by Gate.Backward.
+	if cap(m.dwPtrs) < tokens {
+		m.dwPtrs = make([][]float32, tokens)
+	}
+	dWeights := m.dwPtrs[:tokens]
+	total := 0
+	for t := 0; t < tokens; t++ {
+		total += len(m.perTok[t])
+	}
+	if cap(m.dwBuf) < total {
+		m.dwBuf = make([]float32, total)
+	}
+	clear(m.dwBuf[:total])
+	off := 0
 	// Per-expert output gradients (ŵ-scaled dout rows).
 	dy := make([]*tensor.Tensor, m.Cfg.NumExperts)
 	rowsOf := make([][]int, m.Cfg.NumExperts) // expert -> source tokens
 	for t := 0; t < tokens; t++ {
-		dWeights[t] = make([]float32, len(m.perTok[t]))
+		dWeights[t] = m.dwBuf[off : off+len(m.perTok[t]) : off+len(m.perTok[t])]
+		off += len(m.perTok[t])
 		for i, s := range m.perTok[t] {
 			if s.dropped {
 				continue
@@ -131,7 +165,7 @@ func (m *LocalMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		if m.outputs[e] == nil {
 			continue
 		}
-		dy[e] = tensor.New(m.outputs[e].Shape...)
+		dy[e] = tensor.Scratch(m.outputs[e].Shape...)
 	}
 	for t := 0; t < tokens; t++ {
 		for _, s := range m.perTok[t] {
@@ -147,7 +181,7 @@ func (m *LocalMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	}
 
 	// Expert backward, scattering input grads back to tokens.
-	dx := tensor.New(tokens, d)
+	dx := tensor.Scratch(tokens, d)
 	var dxs = make([]*tensor.Tensor, m.Cfg.NumExperts)
 	tensor.ParallelRows(m.Cfg.NumExperts, func(lo, hi int) {
 		for e := lo; e < hi; e++ {

@@ -45,11 +45,11 @@ func TestCapacityFormula(t *testing.T) {
 
 func TestTopKIndices(t *testing.T) {
 	row := []float32{0.1, 0.5, 0.2, 0.9}
-	idx := topKIndices(row, 2)
+	idx := topKIndices(row, 2, nil)
 	if idx[0] != 3 || idx[1] != 1 {
 		t.Fatalf("topK = %v", idx)
 	}
-	if got := topKIndices(row, 1); got[0] != 3 {
+	if got := topKIndices(row, 1, nil); got[0] != 3 {
 		t.Fatalf("top1 = %v", got)
 	}
 }

@@ -83,10 +83,8 @@ func (c *Comm) AllToAllHier(chunks [][]float32) [][]float32 {
 	c.checkChunks(chunks)
 	seq := c.nextSeq()
 	p := c.Size()
-	t := c.Topology()
 	members, leaderIdx, myLeader := c.supernodeGroup()
 	leaders := c.leaders(nil)
-	mySN := t.Supernode(c.group[c.rank])
 
 	tagLocal := collTag(c.id, seq, 0)
 	tagUp := collTag(c.id, seq, 1)
@@ -198,21 +196,34 @@ func (c *Comm) AllToAllHier(chunks [][]float32) [][]float32 {
 		}
 	}
 
-	_ = mySN
 	return out
+}
+
+// leaderMaps returns the comm's cached supernode -> leader-rank map
+// and the leader list in first-appearance order, building both with
+// one O(P) pass on first use. Before this cache existed, leaderOf did
+// an O(P) scan per call, making AllToAllHier's absorb loop O(P²) in
+// the header count.
+func (c *Comm) leaderMaps() (map[int]int, []int) {
+	if c.snLeader == nil {
+		t := c.Topology()
+		c.snLeader = make(map[int]int)
+		for q := 0; q < c.Size(); q++ {
+			sn := t.Supernode(c.group[q])
+			if _, ok := c.snLeader[sn]; !ok {
+				c.snLeader[sn] = q
+				c.leaderList = append(c.leaderList, q)
+			}
+		}
+	}
+	return c.snLeader, c.leaderList
 }
 
 // leaderOf returns the leader comm rank of the supernode containing
 // comm rank r.
 func (c *Comm) leaderOf(r int) int {
-	t := c.Topology()
-	sn := t.Supernode(c.group[r])
-	for q := 0; q < c.Size(); q++ {
-		if t.Supernode(c.group[q]) == sn {
-			return q
-		}
-	}
-	panic("mpi: unreachable")
+	snLeader, _ := c.leaderMaps()
+	return snLeader[c.Topology().Supernode(c.group[r])]
 }
 
 // scatterInto fills out[src] slices from a (src, len)-headed payload.

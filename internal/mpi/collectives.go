@@ -232,19 +232,11 @@ func (c *Comm) supernodeGroup() (members []int, leaderIdx map[int]int, myLeader 
 	return members, leaderIdx, seen[mySN]
 }
 
-// leaders lists all leader comm ranks in first-appearance order.
+// leaders lists all leader comm ranks in first-appearance order,
+// served from the comm's cached topology maps.
 func (c *Comm) leaders(_ []int) []int {
-	t := c.Topology()
-	var out []int
-	seen := make(map[int]bool)
-	for r := 0; r < c.Size(); r++ {
-		sn := t.Supernode(c.group[r])
-		if !seen[sn] {
-			seen[sn] = true
-			out = append(out, r)
-		}
-	}
-	return out
+	_, list := c.leaderMaps()
+	return list
 }
 
 // localReduce reduces acc over the members list onto its first

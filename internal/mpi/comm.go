@@ -30,6 +30,13 @@ type Comm struct {
 	seq   int64 // collective sequence number (advances in lockstep)
 
 	nextChildID int64 // id to assign at the next Split
+
+	// Lazily built topology caches (group and topology are fixed for
+	// the comm's lifetime; a Comm is owned by one rank's goroutine, so
+	// no locking is needed). snLeader maps supernode id -> leader comm
+	// rank; leaderList holds leaders in first-appearance order.
+	snLeader   map[int]int
+	leaderList []int
 }
 
 func newWorldComm(w *World, rank int) *Comm {

@@ -34,7 +34,8 @@ func (l *SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, targets []int) floa
 
 // Backward returns d(loss)/d(logits).
 func (l *SoftmaxCrossEntropy) Backward() *tensor.Tensor {
-	d := l.probs.Clone()
+	d := tensor.Scratch(l.probs.Shape...)
+	d.CopyFrom(l.probs)
 	scale := 1 / float32(len(l.targets))
 	for i, t := range l.targets {
 		d.Set(d.At(i, t)-1, i, t)

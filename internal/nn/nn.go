@@ -130,7 +130,7 @@ func NewEmbedding(name string, r *tensor.RNG, vocab, dim int) *Embedding {
 // ForwardIDs gathers rows for each id.
 func (e *Embedding) ForwardIDs(ids []int) *tensor.Tensor {
 	e.ids = ids
-	out := tensor.New(len(ids), e.Dim)
+	out := tensor.Scratch(len(ids), e.Dim)
 	for i, id := range ids {
 		if id < 0 || id >= e.Vocab {
 			panic(fmt.Sprintf("nn: embedding id %d out of vocab %d", id, e.Vocab))
@@ -182,9 +182,13 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if cols != l.Dim {
 		panic(fmt.Sprintf("nn: LayerNorm input %v, want [_, %d]", x.Shape, l.Dim))
 	}
-	l.norm = tensor.New(rows, cols)
-	l.inv = make([]float32, rows)
-	out := tensor.New(rows, cols)
+	l.norm = tensor.Scratch(rows, cols)
+	if cap(l.inv) < rows {
+		l.inv = make([]float32, rows)
+	} else {
+		l.inv = l.inv[:rows]
+	}
+	out := tensor.Scratch(rows, cols)
 	tensor.Parallel(rows, func(s, e int) {
 		for i := s; i < e; i++ {
 			src := x.Row(i)
@@ -215,14 +219,14 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward computes the layer-norm gradient.
 func (l *LayerNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	rows, cols := dout.Shape[0], dout.Shape[1]
-	dx := tensor.New(rows, cols)
-	dgamma := tensor.New(cols)
-	dbeta := tensor.New(cols)
+	dx := tensor.Scratch(rows, cols)
+	dgamma := tensor.Scratch(cols)
+	dbeta := tensor.Scratch(cols)
+	dn := make([]float64, cols)
 	for i := 0; i < rows; i++ {
 		g := dout.Row(i)
 		n := l.norm.Row(i)
 		var sumD, sumDN float64
-		dn := make([]float64, cols)
 		for j := 0; j < cols; j++ {
 			dgamma.Data[j] += g[j] * n[j]
 			dbeta.Data[j] += g[j]

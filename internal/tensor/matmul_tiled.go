@@ -1,46 +1,105 @@
 package tensor
 
+import "sync"
+
 // Tiled GEMM kernel modeled on the blocking scheme used for the
 // SW26010-Pro CPE mesh: the output is processed in MC×NC macro-tiles
 // with a KC-deep panel of B packed contiguously (the analogue of
-// staging a tile in CPE local store), and a 4×4 register micro-kernel
+// staging a tile in CPE local store), and a register micro-kernel
 // accumulates each micro-tile. On cache hierarchies this is the same
 // optimization the paper's hand-written kernels perform with DMA.
 
 const (
-	tileM = 64  // rows per macro-tile (per-worker unit)
-	tileN = 64  // cols per macro-tile
-	tileK = 128 // reduction panel depth
-	micro = 4   // register micro-kernel edge
+	tileM  = 64  // rows per macro-tile (per-worker unit)
+	tileN  = 64  // cols per macro-tile
+	tileK  = 128 // reduction panel depth
+	microR = 2   // micro-kernel rows: 2x4 keeps all 8 accumulators
+	microC = 4   // micro-kernel cols: in amd64's 16 vector registers
 )
+
+// panelPool recycles the per-worker packed B panels so repeated GEMMs
+// allocate nothing.
+var panelPool = sync.Pool{New: func() any {
+	s := make([]float32, tileK*tileN)
+	return &s
+}}
 
 // MatMulTiled returns a@b for a [m,k] and b [k,n] using the tiled
 // kernel. It is numerically equivalent to MatMul up to float
 // reassociation and considerably faster for large matrices.
 func MatMulTiled(a, b *Tensor) *Tensor {
-	m, k, n := mmDims("MatMulTiled", a, b, false)
-	out := New(m, n)
-	// Parallelize across row macro-tiles; each worker owns disjoint
-	// output rows.
+	m, k, n := mmDims("MatMulTiled", a, b)
+	out := Scratch(m, n)
+	matmulTiledInto(out.Data, a.Data, b.Data, m, k, n, true)
+	return out
+}
+
+// MatMulTransBTiled returns a@bᵀ for a [m,k] and b [n,k] using the
+// tiled kernel; the backward-pass layout of MatMulTransB.
+func MatMulTransBTiled(a, b *Tensor) *Tensor {
+	m, k, n := mmTransBDims(a, b)
+	out := Scratch(m, n)
+	matmulTransBTiledInto(out.Data, a.Data, b.Data, m, k, n, true)
+	return out
+}
+
+// matmulTiledInto accumulates a@b into out (pre-zeroed by the
+// caller). Each worker owns a disjoint range of row macro-tiles and
+// packs each (p,j) panel of B once, reusing it across all of its row
+// tiles.
+func matmulTiledInto(out, a, b []float32, m, k, n int, parallel bool) {
 	mTiles := (m + tileM - 1) / tileM
-	ParallelRows(mTiles, func(lo, hi int) {
-		// Per-worker packed panel of B (KC x NC), reused across the
-		// k-loop, mirroring a CPE local-store tile.
-		panel := make([]float32, tileK*tileN)
-		for ti := lo; ti < hi; ti++ {
-			i0 := ti * tileM
-			i1 := min(i0+tileM, m)
-			for j0 := 0; j0 < n; j0 += tileN {
-				j1 := min(j0+tileN, n)
-				for p0 := 0; p0 < k; p0 += tileK {
-					p1 := min(p0+tileK, k)
-					packB(panel, b.Data, p0, p1, j0, j1, n)
-					macroKernel(out.Data, a.Data, panel, i0, i1, j0, j1, p0, p1, k, n)
+	body := func(lo, hi int) {
+		bp := panelPool.Get().(*[]float32)
+		panel := *bp
+		for j0 := 0; j0 < n; j0 += tileN {
+			j1 := min(j0+tileN, n)
+			for p0 := 0; p0 < k; p0 += tileK {
+				p1 := min(p0+tileK, k)
+				packB(panel, b, p0, p1, j0, j1, n)
+				for ti := lo; ti < hi; ti++ {
+					i0 := ti * tileM
+					i1 := min(i0+tileM, m)
+					macroKernel(out, a, panel, i0, i1, j0, j1, p0, p1, k, n)
 				}
 			}
 		}
-	})
-	return out
+		panelPool.Put(bp)
+	}
+	if parallel {
+		ParallelRows(mTiles, body)
+	} else {
+		body(0, mTiles)
+	}
+}
+
+// matmulTransBTiledInto accumulates a@bᵀ into out (pre-zeroed) for
+// a [m,k], b [n,k]. Identical blocking to matmulTiledInto; only the
+// packing differs (B tiles are transposed into the panel).
+func matmulTransBTiledInto(out, a, b []float32, m, k, n int, parallel bool) {
+	mTiles := (m + tileM - 1) / tileM
+	body := func(lo, hi int) {
+		bp := panelPool.Get().(*[]float32)
+		panel := *bp
+		for j0 := 0; j0 < n; j0 += tileN {
+			j1 := min(j0+tileN, n)
+			for p0 := 0; p0 < k; p0 += tileK {
+				p1 := min(p0+tileK, k)
+				packBT(panel, b, p0, p1, j0, j1, k)
+				for ti := lo; ti < hi; ti++ {
+					i0 := ti * tileM
+					i1 := min(i0+tileM, m)
+					macroKernel(out, a, panel, i0, i1, j0, j1, p0, p1, k, n)
+				}
+			}
+		}
+		panelPool.Put(bp)
+	}
+	if parallel {
+		ParallelRows(mTiles, body)
+	} else {
+		body(0, mTiles)
+	}
 }
 
 // packB copies B[p0:p1, j0:j1] into a contiguous row-major panel with
@@ -52,19 +111,35 @@ func packB(panel, b []float32, p0, p1, j0, j1, n int) {
 	}
 }
 
+// packBT transposes B[j0:j1, p0:p1] (B stored [n,k]) into the same
+// panel layout packB produces, so the macro kernel is shared between
+// the normal and the ᵀ variants.
+func packBT(panel, b []float32, p0, p1, j0, j1, k int) {
+	w := j1 - j0
+	kd := p1 - p0
+	for jj := 0; jj < w; jj++ {
+		row := b[(j0+jj)*k+p0 : (j0+jj)*k+p1]
+		off := jj
+		for p := 0; p < kd; p++ {
+			panel[off] = row[p]
+			off += w
+		}
+	}
+}
+
 // macroKernel updates out[i0:i1, j0:j1] += A[i0:i1, p0:p1] @ panel.
 func macroKernel(out, a, panel []float32, i0, i1, j0, j1, p0, p1, k, n int) {
 	w := j1 - j0
 	kd := p1 - p0
 	i := i0
-	for ; i+micro <= i1; i += micro {
+	for ; i+microR <= i1; i += microR {
 		j := 0
-		for ; j+micro <= w; j += micro {
-			microKernel4x4(out, a, panel, i, j0+j, j, kd, k, n, w, p0)
+		for ; j+microC <= w; j += microC {
+			microKernel2x4(out, a, panel, i, j0+j, j, kd, k, n, w, p0)
 		}
 		// Column remainder.
 		for ; j < w; j++ {
-			for di := 0; di < micro; di++ {
+			for di := 0; di < microR; di++ {
 				var sum float32
 				arow := a[(i+di)*k+p0:]
 				for p := 0; p < kd; p++ {
@@ -91,22 +166,20 @@ func macroKernel(out, a, panel []float32, i0, i1, j0, j1, p0, p1, k, n int) {
 	}
 }
 
-// microKernel4x4 accumulates a 4x4 output block held in registers.
-func microKernel4x4(out, a, panel []float32, i, jAbs, j, kd, k, n, w, p0 int) {
+// microKernel2x4 accumulates a 2x4 output block held in registers.
+// The 8 accumulators plus loop temporaries fit amd64's 16 vector
+// registers (a 4x4 block spills); the three-index subslices pin
+// lengths so the compiler drops bounds checks from the inner loop.
+func microKernel2x4(out, a, panel []float32, i, jAbs, j, kd, k, n, w, p0 int) {
 	var c00, c01, c02, c03 float32
 	var c10, c11, c12, c13 float32
-	var c20, c21, c22, c23 float32
-	var c30, c31, c32, c33 float32
-	a0 := a[(i+0)*k+p0:]
-	a1 := a[(i+1)*k+p0:]
-	a2 := a[(i+2)*k+p0:]
-	a3 := a[(i+3)*k+p0:]
+	a0 := a[(i+0)*k+p0 : (i+0)*k+p0+kd : (i+0)*k+p0+kd]
+	a1 := a[(i+1)*k+p0 : (i+1)*k+p0+kd : (i+1)*k+p0+kd]
+	off := j
 	for p := 0; p < kd; p++ {
-		b0 := panel[p*w+j]
-		b1 := panel[p*w+j+1]
-		b2 := panel[p*w+j+2]
-		b3 := panel[p*w+j+3]
-		av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+		pr := panel[off : off+4 : off+4]
+		b0, b1, b2, b3 := pr[0], pr[1], pr[2], pr[3]
+		av0, av1 := a0[p], a1[p]
 		c00 += av0 * b0
 		c01 += av0 * b1
 		c02 += av0 * b2
@@ -115,29 +188,16 @@ func microKernel4x4(out, a, panel []float32, i, jAbs, j, kd, k, n, w, p0 int) {
 		c11 += av1 * b1
 		c12 += av1 * b2
 		c13 += av1 * b3
-		c20 += av2 * b0
-		c21 += av2 * b1
-		c22 += av2 * b2
-		c23 += av2 * b3
-		c30 += av3 * b0
-		c31 += av3 * b1
-		c32 += av3 * b2
-		c33 += av3 * b3
+		off += w
 	}
-	out[(i+0)*n+jAbs] += c00
-	out[(i+0)*n+jAbs+1] += c01
-	out[(i+0)*n+jAbs+2] += c02
-	out[(i+0)*n+jAbs+3] += c03
-	out[(i+1)*n+jAbs] += c10
-	out[(i+1)*n+jAbs+1] += c11
-	out[(i+1)*n+jAbs+2] += c12
-	out[(i+1)*n+jAbs+3] += c13
-	out[(i+2)*n+jAbs] += c20
-	out[(i+2)*n+jAbs+1] += c21
-	out[(i+2)*n+jAbs+2] += c22
-	out[(i+2)*n+jAbs+3] += c23
-	out[(i+3)*n+jAbs] += c30
-	out[(i+3)*n+jAbs+1] += c31
-	out[(i+3)*n+jAbs+2] += c32
-	out[(i+3)*n+jAbs+3] += c33
+	o0 := out[(i+0)*n+jAbs : (i+0)*n+jAbs+4 : (i+0)*n+jAbs+4]
+	o1 := out[(i+1)*n+jAbs : (i+1)*n+jAbs+4 : (i+1)*n+jAbs+4]
+	o0[0] += c00
+	o0[1] += c01
+	o0[2] += c02
+	o0[3] += c03
+	o1[0] += c10
+	o1[1] += c11
+	o1[2] += c12
+	o1[3] += c13
 }

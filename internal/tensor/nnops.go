@@ -16,7 +16,7 @@ func SoftmaxRows(a *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: SoftmaxRows on shape %v", a.Shape))
 	}
 	r, c := a.Shape[0], a.Shape[1]
-	out := New(r, c)
+	out := Scratch(r, c)
 	Parallel(r, func(s, e int) {
 		for i := s; i < e; i++ {
 			softmaxRow(out.Data[i*c:(i+1)*c], a.Data[i*c:(i+1)*c])
@@ -50,7 +50,7 @@ func LogSoftmaxRows(a *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: LogSoftmaxRows on shape %v", a.Shape))
 	}
 	r, c := a.Shape[0], a.Shape[1]
-	out := New(r, c)
+	out := Scratch(r, c)
 	Parallel(r, func(s, e int) {
 		for i := s; i < e; i++ {
 			src := a.Data[i*c : (i+1)*c]
@@ -85,7 +85,7 @@ func LayerNormRows(a, gamma, beta *Tensor, eps float32) *Tensor {
 	if gamma.Len() != c || beta.Len() != c {
 		panic(fmt.Sprintf("tensor: LayerNormRows gamma/beta length %d/%d, want %d", gamma.Len(), beta.Len(), c))
 	}
-	out := New(r, c)
+	out := Scratch(r, c)
 	Parallel(r, func(s, e int) {
 		for i := s; i < e; i++ {
 			src := a.Data[i*c : (i+1)*c]

@@ -20,6 +20,11 @@ import (
 type Tensor struct {
 	Data  []float32
 	Shape []int
+
+	// pooled points at the full size-class buffer backing Data when
+	// the tensor came from the buffer pool (see pool.go); nil for
+	// plain New allocations and views.
+	pooled *[]float32
 }
 
 // New returns a zero-filled tensor with the given shape.

@@ -61,6 +61,12 @@ type Trainer struct {
 	// and before the optimizer step; the parallel engine injects the
 	// gradient all-reduce here.
 	PostBackward func(params []*nn.Param)
+
+	// arena holds the step-scoped tensor working set (activations,
+	// attention caches, backward intermediates). Step installs it as
+	// the ambient tensor arena and drains it after the optimizer
+	// update, recycling the whole forward/backward allocation volume.
+	arena *tensor.Arena
 }
 
 // NewTrainer wires a model, corpus, and optimizer together.
@@ -101,11 +107,27 @@ func (t *Trainer) StepCount() int { return t.step }
 
 // Step draws Accum micro-batches, accumulates their gradients, and
 // applies one optimizer update.
+//
+// Step owns the buffer-pool fast path: it installs the trainer's
+// step arena as the ambient tensor arena for the duration of the
+// step, so every intermediate the forward/backward passes allocate is
+// recycled when the arena drains on return. The ambient arena is
+// process-global, so Step must not run concurrently with another
+// arena-installing Step (the multi-rank engine uses StepOn, which
+// deliberately stays unpooled).
 func (t *Trainer) Step() Metrics {
 	accum := t.Cfg.Accum
 	if accum < 1 {
 		accum = 1
 	}
+	if t.arena == nil {
+		t.arena = tensor.NewArena()
+	}
+	prev := tensor.SetStepArena(t.arena)
+	defer func() {
+		tensor.SetStepArena(prev)
+		t.arena.Drain()
+	}()
 	nn.ZeroGrads(t.params)
 	m := Metrics{Step: t.step}
 	for micro := 0; micro < accum; micro++ {
@@ -121,6 +143,10 @@ func (t *Trainer) Step() Metrics {
 // StepOn runs one cycle on caller-provided tokens (the parallel
 // engine feeds per-rank shards). Gradient accumulation is not applied
 // here; use Step for that.
+//
+// StepOn does NOT install a step arena: the engine runs one StepOn
+// per rank goroutine concurrently, and the ambient arena is global —
+// a shared arena would recycle buffers another rank still holds.
 func (t *Trainer) StepOn(ids, targets []int) Metrics {
 	nn.ZeroGrads(t.params)
 	m := Metrics{Step: t.step}
