@@ -196,6 +196,44 @@ const (
 	A2ABruck        = moe.Bruck
 )
 
+// Wire-format layer for the MoE dispatch/combine exchange.
+type (
+	// Codec selects the on-the-wire element encoding for payloads
+	// crossing supernodes.
+	Codec = mpi.Codec
+	// CommConfig selects the MoE wire codec and comm/compute overlap
+	// (ModelConfig.Comm, or NewDistMoEComm directly).
+	CommConfig = moe.CommConfig
+	// SendBuf is the flattened, pooled per-destination send buffer.
+	SendBuf = mpi.SendBuf
+	// RecvBuf is the flattened per-source receive view.
+	RecvBuf = mpi.RecvBuf
+	// Exchange is the two-phase (overlapped) alltoallv handle.
+	Exchange = mpi.Exchange
+	// WireStats splits a communicator's exchange traffic by tier,
+	// post-codec vs raw.
+	WireStats = mpi.WireStats
+)
+
+// Wire codec choices for CommConfig.Codec.
+const (
+	FP32Wire = mpi.FP32Wire
+	FP16Wire = mpi.FP16Wire
+)
+
+// NewSendBuf allocates a flattened send buffer with counts[d] floats
+// bound for each destination rank d.
+func NewSendBuf(counts []int) *SendBuf { return mpi.NewSendBuf(counts) }
+
+// ParseCodec maps "fp32"/"fp16" to a wire codec.
+func ParseCodec(s string) (Codec, error) { return mpi.ParseCodec(s) }
+
+// NewDistMoEComm builds a distributed MoE layer with an explicit wire
+// configuration; call inside World.Run on every rank of comm.
+func NewDistMoEComm(name string, r *RNG, cfg GateConfig, hidden int, comm *Comm, algo A2AAlgo, cc CommConfig) *DistMoE {
+	return moe.NewDistMoEComm(name, r, cfg, hidden, comm, algo, cc)
+}
+
 // Analytic all-to-all strategies for Deployment.A2A.
 const (
 	ProjA2AFlat         = perfmodel.A2AFlat

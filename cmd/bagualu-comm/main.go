@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"bagualu/internal/metrics"
+	"bagualu/internal/moe"
 	"bagualu/internal/mpi"
 	"bagualu/internal/simnet"
 	"bagualu/internal/sunway"
@@ -23,8 +24,17 @@ func main() {
 		minKB = flag.Int("min-kb", 1, "smallest per-rank payload in KiB")
 		maxKB = flag.Int("max-kb", 4096, "largest per-rank payload in KiB")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+
+		codecName = flag.String("codec", "fp16", "wire codec for the flattened exchange (fp32|fp16)")
+		overlap   = flag.Bool("overlap", true, "use the two-phase overlapped exchange in R4c")
+		simFLOPS  = flag.Float64("sim-flops", 1e9, "virtual FLOP/s of compute hidden inside the R4c overlap window")
 	)
 	flag.Parse()
+	codec, err := mpi.ParseCodec(*codecName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	nodes := (*ranks + *rpn - 1) / *rpn
 	sns := (nodes + *perSN - 1) / *perSN
@@ -66,6 +76,66 @@ func main() {
 		a2a.AddRow(kb*1024, td, tp, th, mf, mh)
 	}
 	emit(a2a)
+
+	// R4c: the flattened MoE dispatch exchange — wire codec and
+	// two-phase comm/compute overlap. Each rank sends equal chunks to
+	// every peer through the hierarchical wire path and, in overlap
+	// mode, runs a synthetic expert-compute window between the local
+	// and remote receive legs so cross-supernode flight time hides.
+	cfg := moe.CommConfig{Codec: codec, Overlap: *overlap}
+	wt := metrics.NewTable(fmt.Sprintf("R4c: flattened exchange (%s)", cfg),
+		"bytes/rank", "time-fp32-blocking", "time", "interSN-bytes-fp32", "interSN-bytes", "saved%")
+	for kb := *minKB; kb <= *maxKB; kb *= 4 {
+		elems := kb * 1024 / 4 / *ranks
+		if elems < 1 {
+			elems = 1
+		}
+		// The compute window an MoE layer would fill with local-expert
+		// GEMMs, charged in both modes (after the exchange when
+		// blocking, between the receive legs when overlapped) so the
+		// time columns differ only by hidden flight time.
+		window := 100 * float64(elems) / *simFLOPS
+		run := func(c mpi.Codec, over bool) (float64, int64) {
+			w := mpi.NewWorld(*ranks, topo)
+			w.Run(func(cm *mpi.Comm) {
+				counts := make([]int, *ranks)
+				for d := range counts {
+					counts[d] = elems
+				}
+				sb := mpi.NewSendBuf(counts)
+				row := make([]float32, elems)
+				for d := 0; d < *ranks; d++ {
+					sb.Append(d, row)
+				}
+				var local, remote *mpi.RecvBuf
+				if over {
+					ex := cm.BeginExchange(true, c)
+					ex.PostAll(sb)
+					ex.Flush()
+					local = ex.RecvLocal()
+					cm.Compute(window)
+					remote = ex.RecvRemote()
+				} else {
+					local = cm.AllToAllvHier(sb, c)
+					cm.Compute(window)
+				}
+				local.Release()
+				if remote != nil {
+					remote.Release()
+				}
+				sb.Release()
+			})
+			return w.MaxTime(), w.Stats().BytesAt(simnet.MachineLevel)
+		}
+		base, baseBytes := run(mpi.FP32Wire, false)
+		tc, cBytes := run(codec, *overlap)
+		saved := 0.0
+		if baseBytes > 0 {
+			saved = 100 * (1 - float64(cBytes)/float64(baseBytes))
+		}
+		wt.AddRow(kb*1024, base, tc, baseBytes, cBytes, saved)
+	}
+	emit(wt)
 
 	// R8: all-reduce algorithms across sizes.
 	ar := metrics.NewTable("R8: all-reduce virtual time (s) by algorithm",

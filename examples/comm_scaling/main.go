@@ -66,6 +66,55 @@ func main() {
 			elems, ring, hier, ring/hier)
 	}
 
+	fmt.Println("\n== FP16 on the wire: flattened MoE dispatch exchange ==")
+	const elems = 256 // floats per rank pair, an MoE dispatch-sized chunk
+	dispatch := func(codec bagualu.Codec, overlap bool) (float64, int64) {
+		w := bagualu.NewWorld(32, topo)
+		w.Run(func(c *bagualu.Comm) {
+			counts := make([]int, 32)
+			for d := range counts {
+				counts[d] = elems
+			}
+			sb := bagualu.NewSendBuf(counts)
+			row := make([]float32, elems)
+			for d := 0; d < 32; d++ {
+				sb.Append(d, row)
+			}
+			var local, remote *bagualu.RecvBuf
+			if overlap {
+				ex := c.BeginExchange(true, codec)
+				ex.PostAll(sb)
+				ex.Flush()
+				local = ex.RecvLocal()
+				// Local-expert compute runs here while cross-supernode
+				// tokens are still in flight.
+				c.Compute(20e-6)
+				remote = ex.RecvRemote()
+			} else {
+				local = c.AllToAllvHier(sb, codec)
+				c.Compute(20e-6)
+			}
+			local.Release()
+			if remote != nil {
+				remote.Release()
+			}
+			sb.Release()
+		})
+		return w.MaxTime(), w.Stats().Snapshot().InterBytes()
+	}
+	baseT, baseB := dispatch(bagualu.FP32Wire, false)
+	fmt.Printf("fp32 blocking: %.3gs, %d interSN bytes\n", baseT, baseB)
+	for _, mode := range []struct {
+		cc bagualu.CommConfig
+	}{
+		{bagualu.CommConfig{Codec: bagualu.FP16Wire}},
+		{bagualu.CommConfig{Codec: bagualu.FP16Wire, Overlap: true}},
+	} {
+		tm, b := dispatch(mode.cc.Codec, mode.cc.Overlap)
+		fmt.Printf("%-13s: %.3gs, %d interSN bytes (-%.0f%% bytes, %.2fx time)\n",
+			mode.cc, tm, b, 100*(1-float64(b)/float64(baseB)), baseT/tm)
+	}
+
 	fmt.Println("\n== Where does the crossover sit? ==")
 	fmt.Println("Hierarchical aggregation trades extra intra-supernode hops for")
 	fmt.Println("far fewer inter-supernode messages: it wins when the exchange is")

@@ -50,3 +50,21 @@ func QuantizeSliceFast(x []float32) (overflow bool) {
 }
 
 func isInf32(v float32) bool { return v > 3.4e38 || v < -3.4e38 }
+
+// EncodeSlice converts src to raw FP16 bit patterns in dst. This is
+// the on-the-wire representation used by the mpi codec layer: a bare
+// []uint16 payload priced at 2 bytes per element.
+func EncodeSlice(dst []uint16, src []float32) {
+	for i, v := range src {
+		dst[i] = uint16(FromFloat32(v))
+	}
+}
+
+// DecodeSlice converts raw FP16 bit patterns back to float32 via the
+// decode table, the inverse of EncodeSlice.
+func DecodeSlice(dst []float32, src []uint16) {
+	decodeOnce.Do(buildDecodeTable)
+	for i, v := range src {
+		dst[i] = decodeTable[v]
+	}
+}

@@ -150,3 +150,112 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	_, err := io.WriteString(w, b.String())
 	return err
 }
+
+// ByteMeter accumulates bytes-on-the-wire across training steps,
+// split by network tier. Inter-supernode volume is tracked twice:
+// as actually sent (Inter) and as an FP32 wire would have sent it
+// (RawInter), so the saving from a lossy wire codec is visible
+// directly. Feed it per-step deltas of simnet.Traffic snapshots (or
+// mpi.WireStats for the raw figure).
+type ByteMeter struct {
+	Steps    int64
+	Intra    int64 // bytes on intra-supernode links (node + supernode)
+	Inter    int64 // bytes on inter-supernode links, as sent
+	RawInter int64 // inter-supernode bytes before codec compression
+}
+
+// AddStep folds in one step's byte deltas. Pass rawInter == inter
+// when no codec is in play.
+func (m *ByteMeter) AddStep(intra, inter, rawInter int64) {
+	m.Steps++
+	m.Intra += intra
+	m.Inter += inter
+	m.RawInter += rawInter
+}
+
+// PerStepIntra returns mean intra-supernode bytes per step.
+func (m *ByteMeter) PerStepIntra() float64 {
+	if m.Steps == 0 {
+		return 0
+	}
+	return float64(m.Intra) / float64(m.Steps)
+}
+
+// PerStepInter returns mean inter-supernode bytes per step.
+func (m *ByteMeter) PerStepInter() float64 {
+	if m.Steps == 0 {
+		return 0
+	}
+	return float64(m.Inter) / float64(m.Steps)
+}
+
+// Saved returns the fraction of the raw inter-supernode volume the
+// wire codec removed (0 when uncompressed or no traffic).
+func (m *ByteMeter) Saved() float64 {
+	if m.RawInter == 0 {
+		return 0
+	}
+	return 1 - float64(m.Inter)/float64(m.RawInter)
+}
+
+// Reset zeroes the meter.
+func (m *ByteMeter) Reset() { *m = ByteMeter{} }
+
+// PhaseMeter accumulates seconds into named phases in a fixed
+// presentation order — the exchange-phase breakdown (dispatch-local,
+// dispatch-remote, ...) a step report renders as one table row.
+type PhaseMeter struct {
+	names []string
+	idx   map[string]int
+	secs  []float64
+}
+
+// NewPhaseMeter fixes the phase set and its display order.
+func NewPhaseMeter(names ...string) *PhaseMeter {
+	p := &PhaseMeter{names: names, idx: make(map[string]int, len(names))}
+	for i, n := range names {
+		p.idx[n] = i
+	}
+	p.secs = make([]float64, len(names))
+	return p
+}
+
+// Observe adds secs to a phase; unknown names are appended at the
+// end so callers never lose samples.
+func (p *PhaseMeter) Observe(name string, secs float64) {
+	i, ok := p.idx[name]
+	if !ok {
+		i = len(p.names)
+		p.names = append(p.names, name)
+		p.idx[name] = i
+		p.secs = append(p.secs, 0)
+	}
+	p.secs[i] += secs
+}
+
+// Seconds returns a phase's accumulated time (0 for unknown names).
+func (p *PhaseMeter) Seconds(name string) float64 {
+	if i, ok := p.idx[name]; ok {
+		return p.secs[i]
+	}
+	return 0
+}
+
+// Names returns the phases in display order.
+func (p *PhaseMeter) Names() []string { return p.names }
+
+// Total sums all phases.
+func (p *PhaseMeter) Total() float64 {
+	var t float64
+	for _, s := range p.secs {
+		t += s
+	}
+	return t
+}
+
+// Reset zeroes the accumulators, keeping the phase set.
+func (p *PhaseMeter) Reset() {
+	for i := range p.secs {
+		p.secs[i] = 0
+	}
+}

@@ -95,3 +95,50 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("csv = %q", sb.String())
 	}
 }
+
+func TestByteMeter(t *testing.T) {
+	var m ByteMeter
+	if m.Saved() != 0 || m.PerStepInter() != 0 {
+		t.Fatal("zero meter not neutral")
+	}
+	m.AddStep(100, 50, 100) // codec halved the inter tier
+	m.AddStep(300, 150, 300)
+	if m.Steps != 2 || m.Intra != 400 || m.Inter != 200 || m.RawInter != 400 {
+		t.Fatalf("accumulators = %+v", m)
+	}
+	if m.PerStepIntra() != 200 || m.PerStepInter() != 100 {
+		t.Fatalf("per-step = %v / %v", m.PerStepIntra(), m.PerStepInter())
+	}
+	if got := m.Saved(); got != 0.5 {
+		t.Fatalf("Saved = %v, want 0.5", got)
+	}
+	m.Reset()
+	if m.Steps != 0 || m.Saved() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestPhaseMeter(t *testing.T) {
+	p := NewPhaseMeter("dispatch", "expert", "combine")
+	p.Observe("dispatch", 1)
+	p.Observe("combine", 2)
+	p.Observe("dispatch", 0.5)
+	if got := p.Seconds("dispatch"); got != 1.5 {
+		t.Fatalf("dispatch = %v", got)
+	}
+	if got := p.Seconds("missing"); got != 0 {
+		t.Fatalf("unknown phase = %v", got)
+	}
+	p.Observe("extra", 3) // unknown names append, never drop
+	names := p.Names()
+	if len(names) != 4 || names[3] != "extra" {
+		t.Fatalf("names = %v", names)
+	}
+	if got := p.Total(); got != 6.5 {
+		t.Fatalf("Total = %v", got)
+	}
+	p.Reset()
+	if p.Total() != 0 || len(p.Names()) != 4 {
+		t.Fatal("Reset must zero but keep the phase set")
+	}
+}

@@ -1,0 +1,172 @@
+package moe
+
+import (
+	"fmt"
+	"testing"
+
+	"bagualu/internal/mpi"
+	"bagualu/internal/simnet"
+	"bagualu/internal/tensor"
+)
+
+// runDistCC is runDist with an explicit wire configuration and
+// optional SimRate; it additionally returns the summed sharded
+// gradients per rank and the simulated makespan.
+func runDistCC(t *testing.T, algo A2AAlgo, cc CommConfig, simRate float64, seed uint64) (outs, dxs []*tensor.Tensor, grads []map[string]*tensor.Tensor, simTime float64) {
+	t.Helper()
+	const P, tokens, d = 4, 6, 8
+	outs = make([]*tensor.Tensor, P)
+	dxs = make([]*tensor.Tensor, P)
+	grads = make([]map[string]*tensor.Tensor, P)
+	w := mpi.NewWorld(P, distTestTopo())
+	w.Run(func(c *mpi.Comm) {
+		r := tensor.NewRNG(seed)
+		cfg := gateCfg(d, 8, 2)
+		m := NewDistMoEComm("moe", r, cfg, 16, c, algo, cc)
+		m.SimRate = simRate
+		xr := tensor.NewRNG(seed + 100 + uint64(c.Rank()))
+		x := tensor.Randn(xr, 1, tokens, d)
+		out := m.Forward(x)
+		dx := m.Backward(tensor.Ones(tokens, d))
+		outs[c.Rank()] = out
+		dxs[c.Rank()] = dx
+		g := map[string]*tensor.Tensor{}
+		for _, p := range m.Params() {
+			g[p.Name] = p.G.Clone()
+		}
+		grads[c.Rank()] = g
+	})
+	return outs, dxs, grads, w.MaxTime()
+}
+
+// TestDistMoEOverlapMatchesBlocking: the two-phase exchange must be a
+// pure scheduling change — identical outputs, input grads, and
+// parameter grads (up to summation-order rounding in dW).
+func TestDistMoEOverlapMatchesBlocking(t *testing.T) {
+	for _, algo := range []A2AAlgo{Direct, Hierarchical, Auto} {
+		t.Run(algo.String(), func(t *testing.T) {
+			bOut, bDx, bG, _ := runDistCC(t, algo, CommConfig{Codec: mpi.FP32Wire, Overlap: false}, 0, 11)
+			oOut, oDx, oG, _ := runDistCC(t, algo, CommConfig{Codec: mpi.FP32Wire, Overlap: true}, 0, 11)
+			for rank := range bOut {
+				if !oOut[rank].AllClose(bOut[rank], 1e-5) {
+					t.Fatalf("rank %d: overlap forward differs from blocking", rank)
+				}
+				if !oDx[rank].AllClose(bDx[rank], 1e-5) {
+					t.Fatalf("rank %d: overlap input grad differs from blocking", rank)
+				}
+				for name, want := range bG[rank] {
+					if !oG[rank][name].AllClose(want, 1e-4) {
+						t.Fatalf("rank %d: overlap grad %s differs from blocking", rank, name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDistMoEFP16GradsWithinTolerance is the acceptance-criteria
+// test: hierarchical dispatch with the FP16 wire codec must produce
+// outputs and gradients equal to the direct FP32 run within FP16
+// quantization tolerance on a small model.
+func TestDistMoEFP16GradsWithinTolerance(t *testing.T) {
+	ref, refDx, refG, _ := runDistCC(t, Direct, CommConfig{Codec: mpi.FP32Wire}, 0, 23)
+	for _, overlap := range []bool{false, true} {
+		t.Run(fmt.Sprintf("overlap=%v", overlap), func(t *testing.T) {
+			out, dx, g, _ := runDistCC(t, Hierarchical, CommConfig{Codec: mpi.FP16Wire, Overlap: overlap}, 0, 23)
+			// FP16 has ~2^-11 relative precision; activations here are
+			// O(1) and each output accumulates a handful of expert rows,
+			// so a few 1e-2 absolute slack covers the quantization of
+			// dispatch, combine, and both backward legs.
+			const tol = 3e-2
+			for rank := range ref {
+				if !out[rank].AllClose(ref[rank], tol) {
+					t.Fatalf("rank %d: fp16 forward outside fp16 tolerance", rank)
+				}
+				if !dx[rank].AllClose(refDx[rank], tol) {
+					t.Fatalf("rank %d: fp16 input grad outside fp16 tolerance", rank)
+				}
+				for name, want := range refG[rank] {
+					if !g[rank][name].AllClose(want, tol) {
+						t.Fatalf("rank %d: fp16 grad %s outside fp16 tolerance", rank, name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDistMoEFP16CutsInterSupernodeBytes: the codec must strip at
+// least 45% of the simulated inter-supernode bytes from a training
+// step, end to end through dispatch, combine, and both backward legs.
+func TestDistMoEFP16CutsInterSupernodeBytes(t *testing.T) {
+	inter := func(codec mpi.Codec) int64 {
+		const P, tokens, d = 4, 16, 32
+		w := mpi.NewWorld(P, distTestTopo())
+		w.Run(func(c *mpi.Comm) {
+			r := tensor.NewRNG(5)
+			cfg := gateCfg(d, 8, 2)
+			m := NewDistMoEComm("moe", r, cfg, 64, c, Hierarchical, CommConfig{Codec: codec})
+			xr := tensor.NewRNG(500 + uint64(c.Rank()))
+			x := tensor.Randn(xr, 1, tokens, d)
+			m.Forward(x)
+			m.Backward(tensor.Ones(tokens, d))
+		})
+		return w.Stats().BytesAt(simnet.MachineLevel)
+	}
+	fp32 := inter(mpi.FP32Wire)
+	fp16 := inter(mpi.FP16Wire)
+	if fp32 == 0 {
+		t.Fatal("no inter-supernode traffic in fp32 baseline")
+	}
+	red := 1 - float64(fp16)/float64(fp32)
+	t.Logf("step inter-supernode bytes: fp32=%d fp16=%d (-%.1f%%)", fp32, fp16, 100*red)
+	if red < 0.45 {
+		t.Fatalf("FP16 wire cut inter-supernode bytes by only %.1f%%, want >=45%%", 100*red)
+	}
+}
+
+// TestDistMoEOverlapReducesVirtualTime: with expert compute charged
+// to the virtual clock, the two-phase schedule must finish the step
+// in less simulated time than the blocking one on a multi-supernode
+// topology (local compute hides cross-supernode flight time).
+func TestDistMoEOverlapReducesVirtualTime(t *testing.T) {
+	// SimRate low enough that expert GEMMs take comparable time to the
+	// simulated wire flight, the regime where overlap pays.
+	const simRate = 2e9
+	_, _, _, blocking := runDistCC(t, Hierarchical, CommConfig{Codec: mpi.FP16Wire, Overlap: false}, simRate, 31)
+	_, _, _, overlap := runDistCC(t, Hierarchical, CommConfig{Codec: mpi.FP16Wire, Overlap: true}, simRate, 31)
+	t.Logf("virtual step time: blocking=%.3gs overlap=%.3gs", blocking, overlap)
+	if overlap >= blocking {
+		t.Fatalf("overlap virtual time %.3g not below blocking %.3g", overlap, blocking)
+	}
+}
+
+// TestDistMoEWireStatsPerStep: the per-comm WireStats must attribute
+// bytes to both tiers and show Raw > Wire at machine level under the
+// FP16 codec.
+func TestDistMoEWireStatsPerStep(t *testing.T) {
+	const P, tokens, d = 4, 8, 16
+	agg := make([]mpi.WireStats, P)
+	w := mpi.NewWorld(P, distTestTopo())
+	w.Run(func(c *mpi.Comm) {
+		r := tensor.NewRNG(9)
+		m := NewDistMoEComm("moe", r, gateCfg(d, 8, 2), 32, c, Hierarchical, CommConfig{Codec: mpi.FP16Wire})
+		xr := tensor.NewRNG(900 + uint64(c.Rank()))
+		x := tensor.Randn(xr, 1, tokens, d)
+		before := m.WireStats()
+		m.Forward(x)
+		m.Backward(tensor.Ones(tokens, d))
+		agg[c.Rank()] = m.WireStats().Sub(before)
+	})
+	var total mpi.WireStats
+	for _, s := range agg {
+		total.Add(s)
+	}
+	if total.InterBytes() == 0 || total.IntraBytes() == 0 {
+		t.Fatalf("expected traffic at both tiers: inter=%d intra=%d", total.InterBytes(), total.IntraBytes())
+	}
+	if total.Wire[simnet.MachineLevel] >= total.Raw[simnet.MachineLevel] {
+		t.Fatalf("fp16 wire %d not below raw %d at machine level",
+			total.Wire[simnet.MachineLevel], total.Raw[simnet.MachineLevel])
+	}
+}

@@ -19,13 +19,15 @@ const (
 	Auto A2AAlgo = iota
 	// Direct sends one eager message per destination.
 	Direct
-	// Pairwise uses P-1 balanced exchange rounds.
+	// Pairwise uses P-1 balanced exchange rounds. On the flattened
+	// wire path it is equivalent to Direct (all sends are eager).
 	Pairwise
 	// Hierarchical aggregates at supernode leaders (the paper's
 	// algorithm).
 	Hierarchical
 	// Bruck uses the log-P-message Bruck exchange (latency-optimal
-	// flat baseline).
+	// flat baseline). FP32-only and blocking: the codec and overlap
+	// options do not apply to its multi-hop relaying.
 	Bruck
 )
 
@@ -47,11 +49,37 @@ func (a A2AAlgo) String() string {
 	}
 }
 
+// CommConfig selects the wire behavior of dispatch and combine.
+type CommConfig struct {
+	// Codec is the on-the-wire element encoding for payloads that
+	// cross supernodes (mpi.FP32Wire or mpi.FP16Wire).
+	Codec mpi.Codec
+	// Overlap splits every dispatch-direction exchange into two
+	// receive legs so local + shadowed expert compute runs while
+	// cross-supernode tokens are still in flight.
+	Overlap bool
+}
+
+// String renders "codec/blocking|overlap" for benchmark labels.
+func (c CommConfig) String() string {
+	mode := "blocking"
+	if c.Overlap {
+		mode = "overlap"
+	}
+	return c.Codec.String() + "/" + mode
+}
+
 // DistMoE is the distributed expert-parallel MoE layer: the total
 // expert pool is sharded evenly over the ranks of an expert-parallel
 // communicator, and tokens travel to their experts (and back) through
 // an all-to-all exchange each step. It implements nn.Layer for the
 // local token batch.
+//
+// Dispatch and combine run on the mpi wire layer: one flattened,
+// pooled buffer per direction, expert-slot metadata riding inside the
+// data messages, an optional FP16 codec on the inter-supernode legs,
+// and (with CommCfg.Overlap) a two-phase receive that runs local and
+// shadowed experts while remote tokens are in flight.
 //
 // Gate weights must be identical on every rank of the group (the
 // trainer guarantees this by construction seed and by all-reducing
@@ -62,6 +90,12 @@ type DistMoE struct {
 	Experts      []*nn.FeedForward // the local shard, ordered by global expert id
 	LocalExperts int
 	Algo         A2AAlgo
+	CommCfg      CommConfig
+
+	// SimRate, when positive, charges expert compute to the rank's
+	// virtual clock at this many FLOP/s, so comm/compute overlap is
+	// measurable in simulated time even on a single-core host.
+	SimRate float64
 
 	comm   *mpi.Comm
 	name   string
@@ -82,32 +116,79 @@ type DistMoE struct {
 	// Time accumulates the per-phase wall-clock breakdown.
 	Time Timing
 
+	localSN []bool // comm rank -> in this rank's supernode
+
 	// Forward caches for backward.
-	x         *tensor.Tensor
 	perTok    [][]slot    // slot.pos = index into sendOrder[dst]
 	sendOrder [][]sendRef // per dst rank: which (token, k) produced row i
-	recvMeta  [][]int     // per src rank: local expert of each received row
-	recvRows  [][]float32 // per src rank: flat received token rows
-	exptOrder [][]rowRef  // per local expert: origin of each batched row
-	yBack     [][]float32 // per dst rank: flat returned expert outputs
+	recvCount []int       // rows received from each src rank
+	ordLocal  [][]rowRef  // per local expert: rows of the local phase
+	ordRemote [][]rowRef  // per local expert: rows of the remote phase
+	stLocal   []*nn.FFNState
+	stRemote  []*nn.FFNState
+	// Combine results (y rows per source), kept until Backward needs
+	// them for combine-weight gradients. combRemote is nil outside
+	// overlap mode.
+	combLocal  *mpi.RecvBuf
+	combRemote *mpi.RecvBuf
 }
 
 // Timing accumulates wall-clock seconds per MoE phase across steps;
 // the communication/computation breakdown experiment (R9) reads it.
+// Dispatch/Combine include both training directions (forward traffic
+// and its backward mirror); the *Local/*Remote fields split out the
+// blocked receive time of each leg when overlap mode is on.
 type Timing struct {
 	Gate, Dispatch, Expert, Combine float64
+
+	DispatchLocal, DispatchRemote float64
+	CombineLocal, CombineRemote   float64
 }
 
 // Reset zeroes the accumulators.
 func (t *Timing) Reset() { *t = Timing{} }
 
+// Add returns the fieldwise sum of two breakdowns (aggregating over
+// the MoE layers of a model).
+func (t Timing) Add(o Timing) Timing {
+	t.Gate += o.Gate
+	t.Dispatch += o.Dispatch
+	t.Expert += o.Expert
+	t.Combine += o.Combine
+	t.DispatchLocal += o.DispatchLocal
+	t.DispatchRemote += o.DispatchRemote
+	t.CombineLocal += o.CombineLocal
+	t.CombineRemote += o.CombineRemote
+	return t
+}
+
+// Sub returns the fieldwise difference (the delta between two
+// snapshots taken around a step).
+func (t Timing) Sub(o Timing) Timing {
+	t.Gate -= o.Gate
+	t.Dispatch -= o.Dispatch
+	t.Expert -= o.Expert
+	t.Combine -= o.Combine
+	t.DispatchLocal -= o.DispatchLocal
+	t.DispatchRemote -= o.DispatchRemote
+	t.CombineLocal -= o.CombineLocal
+	t.CombineRemote -= o.CombineRemote
+	return t
+}
+
 type sendRef struct{ token, k int }
 
 type rowRef struct{ src, pos int } // src rank chunk, row position
 
-// NewDistMoE shards cfg.NumExperts experts over comm. NumExperts must
-// be divisible by the communicator size.
+// NewDistMoE shards cfg.NumExperts experts over comm with the default
+// wire configuration (FP32, blocking). NumExperts must be divisible
+// by the communicator size.
 func NewDistMoE(name string, r *tensor.RNG, cfg GateConfig, hidden int, comm *mpi.Comm, algo A2AAlgo) *DistMoE {
+	return NewDistMoEComm(name, r, cfg, hidden, comm, algo, CommConfig{})
+}
+
+// NewDistMoEComm is NewDistMoE with an explicit wire configuration.
+func NewDistMoEComm(name string, r *tensor.RNG, cfg GateConfig, hidden int, comm *mpi.Comm, algo A2AAlgo, cc CommConfig) *DistMoE {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -120,6 +201,7 @@ func NewDistMoE(name string, r *tensor.RNG, cfg GateConfig, hidden int, comm *mp
 		Gate:         NewGate(name+".gate", r, cfg),
 		LocalExperts: le,
 		Algo:         algo,
+		CommCfg:      cc,
 		comm:         comm,
 		name:         name,
 		hidden:       hidden,
@@ -135,6 +217,12 @@ func NewDistMoE(name string, r *tensor.RNG, cfg GateConfig, hidden int, comm *mp
 		}
 	}
 	m.rebuildLookups()
+	t := comm.Topology()
+	mySN := t.Supernode(comm.Global(comm.Rank()))
+	m.localSN = make([]bool, comm.Size())
+	for q := 0; q < comm.Size(); q++ {
+		m.localSN[q] = t.Supernode(comm.Global(q)) == mySN
+	}
 	return m
 }
 
@@ -156,27 +244,157 @@ func (m *DistMoE) Placement() *Placement { return m.place }
 // ownerOf returns the rank hosting expert e.
 func (m *DistMoE) ownerOf(e int) int { return m.place.Owner[e] }
 
-func (m *DistMoE) a2a(chunks [][]float32) [][]float32 {
+// WireStats returns the communicator's cumulative flattened-exchange
+// byte counters; snapshot around steps for per-phase deltas.
+func (m *DistMoE) WireStats() mpi.WireStats { return m.comm.WireStats() }
+
+// PhaseTiming returns the cumulative per-phase breakdown (the Time
+// field, behind a method so train.CommReporter can reach it through
+// the nn.Layer interface).
+func (m *DistMoE) PhaseTiming() Timing { return m.Time }
+
+// Comm returns the expert-parallel communicator. Wire counters are
+// per-comm, so aggregators must dedupe layers sharing one comm.
+func (m *DistMoE) Comm() *mpi.Comm { return m.comm }
+
+// hierWire decides the wire-layer algorithm for Algo.
+func (m *DistMoE) hierWire() bool {
 	switch m.Algo {
-	case Direct:
-		return m.comm.AllToAllDirect(chunks)
-	case Pairwise:
-		return m.comm.AllToAllPairwise(chunks)
 	case Hierarchical:
-		return m.comm.AllToAllHier(chunks)
-	case Bruck:
-		return m.comm.AllToAllBruck(chunks)
+		return true
+	case Direct, Pairwise, Bruck:
+		return false
 	default:
-		return m.comm.AllToAll(chunks)
+		return m.comm.SpansSupernodes() && m.comm.Size() >= 4
 	}
 }
 
+// overlapOn reports whether the two-phase receive path is active.
+func (m *DistMoE) overlapOn() bool {
+	return m.CommCfg.Overlap && m.Algo != Bruck
+}
+
+// postRemoteFirst posts every chunk of sb, cross-supernode
+// destinations first so their (expensive, high-latency) messages are
+// injected before the cheap local ones and spend the local compute
+// window in flight.
+func (m *DistMoE) postRemoteFirst(ex *mpi.Exchange, sb *mpi.SendBuf) {
+	p := m.comm.Size()
+	for dst := 0; dst < p; dst++ {
+		if !m.localSN[dst] {
+			ex.Post(dst, sb.Chunk(dst), sb.Meta(dst))
+		}
+	}
+	for dst := 0; dst < p; dst++ {
+		if m.localSN[dst] {
+			ex.Post(dst, sb.Chunk(dst), sb.Meta(dst))
+		}
+	}
+}
+
+// exchangeBlocking runs sb through the configured algorithm as one
+// blocking flattened all-to-allv.
+func (m *DistMoE) exchangeBlocking(sb *mpi.SendBuf) *mpi.RecvBuf {
+	if m.Algo == Bruck {
+		return m.comm.AllToAllvBruck(sb)
+	}
+	ex := m.comm.BeginExchange(m.hierWire(), m.CommCfg.Codec)
+	m.postRemoteFirst(ex, sb)
+	ex.Flush()
+	return ex.RecvAll()
+}
+
+// groupRows assigns each row of a received leg to its target local
+// expert using the expert-slot metadata that rode in the messages.
+func (m *DistMoE) groupRows(rb *mpi.RecvBuf) [][]rowRef {
+	ord := make([][]rowRef, m.LocalExperts)
+	for _, src := range rb.Srcs() {
+		for pos, le := range rb.Meta(src) {
+			if le < 0 || le >= m.LocalExperts {
+				panic(fmt.Sprintf("moe: received slot %d out of range (local experts %d)", le, m.LocalExperts))
+			}
+			ord[le] = append(ord[le], rowRef{src, pos})
+		}
+	}
+	return ord
+}
+
+func phaseRows(ord [][]rowRef) int {
+	n := 0
+	for _, refs := range ord {
+		n += len(refs)
+	}
+	return n
+}
+
+// chargeCompute advances the virtual clock by the expert GEMM time at
+// SimRate FLOP/s (two d×hidden matmuls per row forward, double that
+// backward). No-op when SimRate is unset.
+func (m *DistMoE) chargeCompute(rows int, backward bool) {
+	if m.SimRate <= 0 || rows == 0 {
+		return
+	}
+	f := 4 * float64(rows) * float64(m.Cfg.Dim) * float64(m.hidden)
+	if backward {
+		f *= 2
+	}
+	m.comm.Compute(f / m.SimRate)
+}
+
+// runExperts applies the local experts to one phase's received rows,
+// returning per-expert outputs and backward states (nil entries for
+// idle experts).
+func (m *DistMoE) runExperts(rb *mpi.RecvBuf, ord [][]rowRef, d int) ([]*tensor.Tensor, []*nn.FFNState) {
+	outs := make([]*tensor.Tensor, m.LocalExperts)
+	states := make([]*nn.FFNState, m.LocalExperts)
+	tensor.ParallelRows(m.LocalExperts, func(lo, hi int) {
+		for le := lo; le < hi; le++ {
+			refs := ord[le]
+			if len(refs) == 0 {
+				continue
+			}
+			in := tensor.New(len(refs), d)
+			for i, ref := range refs {
+				copy(in.Row(i), rb.Chunk(ref.src)[ref.pos*d:(ref.pos+1)*d])
+			}
+			outs[le], states[le] = m.Experts[le].ForwardState(in)
+		}
+	})
+	return outs, states
+}
+
+// releaseCombine frees the previous step's combine buffers (normally
+// consumed by Backward; forward-only callers drop them here).
+func (m *DistMoE) releaseCombine() {
+	if m.combLocal != nil {
+		m.combLocal.Release()
+		m.combLocal = nil
+	}
+	if m.combRemote != nil {
+		m.combRemote.Release()
+		m.combRemote = nil
+	}
+}
+
+// combRow returns the expert output row returned by rank src at
+// position pos of the combine exchange.
+func (m *DistMoE) combRow(src, pos, d int) []float32 {
+	rb := m.combLocal
+	if m.combRemote != nil && !m.localSN[src] {
+		rb = m.combRemote
+	}
+	return rb.Chunk(src)[pos*d : (pos+1)*d]
+}
+
 // Forward gates local tokens, dispatches them to expert owners,
-// applies the experts, and combines the returned outputs.
+// applies the experts, and combines the returned outputs. With
+// overlap on, the dispatch is two-phase: local-supernode tokens are
+// absorbed and computed (along with shadowed experts) while the
+// cross-supernode leg is still in flight.
 func (m *DistMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
 	tokens, d := x.Shape[0], x.Shape[1]
 	p := m.comm.Size()
-	m.x = x
+	m.releaseCombine()
 	if len(m.shadowList) > 0 {
 		m.refreshShadows()
 	}
@@ -184,9 +402,7 @@ func (m *DistMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
 	routing := m.Gate.Forward(x)
 	m.Time.Gate += time.Since(t0).Seconds()
 
-	// Build per-destination chunks; shadowed experts stay local.
-	dataChunks := make([][]float32, p)
-	metaChunks := make([][]int, p)
+	// Route: per-destination row lists; shadowed experts stay local.
 	m.sendOrder = make([][]sendRef, p)
 	m.shadowRefs = make(map[int][]sendRef)
 	m.perTok = make([][]slot, tokens)
@@ -204,81 +420,148 @@ func (m *DistMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
 					dst := m.ownerOf(a.Expert)
 					s.pos = len(m.sendOrder[dst])
 					m.sendOrder[dst] = append(m.sendOrder[dst], sendRef{t, i})
-					dataChunks[dst] = append(dataChunks[dst], x.Row(t)...)
-					metaChunks[dst] = append(metaChunks[dst], m.slotOf[a.Expert])
 				}
 			}
 			m.perTok[t][i] = s
 		}
 	}
 
-	// Dispatch: token rows + routing metadata.
+	// Stage the flattened dispatch buffer: one pooled payload, counts
+	// header per destination, expert-slot ids riding as metadata.
+	counts := make([]int, p)
+	for dst := 0; dst < p; dst++ {
+		counts[dst] = len(m.sendOrder[dst]) * d
+	}
+	sb := mpi.NewSendBuf(counts)
+	for dst := 0; dst < p; dst++ {
+		for _, ref := range m.sendOrder[dst] {
+			sb.Append(dst, x.Row(ref.token))
+			sb.AppendMeta(dst, m.slotOf[m.perTok[ref.token][ref.k].expert])
+		}
+	}
+
+	overlap := m.overlapOn()
 	t0 = time.Now()
-	m.recvRows = m.a2a(dataChunks)
-	m.recvMeta = m.comm.AllToAllInts(metaChunks)
+	var ex *mpi.Exchange
+	var dispLocal, dispRemote *mpi.RecvBuf
+	if m.Algo == Bruck {
+		dispLocal = m.comm.AllToAllvBruck(sb)
+	} else {
+		ex = m.comm.BeginExchange(m.hierWire(), m.CommCfg.Codec)
+		m.postRemoteFirst(ex, sb)
+		ex.Flush()
+		tl := time.Now()
+		if overlap {
+			dispLocal = ex.RecvLocal()
+		} else {
+			dispLocal = ex.RecvAll()
+		}
+		m.Time.DispatchLocal += time.Since(tl).Seconds()
+	}
+	sb.Release()
 	m.Time.Dispatch += time.Since(t0).Seconds()
 
-	// Group received rows per local expert.
-	m.exptOrder = make([][]rowRef, m.LocalExperts)
-	for src := 0; src < p; src++ {
-		for pos, le := range m.recvMeta[src] {
-			m.exptOrder[le] = append(m.exptOrder[le], rowRef{src, pos})
-		}
-	}
-
-	// Run local experts on their batches.
-	outRows := make([][]float32, p) // per src rank, flat outputs aligned with recv order
-	for src := 0; src < p; src++ {
-		outRows[src] = make([]float32, len(m.recvMeta[src])*d)
-	}
+	// Phase 1: experts on self + intra-supernode tokens (all tokens
+	// when blocking).
+	m.ordLocal = m.groupRows(dispLocal)
 	t0 = time.Now()
-	tensor.ParallelRows(m.LocalExperts, func(lo, hi int) {
-		for le := lo; le < hi; le++ {
-			refs := m.exptOrder[le]
-			if len(refs) == 0 {
-				continue
-			}
-			in := tensor.New(len(refs), d)
-			for i, ref := range refs {
-				copy(in.Row(i), m.recvRows[ref.src][ref.pos*d:(ref.pos+1)*d])
-			}
-			out := m.Experts[le].Forward(in)
-			for i, ref := range refs {
-				copy(outRows[ref.src][ref.pos*d:(ref.pos+1)*d], out.Row(i))
-			}
+	outLocal, stLocal := m.runExperts(dispLocal, m.ordLocal, d)
+	m.stLocal = stLocal
+	m.chargeCompute(phaseRows(m.ordLocal), false)
+
+	// Shadowed experts: local replicas on local tokens, also inside
+	// the in-flight window (no all-to-all involvement at all).
+	m.shadowOuts = make(map[int]*tensor.Tensor, len(m.shadowList))
+	for _, e := range m.shadowList {
+		refs := m.shadowRefs[e]
+		if len(refs) == 0 {
+			continue
 		}
-	})
+		in := tensor.New(len(refs), d)
+		for i, ref := range refs {
+			copy(in.Row(i), x.Row(ref.token))
+		}
+		m.shadowOuts[e] = m.shadows[e].Forward(in)
+	}
 	m.Time.Expert += time.Since(t0).Seconds()
 
-	// Shadowed experts: apply the local replica to local tokens (no
-	// all-to-all involvement at all).
-	m.shadowOuts = make(map[int]*tensor.Tensor, len(m.shadowList))
-	if len(m.shadowList) > 0 {
+	// Phase 2: absorb the cross-supernode leg and run its tokens.
+	var outRemote []*tensor.Tensor
+	if overlap {
 		t0 = time.Now()
-		for _, e := range m.shadowList {
-			refs := m.shadowRefs[e]
-			if len(refs) == 0 {
-				continue
-			}
-			in := tensor.New(len(refs), d)
-			for i, ref := range refs {
-				copy(in.Row(i), x.Row(ref.token))
-			}
-			m.shadowOuts[e] = m.shadows[e].Forward(in)
-		}
+		dispRemote = ex.RecvRemote()
+		dt := time.Since(t0).Seconds()
+		m.Time.DispatchRemote += dt
+		m.Time.Dispatch += dt
+		m.ordRemote = m.groupRows(dispRemote)
+		t0 = time.Now()
+		outRemote, m.stRemote = m.runExperts(dispRemote, m.ordRemote, d)
+		m.chargeCompute(phaseRows(m.ordRemote), false)
 		m.Time.Expert += time.Since(t0).Seconds()
+	} else {
+		m.ordRemote, m.stRemote = nil, nil
 	}
 
-	// Combine: send outputs back to token owners.
+	// Rows received per source, for combine sizing and backward.
+	m.recvCount = make([]int, p)
+	for _, src := range dispLocal.Srcs() {
+		m.recvCount[src] = len(dispLocal.Meta(src))
+	}
+	if dispRemote != nil {
+		for _, src := range dispRemote.Srcs() {
+			m.recvCount[src] = len(dispRemote.Meta(src))
+		}
+	}
+
+	// Combine: expert outputs return to token owners, positionally
+	// aligned with each source's dispatch order.
+	ccounts := make([]int, p)
+	for s := 0; s < p; s++ {
+		ccounts[s] = m.recvCount[s] * d
+	}
+	csb := mpi.NewSendBuf(ccounts)
+	fill := func(ord [][]rowRef, outs []*tensor.Tensor) {
+		for le, refs := range ord {
+			for i, ref := range refs {
+				copy(csb.Chunk(ref.src)[ref.pos*d:(ref.pos+1)*d], outs[le].Row(i))
+			}
+		}
+	}
+	fill(m.ordLocal, outLocal)
+	if outRemote != nil {
+		fill(m.ordRemote, outRemote)
+	}
+	dispLocal.Release()
+	if dispRemote != nil {
+		dispRemote.Release()
+	}
+
 	t0 = time.Now()
-	m.yBack = m.a2a(outRows)
+	if m.Algo == Bruck {
+		m.combLocal = m.comm.AllToAllvBruck(csb)
+	} else {
+		ex2 := m.comm.BeginExchange(m.hierWire(), m.CommCfg.Codec)
+		m.postRemoteFirst(ex2, csb)
+		ex2.Flush()
+		if overlap {
+			tl := time.Now()
+			m.combLocal = ex2.RecvLocal()
+			m.Time.CombineLocal += time.Since(tl).Seconds()
+			tl = time.Now()
+			m.combRemote = ex2.RecvRemote()
+			m.Time.CombineRemote += time.Since(tl).Seconds()
+		} else {
+			m.combLocal = ex2.RecvAll()
+		}
+	}
+	csb.Release()
 	m.Time.Combine += time.Since(t0).Seconds()
 
 	out := tensor.New(tokens, d)
 	for dst := 0; dst < p; dst++ {
 		for i, ref := range m.sendOrder[dst] {
 			s := m.perTok[ref.token][ref.k]
-			y := m.yBack[dst][i*d : (i+1)*d]
+			y := m.combRow(dst, i, d)
 			row := out.Row(ref.token)
 			for j := range row {
 				row[j] += s.weight * y[j]
@@ -299,27 +582,35 @@ func (m *DistMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward runs the reverse dispatch: output gradients travel to the
-// expert owners, expert backward produces input gradients, and those
-// return to the token owners. Gate gradients stay local.
+// expert owners (two-phase under overlap, mirroring the forward
+// dispatch — expert backward for local-phase rows runs while
+// cross-supernode gradients are in flight), expert backward produces
+// input gradients, and those return to the token owners. Gate
+// gradients stay local.
 func (m *DistMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	tokens, d := dout.Shape[0], dout.Shape[1]
 	p := m.comm.Size()
+	overlap := m.overlapOn()
 
 	// Combine-weight gradients for the gate, and ŵ-scaled output
-	// gradients for the experts.
+	// gradients for the experts, staged flat per destination.
 	dWeights := make([][]float32, tokens)
 	for t := range dWeights {
 		dWeights[t] = make([]float32, len(m.perTok[t]))
 	}
-	dyChunks := make([][]float32, p)
+	counts := make([]int, p)
 	for dst := 0; dst < p; dst++ {
-		dyChunks[dst] = make([]float32, len(m.sendOrder[dst])*d)
+		counts[dst] = len(m.sendOrder[dst]) * d
+	}
+	dsb := mpi.NewSendBuf(counts)
+	for dst := 0; dst < p; dst++ {
+		chunk := dsb.Chunk(dst)
 		for i, ref := range m.sendOrder[dst] {
 			s := m.perTok[ref.token][ref.k]
-			y := m.yBack[dst][i*d : (i+1)*d]
+			y := m.combRow(dst, i, d)
 			g := dout.Row(ref.token)
 			var dw float64
-			dyRow := dyChunks[dst][i*d : (i+1)*d]
+			dyRow := chunk[i*d : (i+1)*d]
 			for j := range g {
 				dw += float64(g[j]) * float64(y[j])
 				dyRow[j] = s.weight * g[j]
@@ -351,44 +642,90 @@ func (m *DistMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		shadowDy[e] = dy
 	}
 
-	// Reverse dispatch of output gradients.
-	dyRecv := m.a2a(dyChunks)
-
-	// Expert backward; input grads go back into per-src chunks.
-	dxChunks := make([][]float32, p)
-	for src := 0; src < p; src++ {
-		dxChunks[src] = make([]float32, len(m.recvMeta[src])*d)
-	}
-	tensor.ParallelRows(m.LocalExperts, func(lo, hi int) {
-		for le := lo; le < hi; le++ {
-			refs := m.exptOrder[le]
-			if len(refs) == 0 {
-				continue
-			}
-			dy := tensor.New(len(refs), d)
-			for i, ref := range refs {
-				copy(dy.Row(i), dyRecv[ref.src][ref.pos*d:(ref.pos+1)*d])
-			}
-			dx := m.Experts[le].Backward(dy)
-			for i, ref := range refs {
-				copy(dxChunks[ref.src][ref.pos*d:(ref.pos+1)*d], dx.Row(i))
-			}
+	// Reverse dispatch of output gradients (the combine's backward).
+	t0 := time.Now()
+	var ex *mpi.Exchange
+	var dyLocal, dyRemote *mpi.RecvBuf
+	if m.Algo == Bruck {
+		dyLocal = m.comm.AllToAllvBruck(dsb)
+	} else {
+		ex = m.comm.BeginExchange(m.hierWire(), m.CommCfg.Codec)
+		m.postRemoteFirst(ex, dsb)
+		ex.Flush()
+		tl := time.Now()
+		if overlap {
+			dyLocal = ex.RecvLocal()
+		} else {
+			dyLocal = ex.RecvAll()
 		}
-	})
+		m.Time.CombineLocal += time.Since(tl).Seconds()
+	}
+	dsb.Release()
+	m.Time.Combine += time.Since(t0).Seconds()
 
-	// Return input gradients to token owners.
-	dxBack := m.a2a(dxChunks)
+	// Expert backward per phase; input grads are scattered into the
+	// flat return buffer at their dispatch positions.
+	rcounts := make([]int, p)
+	for s := 0; s < p; s++ {
+		rcounts[s] = m.recvCount[s] * d
+	}
+	rsb := mpi.NewSendBuf(rcounts)
+	backPhase := func(rb *mpi.RecvBuf, ord [][]rowRef, st []*nn.FFNState) {
+		tensor.ParallelRows(m.LocalExperts, func(lo, hi int) {
+			for le := lo; le < hi; le++ {
+				refs := ord[le]
+				if len(refs) == 0 {
+					continue
+				}
+				dy := tensor.New(len(refs), d)
+				for i, ref := range refs {
+					copy(dy.Row(i), rb.Chunk(ref.src)[ref.pos*d:(ref.pos+1)*d])
+				}
+				dx := m.Experts[le].BackwardState(dy, st[le])
+				for i, ref := range refs {
+					copy(rsb.Chunk(ref.src)[ref.pos*d:(ref.pos+1)*d], dx.Row(i))
+				}
+			}
+		})
+	}
+	t0 = time.Now()
+	backPhase(dyLocal, m.ordLocal, m.stLocal)
+	m.chargeCompute(phaseRows(m.ordLocal), true)
+	m.Time.Expert += time.Since(t0).Seconds()
+	if overlap {
+		t0 = time.Now()
+		dyRemote = ex.RecvRemote()
+		dt := time.Since(t0).Seconds()
+		m.Time.CombineRemote += dt
+		m.Time.Combine += dt
+		t0 = time.Now()
+		backPhase(dyRemote, m.ordRemote, m.stRemote)
+		m.chargeCompute(phaseRows(m.ordRemote), true)
+		m.Time.Expert += time.Since(t0).Seconds()
+	}
+	dyLocal.Release()
+	if dyRemote != nil {
+		dyRemote.Release()
+	}
+
+	// Return input gradients to token owners (the dispatch's
+	// backward); the next layer needs every row, so this leg blocks.
+	t0 = time.Now()
+	ret := m.exchangeBlocking(rsb)
+	rsb.Release()
+	m.Time.Dispatch += time.Since(t0).Seconds()
 
 	dx := tensor.New(tokens, d)
 	for dst := 0; dst < p; dst++ {
 		for i, ref := range m.sendOrder[dst] {
-			src := dxBack[dst][i*d : (i+1)*d]
+			src := ret.Chunk(dst)[i*d : (i+1)*d]
 			row := dx.Row(ref.token)
 			for j := range row {
 				row[j] += src[j]
 			}
 		}
 	}
+	ret.Release()
 
 	// Shadow replicas: local backward, then gradients reduced to the
 	// expert's owner.
@@ -411,6 +748,7 @@ func (m *DistMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	}
 
 	tensor.AddInPlace(dx, m.Gate.Backward(dWeights))
+	m.releaseCombine()
 	return dx
 }
 

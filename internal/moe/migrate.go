@@ -85,9 +85,12 @@ func (m *DistMoE) Migrate(newPlace *Placement) error {
 	// Invalidate forward caches.
 	m.perTok = nil
 	m.sendOrder = nil
-	m.recvMeta = nil
-	m.exptOrder = nil
-	m.yBack = nil
+	m.recvCount = nil
+	m.ordLocal = nil
+	m.ordRemote = nil
+	m.stLocal = nil
+	m.stRemote = nil
+	m.releaseCombine()
 	return nil
 }
 

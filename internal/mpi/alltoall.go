@@ -1,6 +1,21 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"bagualu/internal/tensor"
+)
+
+// pooledCopy stages a chunk through the tensor pool instead of a
+// fresh allocation; used for the self chunk (a rank "sending" to
+// itself is a memcpy) and leader scatter. The caller may hand the
+// result to tensor.PutSlice when done, but is not required to — the
+// copy is indistinguishable from a plain allocation to the GC.
+func pooledCopy(src []float32) []float32 {
+	dst := tensor.GetSlice(len(src))
+	copy(dst, src)
+	return dst
+}
 
 // All-to-all personalized exchange, the communication pattern at the
 // heart of MoE dispatch/combine. chunks[d] is the payload destined to
@@ -44,7 +59,7 @@ func (c *Comm) AllToAllDirect(chunks [][]float32) [][]float32 {
 	tag := collTag(c.id, seq, 0)
 	p := c.Size()
 	out := make([][]float32, p)
-	out[c.rank] = append([]float32(nil), chunks[c.rank]...)
+	out[c.rank] = pooledCopy(chunks[c.rank])
 	for d := 0; d < p; d++ {
 		if d != c.rank {
 			c.sendStep(d, tag, chunks[d], nil)
@@ -67,7 +82,7 @@ func (c *Comm) AllToAllPairwise(chunks [][]float32) [][]float32 {
 	tag := collTag(c.id, seq, 0)
 	p := c.Size()
 	out := make([][]float32, p)
-	out[c.rank] = append([]float32(nil), chunks[c.rank]...)
+	out[c.rank] = pooledCopy(chunks[c.rank])
 	for s := 1; s < p; s++ {
 		dst := (c.rank + s) % p
 		src := (c.rank - s + p) % p
@@ -92,7 +107,7 @@ func (c *Comm) AllToAllHier(chunks [][]float32) [][]float32 {
 	tagDown := collTag(c.id, seq, 3)
 
 	out := make([][]float32, p)
-	out[c.rank] = append([]float32(nil), chunks[c.rank]...)
+	out[c.rank] = pooledCopy(chunks[c.rank])
 
 	inSN := make(map[int]bool, len(members))
 	for _, m := range members {
@@ -231,7 +246,7 @@ func (c *Comm) scatterInto(out [][]float32, hdr []int, data []float32) {
 	off := 0
 	for i := 0; i < len(hdr); i += 2 {
 		src, n := hdr[i], hdr[i+1]
-		out[src] = append([]float32(nil), data[off:off+n]...)
+		out[src] = pooledCopy(data[off : off+n])
 		off += n
 	}
 }

@@ -31,6 +31,8 @@ type Comm struct {
 
 	nextChildID int64 // id to assign at the next Split
 
+	wire WireStats // flattened-exchange traffic staged by this comm
+
 	// Lazily built topology caches (group and topology are fixed for
 	// the comm's lifetime; a Comm is owned by one rank's goroutine, so
 	// no locking is needed). snLeader maps supernode id -> leader comm

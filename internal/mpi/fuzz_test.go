@@ -139,6 +139,132 @@ func TestPropBcastReduceDual(t *testing.T) {
 	}
 }
 
+// TestPropAllToAllvFramingRoundTrip fuzzes the flattened wire format:
+// random world sizes, per-pair counts, payloads, and metadata lists
+// must round-trip through every algorithm × codec × receive mode,
+// with the counts header always matching the absorbed chunk sizes.
+func TestPropAllToAllvFramingRoundTrip(t *testing.T) {
+	f := func(seed uint64, pRaw, mode uint8) bool {
+		p := int(pRaw)%8 + 1
+		r := tensor.NewRNG(seed)
+		counts := make([][]int, p)   // [src][dst] floats
+		metas := make([][][]int, p)  // [src][dst] metadata
+		vals := make([][][]float32, p)
+		for s := 0; s < p; s++ {
+			counts[s] = make([]int, p)
+			metas[s] = make([][]int, p)
+			vals[s] = make([][]float32, p)
+			for d := 0; d < p; d++ {
+				counts[s][d] = r.Intn(7)
+				vals[s][d] = make([]float32, counts[s][d])
+				for i := range vals[s][d] {
+					// Small integers survive FP16 exactly, so both
+					// codecs can be checked for exact round-trip.
+					vals[s][d][i] = float32(r.Intn(512)) - 256
+				}
+				nm := r.Intn(4)
+				metas[s][d] = make([]int, nm)
+				for i := range metas[s][d] {
+					metas[s][d][i] = s*10000 + d*100 + i
+				}
+			}
+		}
+		ok := true
+		check := func(c *Comm, rb *RecvBuf) {
+			for s := 0; s < p; s++ {
+				want := vals[s][c.Rank()]
+				if rb.Count(s) != len(want) {
+					ok = false
+					return
+				}
+				chunk := rb.Chunk(s)
+				for i := range want {
+					if chunk[i] != want[i] {
+						ok = false
+						return
+					}
+				}
+				wm := metas[s][c.Rank()]
+				gm := rb.Meta(s)
+				if len(gm) != len(wm) {
+					ok = false
+					return
+				}
+				for i := range wm {
+					if gm[i] != wm[i] {
+						ok = false
+						return
+					}
+				}
+			}
+		}
+		for _, codec := range []Codec{FP32Wire, FP16Wire} {
+			for _, hier := range []bool{false, true} {
+				w := NewWorld(p, fuzzTopo(p))
+				w.Run(func(c *Comm) {
+					sb := NewSendBuf(counts[c.Rank()])
+					for d := 0; d < p; d++ {
+						sb.Append(d, vals[c.Rank()][d])
+						for _, v := range metas[c.Rank()][d] {
+							sb.AppendMeta(d, v)
+						}
+					}
+					switch mode % 3 {
+					case 0: // blocking
+						var rb *RecvBuf
+						if hier {
+							rb = c.AllToAllvHier(sb, codec)
+						} else {
+							rb = c.AllToAllvDirect(sb, codec)
+						}
+						check(c, rb)
+						rb.Release()
+					case 1: // two-phase
+						ex := c.BeginExchange(hier, codec)
+						ex.PostAll(sb)
+						ex.Flush()
+						local := ex.RecvLocal()
+						remote := ex.RecvRemote()
+						// Merge views for the check.
+						merged := &RecvBuf{
+							counts: make([]int, p),
+							offs:   make([]int, p),
+							meta:   make([][]int, p),
+						}
+						total := 0
+						for _, part := range []*RecvBuf{local, remote} {
+							for _, s := range part.Srcs() {
+								merged.counts[s] = part.Count(s)
+								merged.offs[s] = total
+								merged.meta[s] = part.Meta(s)
+								total += part.Count(s)
+							}
+						}
+						merged.data = make([]float32, total)
+						for _, part := range []*RecvBuf{local, remote} {
+							for _, s := range part.Srcs() {
+								copy(merged.data[merged.offs[s]:merged.offs[s]+merged.counts[s]], part.Chunk(s))
+							}
+						}
+						check(c, merged)
+						local.Release()
+						remote.Release()
+					default: // Bruck wrapper (FP32 only)
+						rb := c.AllToAllvBruck(sb)
+						check(c, rb)
+						rb.Release()
+					}
+					sb.Release()
+				})
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPropVirtualTimeMonotone(t *testing.T) {
 	// A rank's clock never runs backward across any collective mix.
 	f := func(seed uint64) bool {

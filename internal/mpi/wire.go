@@ -1,0 +1,920 @@
+package mpi
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"bagualu/internal/half"
+	"bagualu/internal/simnet"
+	"bagualu/internal/tensor"
+)
+
+// Wire-format layer: flattened all-to-allv over pooled buffers.
+//
+// The legacy AllToAll* collectives exchange one allocated []float32
+// per rank pair and need a separate AllToAllInts round for routing
+// metadata. This layer replaces both with a single framed exchange:
+//
+//   - SendBuf / RecvBuf hold one contiguous pooled payload (counts
+//     header + offsets) instead of P slices, so a MoE dispatch stages
+//     and absorbs all tokens with two pool hits total.
+//   - Per-destination int metadata (MoE expert-slot ids) rides inside
+//     the data messages, eliminating the extra metadata round.
+//   - An optional FP16 codec encodes payloads that cross supernodes
+//     (simnet.MachineLevel — the expensive links) as raw half bit
+//     patterns, halving bytes on exactly the legs that dominate the
+//     paper's cost model. Intra-supernode legs stay FP32.
+//   - Exchange splits the collective into Post/Flush (eager sends) and
+//     RecvLocal/RecvRemote, so the caller can run local expert compute
+//     while cross-supernode traffic is in flight.
+//
+// Ownership protocol: every message payload is staged into a pooled
+// buffer by the sender (message.staged); the receiver releases it
+// after absorbing the bytes into its flat RecvBuf. Senders therefore
+// never retain references to in-flight buffers, and callers may reuse
+// their SendBuf the moment Flush returns.
+
+// Codec selects the on-the-wire element encoding for payloads that
+// cross supernodes. Intra-supernode and self traffic is always FP32.
+type Codec int
+
+const (
+	// FP32Wire sends full-width float32 everywhere.
+	FP32Wire Codec = iota
+	// FP16Wire encodes inter-supernode payloads as raw FP16 bit
+	// patterns (2 bytes/element), the paper's mixed-precision wire
+	// format. Values round through half precision exactly once.
+	FP16Wire
+)
+
+// String names the codec.
+func (c Codec) String() string {
+	switch c {
+	case FP32Wire:
+		return "fp32"
+	case FP16Wire:
+		return "fp16"
+	default:
+		return fmt.Sprintf("Codec(%d)", int(c))
+	}
+}
+
+// ParseCodec maps a flag string ("fp32" or "fp16") to a Codec.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "fp32":
+		return FP32Wire, nil
+	case "fp16":
+		return FP16Wire, nil
+	default:
+		return FP32Wire, fmt.Errorf("mpi: unknown wire codec %q (want fp32 or fp16)", s)
+	}
+}
+
+// Collective step numbers within one exchange's tag space.
+const (
+	stepDirect = 0 // direct chunk (intra-supernode, or any in flat mode)
+	stepUp     = 1 // member -> leader aggregation
+	stepX      = 2 // leader -> leader cross-supernode
+	stepDown   = 3 // leader -> member scatter
+)
+
+// Size-classed pool for FP16 staging buffers, mirroring the float32
+// classes in package tensor.
+const (
+	u16MinBits = 6
+	u16MaxBits = 28
+)
+
+var u16Pools [u16MaxBits + 1]sync.Pool
+
+func u16ClassFor(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	c := bits.Len(uint(n - 1))
+	if c < u16MinBits {
+		c = u16MinBits
+	}
+	if c > u16MaxBits {
+		return -1
+	}
+	return c
+}
+
+func getU16(n int) []uint16 {
+	c := u16ClassFor(n)
+	if c < 0 {
+		return make([]uint16, n)
+	}
+	if v := u16Pools[c].Get(); v != nil {
+		return (*v.(*[]uint16))[:n]
+	}
+	return make([]uint16, 1<<c)[:n]
+}
+
+func putU16(s []uint16) {
+	cp := cap(s)
+	if c := u16ClassFor(cp); c >= 0 && cp == 1<<c {
+		full := s[:cp]
+		u16Pools[c].Put(&full)
+	}
+}
+
+// WireStats counts flattened-exchange traffic staged by one
+// communicator, indexed by simnet.Level. Wire is what actually
+// crossed the network after codec; Raw is what an all-FP32 wire would
+// have carried for the same exchange. The gap at MachineLevel is the
+// codec's saving. Unlike World.Stats (global, atomic), WireStats is
+// per-comm and owned by the comm's goroutine.
+type WireStats struct {
+	Wire [4]int64 // bytes after codec
+	Raw  [4]int64 // bytes an FP32 wire would have sent
+	Msgs [4]int64
+}
+
+// Sub returns w minus o, for before/after snapshots around a phase.
+func (w WireStats) Sub(o WireStats) WireStats {
+	var d WireStats
+	for i := range w.Wire {
+		d.Wire[i] = w.Wire[i] - o.Wire[i]
+		d.Raw[i] = w.Raw[i] - o.Raw[i]
+		d.Msgs[i] = w.Msgs[i] - o.Msgs[i]
+	}
+	return d
+}
+
+// Add accumulates o into w.
+func (w *WireStats) Add(o WireStats) {
+	for i := range w.Wire {
+		w.Wire[i] += o.Wire[i]
+		w.Raw[i] += o.Raw[i]
+		w.Msgs[i] += o.Msgs[i]
+	}
+}
+
+// TotalWire sums post-codec bytes over all levels.
+func (w WireStats) TotalWire() int64 {
+	var t int64
+	for _, v := range w.Wire {
+		t += v
+	}
+	return t
+}
+
+// InterBytes returns post-codec bytes on inter-supernode links.
+func (w WireStats) InterBytes() int64 { return w.Wire[simnet.MachineLevel] }
+
+// IntraBytes returns post-codec bytes below the inter-supernode tier
+// (node + supernode links; self copies excluded).
+func (w WireStats) IntraBytes() int64 {
+	return w.Wire[simnet.NodeLevel] + w.Wire[simnet.SupernodeLevel]
+}
+
+// WireStats returns a snapshot of this communicator's flattened-
+// exchange counters.
+func (c *Comm) WireStats() WireStats { return c.wire }
+
+// SpansSupernodes reports whether the communicator's ranks live in
+// more than one supernode, i.e. whether hierarchical aggregation and
+// the FP16 machine-level codec have any traffic to act on.
+func (c *Comm) SpansSupernodes() bool { return c.spansSupernodes() }
+
+func (c *Comm) accountWire(level simnet.Level, wire, raw int) {
+	c.wire.Wire[level] += int64(wire)
+	c.wire.Raw[level] += int64(raw)
+	c.wire.Msgs[level]++
+}
+
+// SendBuf is the flattened send side of an all-to-allv exchange: one
+// pooled contiguous payload holding counts[d] floats destined to each
+// rank d, plus optional per-destination int metadata that rides in
+// the same messages. Build with NewSendBuf + Append, hand to an
+// Exchange (or a blocking AllToAllv*), then Release.
+type SendBuf struct {
+	data   []float32 // pooled, len = sum(counts)
+	counts []int
+	offs   []int
+	fill   []int // append cursor per destination
+	meta   [][]int
+}
+
+// NewSendBuf sizes a send buffer for counts[d] floats per destination
+// over one pooled backing slice.
+func NewSendBuf(counts []int) *SendBuf {
+	offs := make([]int, len(counts))
+	total := 0
+	for d, n := range counts {
+		if n < 0 {
+			panic(fmt.Sprintf("mpi: negative send count %d for dst %d", n, d))
+		}
+		offs[d] = total
+		total += n
+	}
+	return &SendBuf{
+		data:   tensor.GetSlice(total),
+		counts: append([]int(nil), counts...),
+		offs:   offs,
+		fill:   make([]int, len(counts)),
+		meta:   make([][]int, len(counts)),
+	}
+}
+
+// Append copies row into the next free slot of dst's region.
+func (b *SendBuf) Append(dst int, row []float32) {
+	off := b.offs[dst] + b.fill[dst]
+	if b.fill[dst]+len(row) > b.counts[dst] {
+		panic(fmt.Sprintf("mpi: SendBuf overflow for dst %d (%d+%d > %d)",
+			dst, b.fill[dst], len(row), b.counts[dst]))
+	}
+	copy(b.data[off:off+len(row)], row)
+	b.fill[dst] += len(row)
+}
+
+// AppendMeta records one metadata int for dst; metadata rides in the
+// same message as dst's payload.
+func (b *SendBuf) AppendMeta(dst int, v int) {
+	b.meta[dst] = append(b.meta[dst], v)
+}
+
+// Chunk returns the full payload region destined to dst (a view into
+// the flat buffer; valid until Release).
+func (b *SendBuf) Chunk(dst int) []float32 {
+	return b.data[b.offs[dst] : b.offs[dst]+b.counts[dst]]
+}
+
+// Meta returns the metadata recorded for dst.
+func (b *SendBuf) Meta(dst int) []int { return b.meta[dst] }
+
+// Count returns the number of floats destined to dst.
+func (b *SendBuf) Count(dst int) int { return b.counts[dst] }
+
+// Release returns the backing buffer to the pool. Safe after Flush
+// (every message stages its own copy).
+func (b *SendBuf) Release() {
+	tensor.PutSlice(b.data)
+	b.data = nil
+}
+
+// RecvBuf is the flattened receive side: one pooled contiguous
+// payload grouped by source rank in ascending order, plus the
+// per-source metadata that rode in the messages.
+type RecvBuf struct {
+	data   []float32 // pooled, len = sum over srcs of counts
+	counts []int     // indexed by comm rank; 0 for absent sources
+	offs   []int
+	meta   [][]int
+	srcs   []int // sources present, ascending
+}
+
+// Srcs lists the source ranks this buffer covers, ascending.
+func (b *RecvBuf) Srcs() []int { return b.srcs }
+
+// Count returns the number of floats received from src.
+func (b *RecvBuf) Count(src int) int { return b.counts[src] }
+
+// Chunk returns the payload received from src (a view; valid until
+// Release).
+func (b *RecvBuf) Chunk(src int) []float32 {
+	return b.data[b.offs[src] : b.offs[src]+b.counts[src]]
+}
+
+// Meta returns the metadata received from src.
+func (b *RecvBuf) Meta(src int) []int { return b.meta[src] }
+
+// Release returns the backing buffer to the pool.
+func (b *RecvBuf) Release() {
+	tensor.PutSlice(b.data)
+	b.data = nil
+}
+
+// seg is one absorbed source segment awaiting assembly into a
+// RecvBuf: exactly one of f32/u16 is set (or neither for n==0).
+type seg struct {
+	n    int
+	f32  []float32
+	u16  []uint16
+	meta []int
+}
+
+// relList collects staged message buffers to return to their pools
+// once a RecvBuf has been assembled from views into them.
+type relList struct {
+	f32 [][]float32
+	u16 [][]uint16
+}
+
+func (r *relList) release() {
+	for _, s := range r.f32 {
+		tensor.PutSlice(s)
+	}
+	for _, s := range r.u16 {
+		putU16(s)
+	}
+	r.f32, r.u16 = nil, nil
+}
+
+// Exchange is an in-flight flattened all-to-allv. The protocol is:
+//
+//	ex := c.BeginExchange(hier, codec)
+//	ex.Post(dst, chunk, meta) for each destination   // eager sends
+//	ex.Flush()                                        // nothing unsent remains
+//	local := ex.RecvLocal()    // self + intra-supernode sources
+//	... compute on local tokens while remote bytes fly ...
+//	remote := ex.RecvRemote()  // cross-supernode sources
+//
+// or, when overlap is not wanted, RecvAll() for one merged buffer.
+// All sends are eager (the simulated network buffers them), so any
+// interleaving of compute between Flush and the Recv calls is
+// deadlock-free; every rank of the communicator must run the same
+// sequence. In hierarchical mode cross-supernode chunks are batched
+// into one up-leg message to the supernode leader at Flush; leaders
+// run the aggregate exchange inside RecvRemote.
+type Exchange struct {
+	c     *Comm
+	codec Codec
+	hier  bool
+	seq   int64
+
+	posted     []bool
+	flushed    bool
+	localDone  bool
+	remoteDone bool
+
+	// Self chunk, staged at Post so the caller's buffer is free.
+	selfData []float32 // pooled
+	selfMeta []int
+
+	// Hierarchical mode: cross-supernode chunks buffered for the
+	// up-leg, framed as (dst, n, nmeta) triples.
+	upHdr  []int
+	upData []float32
+	upMeta []int
+
+	// Hierarchical identity (nil/empty in flat mode).
+	isLeader  bool
+	myLeader  int
+	members   []int
+	inSN      []bool
+	leaders   []int
+	leaderIdx map[int]int
+}
+
+// BeginExchange opens a flattened all-to-allv on the communicator.
+// hier selects the topology-aware path (cross-supernode chunks are
+// aggregated at supernode leaders); it degrades to the flat direct
+// protocol when the comm does not span supernodes. Every rank of the
+// comm must call BeginExchange with the same arguments, in the same
+// collective order.
+func (c *Comm) BeginExchange(hier bool, codec Codec) *Exchange {
+	if hier && !c.spansSupernodes() {
+		hier = false
+	}
+	e := &Exchange{
+		c:      c,
+		codec:  codec,
+		hier:   hier,
+		seq:    c.nextSeq(),
+		posted: make([]bool, c.Size()),
+	}
+	if hier {
+		e.members, e.leaderIdx, e.myLeader = c.supernodeGroup()
+		e.isLeader = c.rank == e.myLeader
+		e.leaders = c.leaders(nil)
+		e.inSN = make([]bool, c.Size())
+		for _, m := range e.members {
+			e.inSN[m] = true
+		}
+	} else {
+		// Flat mode: "local" still means same-supernode so RecvLocal/
+		// RecvRemote split identically for both algorithms.
+		e.members, _, _ = c.supernodeGroup()
+		e.inSN = make([]bool, c.Size())
+		for _, m := range e.members {
+			e.inSN[m] = true
+		}
+	}
+	return e
+}
+
+// Post stages the chunk destined to dst and, unless it is buffered
+// for the hierarchical up-leg, sends it immediately. The caller keeps
+// ownership of data and meta (Post copies). Each destination may be
+// posted at most once per exchange.
+func (e *Exchange) Post(dst int, data []float32, meta []int) {
+	if e.flushed {
+		panic("mpi: Exchange.Post after Flush")
+	}
+	if dst < 0 || dst >= e.c.Size() {
+		panic(fmt.Sprintf("mpi: Exchange.Post to invalid rank %d", dst))
+	}
+	if e.posted[dst] {
+		panic(fmt.Sprintf("mpi: Exchange.Post twice to rank %d", dst))
+	}
+	e.posted[dst] = true
+
+	if dst == e.c.rank {
+		e.selfData = tensor.GetSlice(len(data))
+		copy(e.selfData, data)
+		e.selfMeta = append([]int(nil), meta...)
+		e.c.accountWire(simnet.SelfLevel, 4*len(data)+8*len(meta), 4*len(data)+8*len(meta))
+		return
+	}
+	if e.hier && !e.inSN[dst] {
+		e.upHdr = append(e.upHdr, dst, len(data), len(meta))
+		e.upData = append(e.upData, data...)
+		e.upMeta = append(e.upMeta, meta...)
+		return
+	}
+	e.sendDirect(dst, data, meta)
+}
+
+// PostAll posts every destination chunk of a SendBuf.
+func (e *Exchange) PostAll(sb *SendBuf) {
+	for d := 0; d < e.c.Size(); d++ {
+		e.Post(d, sb.Chunk(d), sb.Meta(d))
+	}
+}
+
+// sendDirect frames one chunk as [n, nmeta, meta...] and posts it,
+// encoding to FP16 when the codec applies to this link level.
+func (e *Exchange) sendDirect(dst int, data []float32, meta []int) {
+	c := e.c
+	ints := make([]int, 2+len(meta))
+	ints[0], ints[1] = len(data), len(meta)
+	copy(ints[2:], meta)
+	level := c.Topology().LevelOf(c.group[c.rank], c.group[dst])
+	m := message{tag: collTag(c.id, e.seq, stepDirect), ints: ints, staged: true}
+	if e.codec == FP16Wire && level == simnet.MachineLevel {
+		u := getU16(len(data))
+		half.EncodeSlice(u, data)
+		m.u16 = u
+	} else {
+		s := tensor.GetSlice(len(data))
+		copy(s, data)
+		m.data = s
+	}
+	c.accountWire(level, m.nbytes(), 4*len(data)+8*len(ints))
+	c.proc.post(c.group[dst], m)
+}
+
+// Flush completes the send side: destinations never posted get an
+// empty chunk, and in hierarchical mode the batched cross-supernode
+// up-leg is shipped to the supernode leader (leaders keep theirs for
+// direct aggregation). After Flush the exchange's SendBuf may be
+// released or reused.
+func (e *Exchange) Flush() {
+	if e.flushed {
+		panic("mpi: Exchange.Flush twice")
+	}
+	for d := range e.posted {
+		if !e.posted[d] {
+			e.Post(d, nil, nil)
+		}
+	}
+	e.flushed = true
+	if e.hier && !e.isLeader {
+		c := e.c
+		k := len(e.upHdr) / 3
+		ints := make([]int, 1+len(e.upHdr)+len(e.upMeta))
+		ints[0] = k
+		copy(ints[1:], e.upHdr)
+		copy(ints[1+len(e.upHdr):], e.upMeta)
+		s := tensor.GetSlice(len(e.upData))
+		copy(s, e.upData)
+		m := message{tag: collTag(c.id, e.seq, stepUp), ints: ints, data: s, staged: true}
+		level := c.Topology().LevelOf(c.group[c.rank], c.group[e.myLeader])
+		c.accountWire(level, m.nbytes(), m.nbytes())
+		c.proc.post(c.group[e.myLeader], m)
+	}
+}
+
+// absorbDirect parses a [n, nmeta, meta...]-framed message into a seg
+// and queues its staging buffer for release.
+func absorbDirect(m message, rel *relList) seg {
+	if len(m.ints) < 2 {
+		panic("mpi: wire framing corrupt: direct header too short")
+	}
+	n, nmeta := m.ints[0], m.ints[1]
+	if nmeta < 0 || len(m.ints) != 2+nmeta {
+		panic(fmt.Sprintf("mpi: wire framing corrupt: meta count %d vs header %d", nmeta, len(m.ints)))
+	}
+	s := seg{n: n, meta: m.ints[2 : 2+nmeta]}
+	switch {
+	case m.u16 != nil:
+		if len(m.u16) != n {
+			panic(fmt.Sprintf("mpi: wire framing corrupt: fp16 payload %d vs count %d", len(m.u16), n))
+		}
+		s.u16 = m.u16
+		if m.staged {
+			rel.u16 = append(rel.u16, m.u16)
+		}
+	default:
+		if len(m.data) != n {
+			panic(fmt.Sprintf("mpi: wire framing corrupt: payload %d vs count %d", len(m.data), n))
+		}
+		s.f32 = m.data
+		if m.staged {
+			rel.f32 = append(rel.f32, m.data)
+		}
+	}
+	return s
+}
+
+// assemble copies/decodes segs (for the listed sources, ascending)
+// into one flat pooled RecvBuf, then releases all staging buffers.
+func (e *Exchange) assemble(segs []seg, srcs []int, rel *relList) *RecvBuf {
+	p := e.c.Size()
+	b := &RecvBuf{
+		counts: make([]int, p),
+		offs:   make([]int, p),
+		meta:   make([][]int, p),
+		srcs:   srcs,
+	}
+	total := 0
+	for _, s := range srcs {
+		b.offs[s] = total
+		b.counts[s] = segs[s].n
+		total += segs[s].n
+	}
+	b.data = tensor.GetSlice(total)
+	for _, s := range srcs {
+		dst := b.data[b.offs[s] : b.offs[s]+segs[s].n]
+		switch {
+		case segs[s].u16 != nil:
+			half.DecodeSlice(dst, segs[s].u16)
+		case segs[s].f32 != nil:
+			copy(dst, segs[s].f32)
+		}
+		b.meta[s] = segs[s].meta
+	}
+	rel.release()
+	return b
+}
+
+// localSrcs / remoteSrcs partition the comm by this rank's supernode.
+func (e *Exchange) localSrcs() []int { return append([]int(nil), e.members...) }
+
+func (e *Exchange) remoteSrcs() []int {
+	var srcs []int
+	for s := 0; s < e.c.Size(); s++ {
+		if !e.inSN[s] {
+			srcs = append(srcs, s)
+		}
+	}
+	return srcs
+}
+
+// collectLocal blocks for the cheap leg: the self chunk plus every
+// direct message from a same-supernode source.
+func (e *Exchange) collectLocal(segs []seg, rel *relList) {
+	segs[e.c.rank] = seg{n: len(e.selfData), f32: e.selfData, meta: e.selfMeta}
+	if e.selfData != nil {
+		rel.f32 = append(rel.f32, e.selfData)
+		e.selfData = nil
+	}
+	for _, s := range e.members {
+		if s == e.c.rank {
+			continue
+		}
+		m := e.c.recvStep(s, collTag(e.c.id, e.seq, stepDirect))
+		segs[s] = absorbDirect(m, rel)
+	}
+}
+
+// collectRemote blocks for the cross-supernode leg. In flat mode that
+// is a direct message per remote source; in hierarchical mode the
+// leader absorbs member up-legs, runs the leader-to-leader exchange
+// (where the FP16 codec applies), and scatters down-legs, while
+// non-leaders receive one down-leg from their leader.
+func (e *Exchange) collectRemote(segs []seg, rel *relList) {
+	c := e.c
+	if !e.hier {
+		for _, s := range e.remoteSrcs() {
+			m := c.recvStep(s, collTag(c.id, e.seq, stepDirect))
+			segs[s] = absorbDirect(m, rel)
+		}
+		return
+	}
+	if !e.isLeader {
+		m := c.recvStep(e.myLeader, collTag(c.id, e.seq, stepDown))
+		parseScatter(m, c.rank, segs, rel)
+		return
+	}
+	e.leaderExchange(segs, rel)
+}
+
+// parseScatter decodes a down-leg framed [k, (src, n, nmeta)×k,
+// meta...] into segs; all payloads are FP32 views into one staged
+// buffer, released once after assembly.
+func parseScatter(m message, me int, segs []seg, rel *relList) {
+	if len(m.ints) < 1 {
+		panic("mpi: wire framing corrupt: scatter header missing")
+	}
+	k := m.ints[0]
+	if k < 0 || len(m.ints) < 1+3*k {
+		panic(fmt.Sprintf("mpi: wire framing corrupt: scatter header k=%d len=%d", k, len(m.ints)))
+	}
+	hdr := m.ints[1 : 1+3*k]
+	meta := m.ints[1+3*k:]
+	offD, offM := 0, 0
+	for i := 0; i < k; i++ {
+		src, n, nm := hdr[3*i], hdr[3*i+1], hdr[3*i+2]
+		if n < 0 || nm < 0 || offD+n > len(m.data) || offM+nm > len(meta) {
+			panic("mpi: wire framing corrupt: scatter entry out of bounds")
+		}
+		segs[src] = seg{n: n, f32: m.data[offD : offD+n], meta: meta[offM : offM+nm]}
+		offD += n
+		offM += nm
+	}
+	if m.staged && m.data != nil {
+		rel.f32 = append(rel.f32, m.data)
+	}
+}
+
+// leaderAgg accumulates chunks bound for one destination supernode,
+// framed as (src, dst, n, nmeta) quads.
+type leaderAgg struct {
+	hdr  []int
+	data []float32
+	meta []int
+}
+
+// leaderExchange runs the leader side of the hierarchical protocol:
+// absorb up-legs (own buffered + members'), exchange aggregates
+// pairwise with peer leaders (FP16-coded when selected — these are
+// the machine-level links), then scatter down-legs to members and
+// keep this rank's own share in segs.
+func (e *Exchange) leaderExchange(segs []seg, rel *relList) {
+	c := e.c
+	nl := len(e.leaders)
+	aggs := make([]leaderAgg, nl)
+
+	absorb := func(src, k int, hdr, meta []int, data []float32) {
+		offD, offM := 0, 0
+		for i := 0; i < k; i++ {
+			dst, n, nm := hdr[3*i], hdr[3*i+1], hdr[3*i+2]
+			if n < 0 || nm < 0 || offD+n > len(data) || offM+nm > len(meta) {
+				panic("mpi: wire framing corrupt: up-leg entry out of bounds")
+			}
+			li := e.leaderIdx[c.leaderOf(dst)]
+			a := &aggs[li]
+			a.hdr = append(a.hdr, src, dst, n, nm)
+			a.data = append(a.data, data[offD:offD+n]...)
+			a.meta = append(a.meta, meta[offM:offM+nm]...)
+			offD += n
+			offM += nm
+		}
+	}
+
+	// Own cross-supernode chunks were buffered at Post time.
+	absorb(c.rank, len(e.upHdr)/3, e.upHdr, e.upMeta, e.upData)
+	for _, mb := range e.members {
+		if mb == c.rank {
+			continue
+		}
+		m := c.recvStep(mb, collTag(c.id, e.seq, stepUp))
+		if len(m.ints) < 1 {
+			panic("mpi: wire framing corrupt: up-leg header missing")
+		}
+		k := m.ints[0]
+		if k < 0 || len(m.ints) < 1+3*k {
+			panic(fmt.Sprintf("mpi: wire framing corrupt: up-leg k=%d len=%d", k, len(m.ints)))
+		}
+		absorb(mb, k, m.ints[1:1+3*k], m.ints[1+3*k:], m.data)
+		if m.staged && m.data != nil {
+			tensor.PutSlice(m.data)
+		}
+	}
+
+	// Pairwise aggregate exchange between leaders.
+	me := e.leaderIdx[c.rank]
+	recvAgg := make([]leaderAgg, nl)
+	tagX := collTag(c.id, e.seq, stepX)
+	for s := 1; s < nl; s++ {
+		dst := (me + s) % nl
+		src := (me - s + nl) % nl
+		e.sendX(e.leaders[dst], &aggs[dst], tagX)
+		m := c.recvStep(e.leaders[src], tagX)
+		recvAgg[src] = e.parseX(m, rel)
+	}
+	recvAgg[me] = aggs[me] // chunks between members of this supernode never reach the X-leg; kept for symmetry
+
+	// Scatter: regroup received aggregates per destination member.
+	p := c.Size()
+	downHdr := make([][]int, p)
+	downData := make([][]float32, p)
+	downMeta := make([][]int, p)
+	for li := range recvAgg {
+		a := &recvAgg[li]
+		offD, offM := 0, 0
+		for i := 0; i < len(a.hdr); i += 4 {
+			src, dst, n, nm := a.hdr[i], a.hdr[i+1], a.hdr[i+2], a.hdr[i+3]
+			downHdr[dst] = append(downHdr[dst], src, n, nm)
+			downData[dst] = append(downData[dst], a.data[offD:offD+n]...)
+			downMeta[dst] = append(downMeta[dst], a.meta[offM:offM+nm]...)
+			offD += n
+			offM += nm
+		}
+	}
+	for _, mb := range e.members {
+		if mb == c.rank {
+			continue
+		}
+		k := len(downHdr[mb]) / 3
+		ints := make([]int, 1+len(downHdr[mb])+len(downMeta[mb]))
+		ints[0] = k
+		copy(ints[1:], downHdr[mb])
+		copy(ints[1+len(downHdr[mb]):], downMeta[mb])
+		s := tensor.GetSlice(len(downData[mb]))
+		copy(s, downData[mb])
+		m := message{tag: collTag(c.id, e.seq, stepDown), ints: ints, data: s, staged: true}
+		level := c.Topology().LevelOf(c.group[c.rank], c.group[mb])
+		c.accountWire(level, m.nbytes(), m.nbytes())
+		c.proc.post(c.group[mb], m)
+	}
+	// Own share stays local.
+	hdr := downHdr[c.rank]
+	meta := downMeta[c.rank]
+	data := downData[c.rank]
+	od, om := 0, 0
+	for i := 0; i < len(hdr); i += 3 {
+		src, n, nm := hdr[i], hdr[i+1], hdr[i+2]
+		segs[src] = seg{n: n, f32: data[od : od+n], meta: meta[om : om+nm]}
+		od += n
+		om += nm
+	}
+}
+
+// sendX ships one leader aggregate, framed [k, (src, dst, n, nmeta)
+// ×k, meta...], FP16-coded when the codec is enabled (leader pairs
+// always sit in different supernodes).
+func (e *Exchange) sendX(dstLeader int, a *leaderAgg, tag int) {
+	c := e.c
+	k := len(a.hdr) / 4
+	ints := make([]int, 1+len(a.hdr)+len(a.meta))
+	ints[0] = k
+	copy(ints[1:], a.hdr)
+	copy(ints[1+len(a.hdr):], a.meta)
+	level := c.Topology().LevelOf(c.group[c.rank], c.group[dstLeader])
+	m := message{tag: tag, ints: ints, staged: true}
+	if e.codec == FP16Wire && level == simnet.MachineLevel {
+		u := getU16(len(a.data))
+		half.EncodeSlice(u, a.data)
+		m.u16 = u
+	} else {
+		s := tensor.GetSlice(len(a.data))
+		copy(s, a.data)
+		m.data = s
+	}
+	c.accountWire(level, m.nbytes(), 4*len(a.data)+8*len(ints))
+	c.proc.post(c.group[dstLeader], m)
+}
+
+// parseX decodes a received leader aggregate back to FP32.
+func (e *Exchange) parseX(m message, rel *relList) leaderAgg {
+	if len(m.ints) < 1 {
+		panic("mpi: wire framing corrupt: X-leg header missing")
+	}
+	k := m.ints[0]
+	if k < 0 || len(m.ints) < 1+4*k {
+		panic(fmt.Sprintf("mpi: wire framing corrupt: X-leg k=%d len=%d", k, len(m.ints)))
+	}
+	a := leaderAgg{hdr: m.ints[1 : 1+4*k], meta: m.ints[1+4*k:]}
+	total := 0
+	for i := 0; i < k; i++ {
+		total += a.hdr[4*i+2]
+	}
+	if m.u16 != nil {
+		if len(m.u16) != total {
+			panic(fmt.Sprintf("mpi: wire framing corrupt: X fp16 payload %d vs %d", len(m.u16), total))
+		}
+		a.data = tensor.GetSlice(total)
+		half.DecodeSlice(a.data, m.u16)
+		if m.staged {
+			putU16(m.u16)
+		}
+		rel.f32 = append(rel.f32, a.data)
+		return a
+	}
+	if len(m.data) != total {
+		panic(fmt.Sprintf("mpi: wire framing corrupt: X payload %d vs %d", len(m.data), total))
+	}
+	a.data = m.data
+	if m.staged {
+		rel.f32 = append(rel.f32, m.data)
+	}
+	return a
+}
+
+// RecvLocal blocks for the cheap leg (self + same-supernode sources)
+// and returns their tokens. Call exactly once, after Flush.
+func (e *Exchange) RecvLocal() *RecvBuf {
+	if !e.flushed {
+		panic("mpi: Exchange.RecvLocal before Flush")
+	}
+	if e.localDone {
+		panic("mpi: Exchange.RecvLocal twice")
+	}
+	e.localDone = true
+	segs := make([]seg, e.c.Size())
+	var rel relList
+	e.collectLocal(segs, &rel)
+	return e.assemble(segs, e.localSrcs(), &rel)
+}
+
+// RecvRemote blocks for the cross-supernode leg and returns its
+// tokens. Call exactly once, after RecvLocal.
+func (e *Exchange) RecvRemote() *RecvBuf {
+	if !e.localDone {
+		panic("mpi: Exchange.RecvRemote before RecvLocal")
+	}
+	if e.remoteDone {
+		panic("mpi: Exchange.RecvRemote twice")
+	}
+	e.remoteDone = true
+	segs := make([]seg, e.c.Size())
+	var rel relList
+	e.collectRemote(segs, &rel)
+	return e.assemble(segs, e.remoteSrcs(), &rel)
+}
+
+// RecvAll completes both legs into one merged buffer covering every
+// source — the blocking path.
+func (e *Exchange) RecvAll() *RecvBuf {
+	if !e.flushed {
+		panic("mpi: Exchange.RecvAll before Flush")
+	}
+	if e.localDone || e.remoteDone {
+		panic("mpi: Exchange.RecvAll after RecvLocal/RecvRemote")
+	}
+	e.localDone, e.remoteDone = true, true
+	segs := make([]seg, e.c.Size())
+	var rel relList
+	e.collectLocal(segs, &rel)
+	e.collectRemote(segs, &rel)
+	srcs := make([]int, e.c.Size())
+	for i := range srcs {
+		srcs[i] = i
+	}
+	return e.assemble(segs, srcs, &rel)
+}
+
+// AllToAllv runs a blocking flattened exchange with the algorithm
+// best matching the topology (hierarchical when the comm spans
+// supernodes), mirroring AllToAll's selection.
+func (c *Comm) AllToAllv(sb *SendBuf, codec Codec) *RecvBuf {
+	return c.allToAllv(sb, codec, c.spansSupernodes() && c.Size() >= 4)
+}
+
+// AllToAllvDirect runs the blocking flat exchange.
+func (c *Comm) AllToAllvDirect(sb *SendBuf, codec Codec) *RecvBuf {
+	return c.allToAllv(sb, codec, false)
+}
+
+// AllToAllvHier runs the blocking hierarchical exchange.
+func (c *Comm) AllToAllvHier(sb *SendBuf, codec Codec) *RecvBuf {
+	return c.allToAllv(sb, codec, true)
+}
+
+func (c *Comm) allToAllv(sb *SendBuf, codec Codec, hier bool) *RecvBuf {
+	e := c.BeginExchange(hier, codec)
+	e.PostAll(sb)
+	e.Flush()
+	return e.RecvAll()
+}
+
+// AllToAllvBruck routes a flattened exchange through the log-P Bruck
+// algorithm, kept as the latency-optimal baseline. FP32 only —
+// multi-hop relaying precludes per-level coding — and metadata goes
+// in a companion int all-to-all, as before the wire layer existed.
+func (c *Comm) AllToAllvBruck(sb *SendBuf) *RecvBuf {
+	p := c.Size()
+	chunks := make([][]float32, p)
+	metaIn := make([][]int, p)
+	for d := 0; d < p; d++ {
+		chunks[d] = sb.Chunk(d)
+		metaIn[d] = sb.Meta(d)
+	}
+	out := c.AllToAllBruck(chunks)
+	metaOut := c.AllToAllInts(metaIn)
+	b := &RecvBuf{
+		counts: make([]int, p),
+		offs:   make([]int, p),
+		meta:   metaOut,
+		srcs:   make([]int, p),
+	}
+	total := 0
+	for s := 0; s < p; s++ {
+		b.srcs[s] = s
+		b.offs[s] = total
+		b.counts[s] = len(out[s])
+		total += len(out[s])
+	}
+	b.data = tensor.GetSlice(total)
+	for s := 0; s < p; s++ {
+		copy(b.data[b.offs[s]:b.offs[s]+b.counts[s]], out[s])
+	}
+	return b
+}

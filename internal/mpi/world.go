@@ -30,11 +30,16 @@ type message struct {
 	tag    int
 	data   []float32
 	ints   []int
-	arrive float64 // virtual arrival time at the destination
+	u16    []uint16 // FP16-encoded payload (wire codec); priced 2 B/elem
+	staged bool     // payload buffers are pooled; receiver must release
+	arrive float64  // virtual arrival time at the destination
 }
 
-// nbytes prices the payload: float32 data plus 8-byte ints.
-func (m *message) nbytes() int { return 4*len(m.data) + 8*len(m.ints) }
+// nbytes prices the payload: float32 data, 8-byte ints, and 2-byte
+// FP16 wire elements.
+func (m *message) nbytes() int {
+	return 4*len(m.data) + 8*len(m.ints) + 2*len(m.u16)
+}
 
 // mailbox is the single-consumer message queue of one rank.
 type mailbox struct {
@@ -96,6 +101,18 @@ func (s *Stats) TotalBytes() int64 {
 	var t int64
 	for i := range s.Bytes {
 		t += s.Bytes[i].Load()
+	}
+	return t
+}
+
+// Snapshot copies the counters into an immutable simnet.Traffic
+// value; subtract two snapshots to attribute traffic to a step or
+// phase (metrics.ByteMeter consumes the deltas).
+func (s *Stats) Snapshot() simnet.Traffic {
+	var t simnet.Traffic
+	for i := range s.Msgs {
+		t.Msgs[i] = s.Msgs[i].Load()
+		t.Bytes[i] = s.Bytes[i].Load()
 	}
 	return t
 }
@@ -206,10 +223,17 @@ type proc struct {
 
 // send moves a payload to dst (global rank), charging virtual time.
 func (p *proc) send(dst, tag int, data []float32, ints []int) {
+	p.post(dst, message{tag: tag, data: data, ints: ints})
+}
+
+// post is the general send primitive: it delivers a pre-built message
+// (any payload combination, including FP16 wire data and pooled
+// staging buffers) to dst, charging virtual time.
+func (p *proc) post(dst int, m message) {
 	if dst < 0 || dst >= p.w.size {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d (world size %d)", dst, p.w.size))
 	}
-	m := message{src: p.global, tag: tag, data: data, ints: ints}
+	m.src = p.global
 	n := m.nbytes()
 	level := p.w.topo.LevelOf(p.global, dst)
 	beta := p.w.topo.Beta[level]

@@ -298,3 +298,46 @@ func (f *FeedForward) Backward(dout *tensor.Tensor) *tensor.Tensor {
 func (f *FeedForward) Params() []*Param {
 	return append(f.Up.Params(), f.Down.Params()...)
 }
+
+// FFNState captures one forward pass's activations so its backward
+// can run later. The single-slot caches inside Linear/GELU only hold
+// the most recent pass, which breaks when a FeedForward runs more
+// than once per step — the MoE overlap path drives each expert
+// through separate local-token and remote-token passes.
+type FFNState struct {
+	x   *tensor.Tensor // block input
+	up  *tensor.Tensor // pre-activation (Up output)
+	act *tensor.Tensor // post-GELU (Down input)
+}
+
+// ForwardState applies the MLP like Forward but returns the backward
+// context explicitly instead of storing it in the layers, so multiple
+// in-flight passes can coexist. x must stay alive until BackwardState.
+func (f *FeedForward) ForwardState(x *tensor.Tensor) (*tensor.Tensor, *FFNState) {
+	up := tensor.MatMul(x, f.Up.Weight.W)
+	if f.Up.Bias != nil {
+		tensor.AddRowVector(up, f.Up.Bias.W)
+	}
+	act := tensor.GELU(up)
+	out := tensor.MatMul(act, f.Down.Weight.W)
+	if f.Down.Bias != nil {
+		tensor.AddRowVector(out, f.Down.Bias.W)
+	}
+	return out, &FFNState{x: x, up: up, act: act}
+}
+
+// BackwardState accumulates parameter gradients for the pass captured
+// in st and returns the input gradient.
+func (f *FeedForward) BackwardState(dout *tensor.Tensor, st *FFNState) *tensor.Tensor {
+	tensor.AddInPlace(f.Down.Weight.G, tensor.MatMulTransA(st.act, dout))
+	if f.Down.Bias != nil {
+		tensor.AddInPlace(f.Down.Bias.G, tensor.SumRows(dout))
+	}
+	dact := tensor.MatMulTransB(dout, f.Down.Weight.W)
+	dup := tensor.Mul(dact, tensor.GELUGrad(st.up))
+	tensor.AddInPlace(f.Up.Weight.G, tensor.MatMulTransA(st.x, dup))
+	if f.Up.Bias != nil {
+		tensor.AddInPlace(f.Up.Bias.G, tensor.SumRows(dup))
+	}
+	return tensor.MatMulTransB(dup, f.Up.Weight.W)
+}

@@ -65,6 +65,19 @@ type ModelConfig struct {
 	MoEEvery       int
 	Algo           moe.A2AAlgo
 
+	// Comm selects the MoE wire behavior: on-the-wire codec for
+	// cross-supernode payloads and two-phase comm/compute overlap.
+	// The zero value is the FP32 blocking path.
+	Comm moe.CommConfig
+
+	// MoESimFLOPS, when positive, makes the MoE layers charge expert
+	// compute to the virtual clock at this rate (FLOP/s per rank), so
+	// overlap shows up in simulated step time. It charges expert GEMMs
+	// inline inside the exchange window; SetComputeRate charges the
+	// whole step's FLOPs after the fact — enable one or the other, not
+	// both, or expert compute is double-priced.
+	MoESimFLOPS float64
+
 	// Recompute enables activation checkpointing (see nn.GPT). The
 	// MoE all-to-alls re-run during backward, doubling dispatch
 	// traffic — the real memory/communication trade at scale.
@@ -97,6 +110,10 @@ type StepStats struct {
 	MoE       moe.Timing // accumulated MoE phase breakdown
 	SimTime   float64    // virtual seconds elapsed on this rank
 	TokensPer float64    // tokens/virtual-second across the world (0 if no sim time)
+
+	// Wire is this rank's MoE exchange traffic for the step, post-
+	// codec vs raw, split by network tier (see mpi.WireStats).
+	Wire mpi.WireStats
 }
 
 // Engine is the per-rank training engine. Construct one inside
@@ -167,7 +184,8 @@ func NewEngine(c *mpi.Comm, strat Strategy, mc ModelConfig, corpusCfg data.Corpu
 				AuxLossWeight:  mc.AuxLossWeight,
 				ZLossWeight:    mc.ZLossWeight,
 			}
-			m := moe.NewDistMoE(name, rr, gc, mc.MoEHidden, e.EP, mc.Algo)
+			m := moe.NewDistMoEComm(name, rr, gc, mc.MoEHidden, e.EP, mc.Algo, mc.Comm)
+			m.SimRate = mc.MoESimFLOPS
 			e.moeLayers = append(e.moeLayers, m)
 			return m
 		}
@@ -362,12 +380,10 @@ func (e *Engine) Step() StepStats {
 	st.Loss = agg[0] / world
 	st.AuxLoss = agg[1] / world
 	st.Overflow = int(agg[2])
-	for _, m := range e.moeLayers {
-		st.MoE.Gate += m.Time.Gate
-		st.MoE.Dispatch += m.Time.Dispatch
-		st.MoE.Expert += m.Time.Expert
-		st.MoE.Combine += m.Time.Combine
-	}
+	// The trainer already computed per-step comm deltas over the MoE
+	// layers (phase time per layer, wire bytes deduped per comm).
+	st.MoE = local.Comm
+	st.Wire = local.Wire
 	st.WallFwd = wallStep // fwd+bwd+update; finer split comes from MoE timing
 	st.SimTime = e.Comm.Now() - simStart
 	if st.SimTime > 0 {

@@ -144,3 +144,48 @@ func (t *Topology) LeaderOfSupernode(rank int) int {
 func (t *Topology) RanksPerSupernode() int {
 	return t.RanksPerNode * t.NodesPerSupernode
 }
+
+// Traffic is an immutable per-level snapshot of message and byte
+// counters. simnet owns the level vocabulary, so the snapshot type
+// the byte meters pass around lives here; the mpi runtime produces
+// them (World.Stats().Snapshot()) and metrics.ByteMeter consumes the
+// intra/inter split.
+type Traffic struct {
+	Msgs  [4]int64 // indexed by Level
+	Bytes [4]int64
+}
+
+// Add accumulates o into t.
+func (t *Traffic) Add(o Traffic) {
+	for l := range t.Msgs {
+		t.Msgs[l] += o.Msgs[l]
+		t.Bytes[l] += o.Bytes[l]
+	}
+}
+
+// Sub returns t minus o — the delta between two snapshots taken
+// around a step or phase.
+func (t Traffic) Sub(o Traffic) Traffic {
+	for l := range t.Msgs {
+		t.Msgs[l] -= o.Msgs[l]
+		t.Bytes[l] -= o.Bytes[l]
+	}
+	return t
+}
+
+// IntraBytes sums the bytes that stayed inside a supernode (node and
+// supernode links; self copies excluded).
+func (t Traffic) IntraBytes() int64 { return t.Bytes[NodeLevel] + t.Bytes[SupernodeLevel] }
+
+// InterBytes returns the bytes that crossed supernodes — the tier the
+// FP16 wire codec targets.
+func (t Traffic) InterBytes() int64 { return t.Bytes[MachineLevel] }
+
+// TotalBytes sums bytes over every level including self copies.
+func (t Traffic) TotalBytes() int64 {
+	var n int64
+	for _, b := range t.Bytes {
+		n += b
+	}
+	return n
+}

@@ -125,6 +125,37 @@ func Release(t *Tensor) {
 	headerPool.Put(t)
 }
 
+// GetSlice returns a zero-filled pooled []float32 of length n without
+// a Tensor header. It is the raw-buffer analogue of Get, used by the
+// mpi wire layer to stage message payloads and assemble flattened
+// receive buffers. Return it with PutSlice when done.
+func GetSlice(n int) []float32 {
+	c := classFor(n)
+	if c < 0 {
+		return make([]float32, n)
+	}
+	if v := classPools[c].Get(); v != nil {
+		s := (*v.(*[]float32))[:n]
+		clear(s)
+		poolGets.Add(1)
+		return s
+	}
+	poolMisses.Add(1)
+	return make([]float32, 1<<c)[:n]
+}
+
+// PutSlice recycles a slice obtained from GetSlice (or any slice whose
+// capacity is exactly a pool size class). Safe for concurrent use; the
+// slice must not be used afterwards.
+func PutSlice(s []float32) {
+	cp := cap(s)
+	if c := classFor(cp); c >= 0 && cp == 1<<c {
+		full := s[:cp]
+		classPools[c].Put(&full)
+		poolReleases.Add(1)
+	}
+}
+
 // PoolStats reports cumulative pool traffic: buffer reuses, fresh
 // allocations on pool miss, and releases back to the pool.
 func PoolStats() (gets, misses, releases int64) {

@@ -5,6 +5,7 @@ import (
 
 	"bagualu/internal/data"
 	"bagualu/internal/moe"
+	"bagualu/internal/mpi"
 	"bagualu/internal/nn"
 	"bagualu/internal/sunway"
 	"bagualu/internal/tensor"
@@ -15,6 +16,16 @@ import (
 type AuxLossLayer interface {
 	AuxLoss() float32
 	LastRouting() *moe.Routing
+}
+
+// CommReporter is implemented by layers that account their wire
+// traffic and exchange-phase time (the distributed MoE layer). Both
+// methods return cumulative counters; the trainer snapshots them
+// around each step and reports the deltas in Metrics.
+type CommReporter interface {
+	WireStats() mpi.WireStats
+	PhaseTiming() moe.Timing
+	Comm() *mpi.Comm
 }
 
 // Config drives a single-rank training run.
@@ -41,6 +52,14 @@ type Metrics struct {
 	Skipped  bool // step dropped by loss-scale overflow
 	Overflow int  // MoE capacity overflow count
 	Scale    float32
+
+	// Wire traffic and exchange-phase time of this step's MoE
+	// dispatch/combine exchanges (zero when the model has no
+	// CommReporter layers or runs on a single rank). Wire is the
+	// per-step delta of the layers' cumulative counters; Comm is the
+	// matching phase breakdown.
+	Wire mpi.WireStats
+	Comm moe.Timing
 }
 
 // Trainer runs synchronous next-token pretraining of a GPT model on a
@@ -130,6 +149,7 @@ func (t *Trainer) Step() Metrics {
 	}()
 	nn.ZeroGrads(t.params)
 	m := Metrics{Step: t.step}
+	wire0, comm0 := t.commSnapshot()
 	for micro := 0; micro < accum; micro++ {
 		ids, targets := t.Corpus.Batch(t.Cfg.Batch)
 		loss, aux, over := t.microStep(ids, targets, 1/float32(accum))
@@ -137,7 +157,9 @@ func (t *Trainer) Step() Metrics {
 		m.AuxLoss += aux / float32(accum)
 		m.Overflow += over
 	}
-	return t.finishStep(m)
+	m = t.finishStep(m)
+	t.fillComm(&m, wire0, comm0)
+	return m
 }
 
 // StepOn runs one cycle on caller-provided tokens (the parallel
@@ -150,8 +172,11 @@ func (t *Trainer) Step() Metrics {
 func (t *Trainer) StepOn(ids, targets []int) Metrics {
 	nn.ZeroGrads(t.params)
 	m := Metrics{Step: t.step}
+	wire0, comm0 := t.commSnapshot()
 	m.Loss, m.AuxLoss, m.Overflow = t.microStep(ids, targets, 1)
-	return t.finishStep(m)
+	m = t.finishStep(m)
+	t.fillComm(&m, wire0, comm0)
+	return m
 }
 
 // gradScaler is implemented by MoE layers whose internally injected
@@ -204,6 +229,35 @@ func (t *Trainer) finishStep(m Metrics) Metrics {
 	m.Scale = t.MP.LossScale()
 	t.step++
 	return m
+}
+
+// commSnapshot sums the cumulative wire and phase counters over the
+// model's CommReporter layers.
+// Layers sharing one communicator share one wire counter, so those
+// are deduped by comm identity; phase time is per-layer and summed
+// directly.
+func (t *Trainer) commSnapshot() (mpi.WireStats, moe.Timing) {
+	var ws mpi.WireStats
+	var tm moe.Timing
+	seen := map[*mpi.Comm]bool{}
+	for _, b := range t.Model.Blocks {
+		if l, ok := b.FFN.(CommReporter); ok {
+			tm = tm.Add(l.PhaseTiming())
+			if c := l.Comm(); !seen[c] {
+				seen[c] = true
+				ws.Add(l.WireStats())
+			}
+		}
+	}
+	return ws, tm
+}
+
+// fillComm records the step's comm deltas against a pre-step
+// snapshot.
+func (t *Trainer) fillComm(m *Metrics, wire0 mpi.WireStats, comm0 moe.Timing) {
+	ws, tm := t.commSnapshot()
+	m.Wire = ws.Sub(wire0)
+	m.Comm = tm.Sub(comm0)
 }
 
 // collectAux sums auxiliary losses and overflow counts over the
