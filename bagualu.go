@@ -36,7 +36,9 @@ package bagualu
 import (
 	"io"
 
+	"bagualu/internal/ckpt"
 	"bagualu/internal/data"
+	"bagualu/internal/fault"
 	"bagualu/internal/moe"
 	"bagualu/internal/mpi"
 	"bagualu/internal/nn"
@@ -312,3 +314,69 @@ func LoadCheckpoint(path string, params []*Param) (int64, error) {
 	hdr, err := train.LoadFile(path, params)
 	return hdr.Step, err
 }
+
+// Fault tolerance: deterministic failure injection, sharded
+// checkpointing, and the in-run recovery loop.
+type (
+	// FaultConfig parameterizes a seeded fault schedule (crashes,
+	// stragglers, wire faults).
+	FaultConfig = fault.Config
+	// FaultInjector holds a precomputed, reproducible fault schedule.
+	FaultInjector = fault.Injector
+	// FaultEvent is one scheduled crash or straggler.
+	FaultEvent = fault.Event
+	// FaultPolicy drives checkpointing and recovery in the
+	// fault-tolerant loop.
+	FaultPolicy = train.FaultPolicy
+	// CkptWriter is one rank's end of the sharded checkpoint protocol.
+	CkptWriter = ckpt.Writer
+	// CkptConfig configures a rank's checkpoint writer.
+	CkptConfig = ckpt.Config
+	// CkptLayout records the parallel grid a checkpoint was written
+	// under.
+	CkptLayout = ckpt.Layout
+	// FTConfig parameterizes one fault-tolerant run.
+	FTConfig = parallel.FTConfig
+	// FTResult summarizes a fault-tolerant run (goodput, recoveries,
+	// phase timing).
+	FTResult = parallel.FTResult
+	// RankFailedError reports a failed rank detected inside a
+	// collective or receive.
+	RankFailedError = mpi.RankFailedError
+	// PayloadFaultError reports a payload dropped or corrupted on the
+	// wire.
+	PayloadFaultError = mpi.PayloadFaultError
+)
+
+// NewFaultInjector draws a reproducible fault schedule from cfg.
+func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) { return fault.New(cfg) }
+
+// ScriptedFaults builds an injector with an explicit event list.
+func ScriptedFaults(cfg FaultConfig, events []FaultEvent) (*FaultInjector, error) {
+	return fault.Scripted(cfg, events)
+}
+
+// Protect runs fn and converts rank-failure or wire-fault panics into
+// typed errors — the boundary a fault-tolerant loop wraps around
+// communication-bearing code.
+func Protect(fn func()) error { return mpi.Protect(fn) }
+
+// RunFaultTolerant trains cfg.Steps steps on w, recovering in-run from
+// the injector's failures within the policy's budget.
+func RunFaultTolerant(w *World, cfg FTConfig, inj *FaultInjector) (*FTResult, error) {
+	return parallel.RunFaultTolerant(w, cfg, inj)
+}
+
+// NewCkptWriter builds a sharded checkpoint writer for the rank
+// owning c.
+func NewCkptWriter(cfg CkptConfig, c *Comm) *CkptWriter { return ckpt.NewWriter(cfg, c) }
+
+// CkptRestore reassembles one rank's state from a committed sharded
+// checkpoint, possibly written under a different parallel layout.
+func CkptRestore(dir string, step int64, shard int, params []*Param) (ckpt.RestoreResult, error) {
+	return ckpt.Restore(dir, step, shard, params)
+}
+
+// CkptLatest returns the highest committed checkpoint step under dir,
+// or -1.
+func CkptLatest(dir string) (int64, error) { return ckpt.Latest(dir) }

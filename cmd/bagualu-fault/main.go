@@ -1,0 +1,140 @@
+// Command bagualu-fault regenerates experiment R11: training goodput
+// (useful virtual time / total virtual time) under injected rank
+// failures, swept over the checkpoint interval and the machine MTBF,
+// plus the per-step cost of synchronous versus asynchronous sharded
+// checkpointing on a failure-free run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bagualu/internal/data"
+	"bagualu/internal/fault"
+	"bagualu/internal/metrics"
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/parallel"
+	"bagualu/internal/simnet"
+	"bagualu/internal/sunway"
+	"bagualu/internal/train"
+)
+
+func main() {
+	var (
+		ranks = flag.Int("ranks", 8, "world size")
+		perSN = flag.Int("nodes-per-sn", 4, "nodes per supernode")
+		rpn   = flag.Int("ranks-per-node", 2, "ranks per node")
+		steps = flag.Int("steps", 48, "training steps per run")
+		seed  = flag.Uint64("seed", 42, "fault schedule seed")
+		flops = flag.Float64("sim-flops", 2e8, "virtual FLOP/s per rank")
+		bw    = flag.Float64("disk-gibs", 0.25, "checkpoint disk bandwidth per rank, GiB/s")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	nodes := (*ranks + *rpn - 1) / *rpn
+	sns := (nodes + *perSN - 1) / *perSN
+	topo := simnet.New(sunway.TestMachine(sns, *perSN), *rpn)
+
+	// EP=1 keeps every shrink recoverable (any survivor count divides
+	// the expert pool), so the sweep measures checkpoint policy, not
+	// placement luck.
+	strat := parallel.Strategy{DataParallel: *ranks, ExpertParallel: 1}
+	baseCfg := func(dir string, pol *train.FaultPolicy) parallel.FTConfig {
+		return parallel.FTConfig{
+			Strategy: strat,
+			Model: parallel.ModelConfig{
+				GPT:            nn.GPTConfig{Vocab: 64, Dim: 16, Heads: 2, Layers: 2, SeqLen: 8, FFNHidden: 32},
+				NumExperts:     4,
+				TopK:           2,
+				CapacityFactor: 2,
+				AuxLossWeight:  0.01,
+				MoEHidden:      32,
+				MoEEvery:       1,
+			},
+			Corpus:       data.CorpusConfig{Vocab: 64, SeqLen: 8, Zipf: 0.5, Determinism: 0.9, Seed: 7},
+			Train:        train.Config{Batch: 4, Precision: sunway.FP32, Schedule: train.ConstantLR(1e-2), ClipNorm: 1},
+			Seed:         11,
+			Steps:        *steps,
+			Policy:       pol,
+			OptFor:       func() train.Optimizer { return train.NewAdam(0) },
+			ComputeFLOPS: *flops,
+		}
+	}
+	run := func(pol *train.FaultPolicy, inj *fault.Injector) *parallel.FTResult {
+		dir, err := os.MkdirTemp("", "bagualu-fault-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		if pol != nil {
+			pol.Dir = dir
+		}
+		w := mpi.NewWorld(*ranks, topo)
+		res, err := parallel.RunFaultTolerant(w, baseCfg(dir, pol), inj)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return res
+	}
+	emit := func(t *metrics.Table) {
+		if *csv {
+			t.WriteCSV(os.Stdout)
+		} else {
+			t.WriteText(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	// R11a: goodput vs checkpoint interval x MTBF (async checkpoints).
+	goodput := metrics.NewTable("R11a: goodput vs checkpoint interval x MTBF (async ckpt)",
+		"mtbf-steps", "ckpt-interval", "crashes", "recoveries", "completed", "goodput", "useful-sim-s", "total-sim-s")
+	phases := metrics.NewPhaseMeter(metrics.PhaseCkptSnapshot, metrics.PhaseCkptFlush, metrics.PhaseRecovery)
+	for _, mtbf := range []float64{16, 48} {
+		for _, interval := range []int{2, 5, 10} {
+			inj, err := fault.New(fault.Config{
+				Seed: *seed, Ranks: *ranks, Steps: *steps, MTBFSteps: mtbf, MaxCrashes: *ranks - 2,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			pol := &train.FaultPolicy{Interval: interval, Async: true, DiskBWGiBs: *bw, MaxRecoveries: *ranks}
+			res := run(pol, inj)
+			goodput.AddRow(mtbf, interval, res.Failures, res.Recoveries, res.Completed,
+				fmt.Sprintf("%.3f", res.Goodput), fmt.Sprintf("%.4f", res.UsefulSim), fmt.Sprintf("%.4f", res.TotalSim))
+			phases.Observe(metrics.PhaseCkptSnapshot, res.Timing.Snapshot)
+			phases.Observe(metrics.PhaseCkptFlush, res.Timing.Flush)
+			phases.Observe(metrics.PhaseRecovery, res.Timing.Recovery)
+		}
+	}
+	emit(goodput)
+
+	// R11b: per-step checkpoint overhead, sync vs async, failure-free.
+	over := metrics.NewTable("R11b: checkpoint overhead per step (virtual s, failure-free)",
+		"ckpt-interval", "baseline-step", "sync-step", "async-step", "sync-overhead", "async-overhead")
+	base := run(nil, nil)
+	basePer := base.TotalSim / float64(*steps)
+	for _, interval := range []int{2, 5, 10} {
+		sync := run(&train.FaultPolicy{Interval: interval, DiskBWGiBs: *bw, MaxRecoveries: 1}, nil)
+		async := run(&train.FaultPolicy{Interval: interval, Async: true, DiskBWGiBs: *bw, MaxRecoveries: 1}, nil)
+		sp := sync.TotalSim / float64(*steps)
+		ap := async.TotalSim / float64(*steps)
+		over.AddRow(interval,
+			fmt.Sprintf("%.6f", basePer), fmt.Sprintf("%.6f", sp), fmt.Sprintf("%.6f", ap),
+			fmt.Sprintf("%.6f", sp-basePer), fmt.Sprintf("%.6f", ap-basePer))
+	}
+	emit(over)
+
+	// Cumulative fault-tolerance phase time across the R11a sweep.
+	ph := metrics.NewTable("R11 phase breakdown across the sweep (virtual s)",
+		"phase", "seconds")
+	for _, name := range phases.Names() {
+		ph.AddRow(name, fmt.Sprintf("%.4f", phases.Seconds(name)))
+	}
+	emit(ph)
+}

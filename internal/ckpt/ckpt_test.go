@@ -1,0 +1,205 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/simnet"
+	"bagualu/internal/sunway"
+	"bagualu/internal/tensor"
+	"bagualu/internal/train"
+)
+
+// rankParams builds a rank's tensor set under a given layout: a dense
+// tensor replicated everywhere plus the experts a block placement
+// assigns this rank. Values are a function of the name so any shard
+// mixup is visible.
+func rankParams(rank, ranks, experts int) []*nn.Param {
+	fill := func(name string, n int) *nn.Param {
+		t := tensor.New(n)
+		h := uint32(2166136261)
+		for _, c := range []byte(name) {
+			h = (h ^ uint32(c)) * 16777619
+		}
+		for i := range t.Data {
+			t.Data[i] = float32(h%1000) + float32(i)
+		}
+		return &nn.Param{Name: name, W: t}
+	}
+	out := []*nn.Param{fill("dense.w", 8)}
+	per := experts / ranks
+	for e := rank * per; e < (rank+1)*per; e++ {
+		out = append(out, fill(fmt.Sprintf("expert.%d.w", e), 6))
+	}
+	return out
+}
+
+func saveWorld(t *testing.T, dir string, ranks, experts int, step int64, cfg Config) {
+	t.Helper()
+	w := mpi.NewWorld(ranks, nil)
+	var firstErr atomic.Value
+	w.Run(func(c *mpi.Comm) {
+		wr := NewWriter(cfg, c)
+		params := rankParams(c.Rank(), ranks, experts)
+		hdr := train.Header{Step: step, LossScale: 1024, RNGState: 99}
+		if err := wr.Save(step, hdr, params, Layout{WorldSize: ranks, ExpertParallel: ranks, DataParallel: 1}); err != nil {
+			firstErr.Store(err)
+		}
+		if err := wr.WaitIdle(); err != nil {
+			firstErr.Store(err)
+		}
+	})
+	if err, ok := firstErr.Load().(error); ok {
+		t.Fatal(err)
+	}
+}
+
+// A checkpoint written by N ranks must restore onto M < N ranks: each
+// new rank finds its (re-partitioned) experts by name across the old
+// shards, and the adopted header is consistent.
+func TestCrossLayoutRestore(t *testing.T) {
+	dir := t.TempDir()
+	saveWorld(t, dir, 4, 12, 10, Config{Dir: dir})
+
+	latest, err := Latest(dir)
+	if err != nil || latest != 10 {
+		t.Fatalf("Latest = %d, %v; want 10", latest, err)
+	}
+	for newRank := 0; newRank < 3; newRank++ {
+		params := rankParams(newRank, 3, 12)
+		want := make([][]float32, len(params))
+		for i, p := range params {
+			want[i] = append([]float32(nil), p.W.Data...)
+			for j := range p.W.Data {
+				p.W.Data[j] = -1 // clobber; restore must repopulate
+			}
+		}
+		res, err := Restore(dir, 10, newRank, params)
+		if err != nil {
+			t.Fatalf("rank %d: %v", newRank, err)
+		}
+		if res.Header.Step != 10 || res.Header.LossScale != 1024 || res.Header.RNGState != 99 {
+			t.Fatalf("rank %d: header %+v", newRank, res.Header)
+		}
+		if res.BytesRead == 0 {
+			t.Fatal("BytesRead not accounted")
+		}
+		for i, p := range params {
+			for j := range p.W.Data {
+				if p.W.Data[j] != want[i][j] {
+					t.Fatalf("rank %d: %s[%d] = %v, want %v", newRank, p.Name, j, p.W.Data[j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// A rank dying mid-write (injected stream failure) must leave the
+// previous committed checkpoint intact and the new step uncommitted.
+func TestCrashMidWriteKeepsPreviousCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	saveWorld(t, dir, 2, 4, 5, Config{Dir: dir})
+
+	// Second checkpoint: rank 1's stream dies mid-record.
+	w := mpi.NewWorld(2, nil)
+	var sawErr atomic.Bool
+	w.Run(func(c *mpi.Comm) {
+		cfg := Config{Dir: dir}
+		if c.Rank() == 1 {
+			cfg.InjectWriteErrAfterBytes = 64 // inside the first tensor record
+		}
+		wr := NewWriter(cfg, c)
+		params := rankParams(c.Rank(), 2, 4)
+		err := wr.Save(6, train.Header{Step: 6}, params, Layout{WorldSize: 2, ExpertParallel: 2, DataParallel: 1})
+		if c.Rank() == 1 && err != nil {
+			sawErr.Store(true)
+		}
+		wr.WaitIdle()
+	})
+	if !sawErr.Load() {
+		t.Fatal("injected write failure not surfaced")
+	}
+	AbandonPending(dir)
+
+	latest, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != 5 {
+		t.Fatalf("Latest = %d after crashed checkpoint; want previous step 5", latest)
+	}
+	// The previous checkpoint must still restore cleanly.
+	params := rankParams(0, 2, 4)
+	if _, err := Restore(dir, 5, 0, params); err != nil {
+		t.Fatalf("previous checkpoint damaged: %v", err)
+	}
+	// No shard of the aborted step may have committed a manifest.
+	if _, err := os.Stat(filepath.Join(StepDir(dir, 6), manifestName)); !os.IsNotExist(err) {
+		t.Fatalf("aborted step has a manifest: %v", err)
+	}
+}
+
+// Async checkpointing must be measurably cheaper per checkpoint on
+// the virtual clock than synchronous: the rank pays a memcpy
+// snapshot instead of the full disk write.
+func TestAsyncCheaperThanSync(t *testing.T) {
+	topo := simnet.New(sunway.TestMachine(1, 4), 1)
+	run := func(async bool) float64 {
+		dir := t.TempDir()
+		w := mpi.NewWorld(2, topo)
+		w.Run(func(c *mpi.Comm) {
+			wr := NewWriter(Config{Dir: dir, DiskBWGiBs: 0.5, Async: async}, c)
+			params := rankParams(c.Rank(), 2, 4)
+			// Pad to make disk time dominate alpha.
+			params = append(params, &nn.Param{Name: "big", W: tensor.New(1 << 16)})
+			for step := int64(1); step <= 3; step++ {
+				c.Compute(1e-3) // a "training step" between checkpoints
+				if err := wr.Save(step, train.Header{Step: step}, params, Layout{WorldSize: 2}); err != nil {
+					t.Error(err)
+				}
+			}
+			if err := wr.WaitIdle(); err != nil {
+				t.Error(err)
+			}
+		})
+		return w.MaxTime()
+	}
+	// Compare checkpoint *overhead* over the pure-compute baseline
+	// (3 steps x 1 ms): sync pays the full disk write on the rank's
+	// clock, async only the memcpy snapshot.
+	const baseline = 3 * 1e-3
+	syncOver, asyncOver := run(false)-baseline, run(true)-baseline
+	if syncOver <= 0 {
+		t.Fatalf("sync checkpoint shows no overhead (%v)", syncOver)
+	}
+	if asyncOver >= syncOver*0.5 {
+		t.Fatalf("async not measurably cheaper: overhead %v vs sync %v virtual seconds", asyncOver, syncOver)
+	}
+}
+
+// The async flusher must stall the rank when the previous flush is
+// still in flight (virtual disk is busy), not queue unboundedly.
+func TestAsyncBackpressure(t *testing.T) {
+	topo := simnet.New(sunway.TestMachine(1, 4), 1)
+	dir := t.TempDir()
+	w := mpi.NewWorld(1, topo)
+	var flushStall atomic.Value
+	w.Run(func(c *mpi.Comm) {
+		wr := NewWriter(Config{Dir: dir, DiskBWGiBs: 0.001, Async: true}, c)
+		params := []*nn.Param{{Name: "w", W: tensor.New(1 << 18)}}
+		// Back-to-back checkpoints with no compute between them: the
+		// second must stall on the first's flush.
+		wr.Save(1, train.Header{Step: 1}, params, Layout{WorldSize: 1})
+		wr.Save(2, train.Header{Step: 2}, params, Layout{WorldSize: 1})
+		wr.WaitIdle()
+		flushStall.Store(wr.Timing().Flush)
+	})
+	if s, _ := flushStall.Load().(float64); s <= 0 {
+		t.Fatalf("no flush stall recorded under a saturated disk (got %v)", flushStall.Load())
+	}
+}

@@ -1,0 +1,343 @@
+package ckpt
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/simnet"
+	"bagualu/internal/tensor"
+	"bagualu/internal/train"
+)
+
+// Config drives one rank's checkpoint writer.
+type Config struct {
+	// Dir is the checkpoint root.
+	Dir string
+	// DiskBWGiBs is the modeled per-rank checkpoint-disk bandwidth in
+	// GiB/s (0 means 1). Only virtual time is priced with it; the real
+	// file I/O runs at host speed.
+	DiskBWGiBs float64
+	// Async snapshots parameters at memcpy cost on the virtual clock
+	// and flushes in the background; the rank only stalls if the
+	// previous flush is still (virtually) in flight. Sync charges the
+	// full disk write to the rank's clock.
+	Async bool
+	// InjectWriteErrAfterBytes makes shard writes fail once this many
+	// bytes have been emitted — a test hook that simulates a writer
+	// dying mid-stream, between or inside tensor records.
+	InjectWriteErrAfterBytes int64
+}
+
+// Timing breaks down fault-tolerance time on the virtual clock, in
+// seconds. Cumulative; subtract snapshots to attribute per step.
+type Timing struct {
+	Snapshot float64 // copying params into pooled buffers (async)
+	Flush    float64 // disk write (sync) or stall on a busy disk (async)
+	Recovery float64 // rollback + restore after a failure
+}
+
+// Add returns t + o, field-wise (accumulating across writers when the
+// recovery path rebinds to a shrunk communicator).
+func (t Timing) Add(o Timing) Timing {
+	return Timing{
+		Snapshot: t.Snapshot + o.Snapshot,
+		Flush:    t.Flush + o.Flush,
+		Recovery: t.Recovery + o.Recovery,
+	}
+}
+
+// Sub returns t - o, field-wise.
+func (t Timing) Sub(o Timing) Timing {
+	return Timing{
+		Snapshot: t.Snapshot - o.Snapshot,
+		Flush:    t.Flush - o.Flush,
+		Recovery: t.Recovery - o.Recovery,
+	}
+}
+
+// Writer is one rank's end of the sharded checkpoint protocol.
+type Writer struct {
+	cfg  Config
+	comm *mpi.Comm
+	bw   float64 // modeled disk bytes/second
+
+	timing   Timing
+	diskFree float64 // virtual time the disk finishes the pending flush
+
+	wg sync.WaitGroup
+	mu sync.Mutex
+	// err records the first shard-write failure (surfaced by WaitIdle
+	// and the next Save so a sick disk is not silently ignored).
+	err error
+}
+
+// NewWriter builds a writer for the rank owning c.
+func NewWriter(cfg Config, c *mpi.Comm) *Writer {
+	bw := cfg.DiskBWGiBs
+	if bw <= 0 {
+		bw = 1
+	}
+	return &Writer{cfg: cfg, comm: c, bw: bw * (1 << 30)}
+}
+
+// Timing returns the cumulative virtual-time breakdown.
+func (w *Writer) Timing() Timing { return w.timing }
+
+// ChargeRecovery prices recovery work (rollback, shard scans, state
+// rebuild) on the rank's virtual clock.
+func (w *Writer) ChargeRecovery(seconds float64) {
+	w.comm.Compute(seconds)
+	w.timing.Recovery += seconds
+}
+
+// RestoreSeconds converts a Restore's byte volume to virtual disk
+// time under this writer's bandwidth model.
+func (w *Writer) RestoreSeconds(bytesRead int64) float64 {
+	return float64(bytesRead) / w.bw
+}
+
+// setErr records the first failure.
+func (w *Writer) setErr(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+// Err returns the first recorded shard-write failure.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// WaitIdle blocks until all background flushes this writer started
+// have finished and returns the first failure, if any.
+func (w *Writer) WaitIdle() error {
+	w.wg.Wait()
+	return w.Err()
+}
+
+// Save writes this rank's shard of a step checkpoint and participates
+// in the commit protocol (the last shard to land writes the
+// manifest). In async mode the disk write happens in the background
+// and Save returns after the virtual-cost accounting; call WaitIdle
+// before reading the checkpoint back or ending the run.
+func (w *Writer) Save(step int64, hdr train.Header, params []*nn.Param, layout Layout) error {
+	if err := w.Err(); err != nil {
+		return err
+	}
+	rank, shards := w.comm.Rank(), w.comm.Size()
+	sd := StepDir(w.cfg.Dir, step)
+	if err := os.MkdirAll(sd, 0o755); err != nil {
+		return err
+	}
+	var bytes int64
+	for _, p := range params {
+		bytes += 4 * int64(len(p.W.Data))
+	}
+	pend := getCoord(w.cfg.Dir, step, shards, layout)
+
+	if !w.cfg.Async {
+		secs := float64(bytes) / w.bw
+		w.comm.Compute(secs)
+		w.timing.Flush += secs
+		if err := writeShard(sd, rank, hdr, params, w.cfg.InjectWriteErrAfterBytes); err != nil {
+			pend.abort()
+			w.setErr(err)
+			return err
+		}
+		return pend.shardDone()
+	}
+
+	// Async: pay memcpy for the snapshot, stall only if the previous
+	// flush still owns the (virtual) disk, then hand off to the
+	// background flusher.
+	topo := w.comm.Topology()
+	snap := topo.Alpha[simnet.SelfLevel] + float64(bytes)*topo.Beta[simnet.SelfLevel]
+	w.comm.Compute(snap)
+	w.timing.Snapshot += snap
+	if now := w.comm.Now(); now < w.diskFree {
+		stall := w.diskFree - now
+		w.comm.Compute(stall)
+		w.timing.Flush += stall
+	}
+	w.diskFree = w.comm.Now() + float64(bytes)/w.bw
+
+	snapParams := make([]*nn.Param, len(params))
+	for i, p := range params {
+		cp := tensor.GetSlice(len(p.W.Data))
+		copy(cp, p.W.Data)
+		snapParams[i] = &nn.Param{
+			Name: p.Name,
+			W:    &tensor.Tensor{Data: cp, Shape: append([]int(nil), p.W.Shape...)},
+		}
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		err := writeShard(sd, rank, hdr, snapParams, w.cfg.InjectWriteErrAfterBytes)
+		for _, p := range snapParams {
+			tensor.PutSlice(p.W.Data)
+		}
+		if err != nil {
+			pend.abort()
+			w.setErr(err)
+			return
+		}
+		if err := pend.shardDone(); err != nil {
+			w.setErr(err)
+		}
+	}()
+	return nil
+}
+
+// failWriter errors once its byte budget is exhausted (test hook).
+type failWriter struct {
+	w      io.Writer
+	budget int64
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, fmt.Errorf("ckpt: injected write failure")
+	}
+	if int64(len(p)) > f.budget {
+		n, _ := f.w.Write(p[:f.budget])
+		f.budget = 0
+		return n, fmt.Errorf("ckpt: injected write failure")
+	}
+	f.budget -= int64(len(p))
+	return f.w.Write(p)
+}
+
+// writeShard streams one rank's tensors to a temp file and renames it
+// into place.
+func writeShard(sd string, rank int, hdr train.Header, params []*nn.Param, failAfter int64) error {
+	f, err := os.CreateTemp(sd, ShardFile(rank)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	var dst io.Writer = f
+	if failAfter > 0 {
+		dst = &failWriter{w: f, budget: failAfter}
+	}
+	if err := train.Save(dst, hdr, params); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(sd, ShardFile(rank)))
+}
+
+// pendingCommit coordinates the "last shard writes the manifest"
+// rule for one (dir, step). It lives in a package-level registry
+// because the ranks of a simulated world share the process; a real
+// deployment would use a coordination service or rank-0 commit.
+type pendingCommit struct {
+	dir string
+
+	mu      sync.Mutex
+	need    int
+	done    int
+	aborted bool
+	m       Manifest
+}
+
+var (
+	coordMu sync.Mutex
+	coords  = map[string]*pendingCommit{}
+)
+
+func coordKey(dir string, step int64) string {
+	return fmt.Sprintf("%s\x00%d", dir, step)
+}
+
+// getCoord returns the commit coordinator for (dir, step), creating
+// it sized to shards. A stale entry (aborted, or from a pre-recovery
+// attempt with a different shard count) is replaced: the re-taken
+// checkpoint of a shrunk world must commit on its own terms.
+func getCoord(dir string, step int64, shards int, layout Layout) *pendingCommit {
+	key := coordKey(dir, step)
+	coordMu.Lock()
+	defer coordMu.Unlock()
+	if p := coords[key]; p != nil {
+		p.mu.Lock()
+		ok := !p.aborted && p.need == shards
+		p.mu.Unlock()
+		if ok {
+			return p
+		}
+	}
+	files := make([]string, shards)
+	for i := range files {
+		files[i] = ShardFile(i)
+	}
+	p := &pendingCommit{
+		dir:  dir,
+		need: shards,
+		m:    Manifest{Step: step, Shards: shards, Layout: layout, Files: files},
+	}
+	coords[key] = p
+	return p
+}
+
+// shardDone records one landed shard; the last one commits the
+// manifest and retires the coordinator. The registry lock is taken
+// only after releasing p.mu — getCoord acquires them in the opposite
+// order, so nesting them here would deadlock.
+func (p *pendingCommit) shardDone() error {
+	p.mu.Lock()
+	if p.aborted {
+		p.mu.Unlock()
+		return nil
+	}
+	p.done++
+	commit := p.done == p.need
+	p.mu.Unlock()
+	if !commit {
+		return nil
+	}
+	err := writeManifest(p.dir, p.m)
+	coordMu.Lock()
+	if coords[coordKey(p.dir, p.m.Step)] == p {
+		delete(coords, coordKey(p.dir, p.m.Step))
+	}
+	coordMu.Unlock()
+	return err
+}
+
+// abort poisons the commit: the manifest will never be written, so
+// the step stays invisible to Latest and the previous checkpoint
+// remains the restore point.
+func (p *pendingCommit) abort() {
+	p.mu.Lock()
+	p.aborted = true
+	p.mu.Unlock()
+}
+
+// AbandonPending aborts every in-flight commit under dir. The
+// recovery path calls it after a failure: a checkpoint the dead rank
+// never contributed its shard to must not linger half-open.
+func AbandonPending(dir string) {
+	coordMu.Lock()
+	defer coordMu.Unlock()
+	for key, p := range coords {
+		if strings.HasPrefix(key, dir+"\x00") {
+			p.abort()
+			delete(coords, key)
+		}
+	}
+}

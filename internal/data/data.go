@@ -87,6 +87,14 @@ func NewSynthetic(cfg CorpusConfig) (*Corpus, error) {
 // Config returns the corpus configuration.
 func (c *Corpus) Config() CorpusConfig { return c.cfg }
 
+// RNGState returns the data-order stream position. Together with the
+// corpus configuration it fully determines every future batch, so a
+// checkpoint that stores it can resume bit-exactly mid-corpus.
+func (c *Corpus) RNGState() uint64 { return c.rng.State() }
+
+// SetRNGState repositions the data-order stream at a captured state.
+func (c *Corpus) SetRNGState(s uint64) { c.rng.SetState(s) }
+
 // TextVocab returns the number of text tokens (ids below this are
 // text; ids at or above are image tokens).
 func (c *Corpus) TextVocab() int { return c.tv }

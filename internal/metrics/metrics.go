@@ -201,6 +201,15 @@ func (m *ByteMeter) Saved() float64 {
 // Reset zeroes the meter.
 func (m *ByteMeter) Reset() { *m = ByteMeter{} }
 
+// Canonical phase names for the fault-tolerance subsystem, shared by
+// train.Metrics, the recovery loop, and the CLI tables so checkpoint
+// overhead is attributed consistently everywhere it is displayed.
+const (
+	PhaseCkptSnapshot = "ckpt-snapshot" // copying params into pooled buffers
+	PhaseCkptFlush    = "ckpt-flush"    // disk write (or stall on a pending one)
+	PhaseRecovery     = "recovery"      // rollback + re-form + restore after a failure
+)
+
 // PhaseMeter accumulates seconds into named phases in a fixed
 // presentation order — the exchange-phase breakdown (dispatch-local,
 // dispatch-remote, ...) a step report renders as one table row.

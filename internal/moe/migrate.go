@@ -94,6 +94,65 @@ func (m *DistMoE) Migrate(newPlace *Placement) error {
 	return nil
 }
 
+// ReshardTo rebinds the layer to a different communicator and expert
+// placement WITHOUT moving any weights — the recovery path after a
+// rank failure, where the old world's data is gone and weights come
+// from a checkpoint restore immediately afterwards. Experts this rank
+// already owns keep their FeedForward objects (their weights will be
+// overwritten by the restore anyway); newly assigned slots get fresh
+// ones. Shadows and all forward caches are dropped.
+//
+// Every surviving rank must call ReshardTo with the shrunk
+// communicator and an identical placement over it.
+func (m *DistMoE) ReshardTo(newComm *mpi.Comm, newPlace *Placement) error {
+	if newPlace.NumExperts != m.Cfg.NumExperts {
+		return fmt.Errorf("moe: reshard plan has %d experts, layer has %d", newPlace.NumExperts, m.Cfg.NumExperts)
+	}
+	if newPlace.Ranks != newComm.Size() {
+		return fmt.Errorf("moe: reshard plan spans %d ranks, communicator has %d", newPlace.Ranks, newComm.Size())
+	}
+	if err := newPlace.Validate(); err != nil {
+		return err
+	}
+	byGlobal := map[int]*nn.FeedForward{}
+	for i, e := range m.localGlobal {
+		byGlobal[e] = m.Experts[i]
+	}
+	m.comm = newComm
+	m.place = newPlace
+	m.rebuildLookups()
+	m.LocalExperts = len(m.localGlobal)
+	m.Experts = m.Experts[:0]
+	for _, e := range m.localGlobal {
+		ex := byGlobal[e]
+		if ex == nil {
+			ex = nn.NewFeedForward(fmt.Sprintf("%s.expert%d", m.name, e), tensor.NewRNG(0), m.Cfg.Dim, m.hidden)
+		}
+		m.Experts = append(m.Experts, ex)
+	}
+	// Supernode locality is a property of the new communicator.
+	t := newComm.Topology()
+	mySN := t.Supernode(newComm.Global(newComm.Rank()))
+	m.localSN = make([]bool, newComm.Size())
+	for q := 0; q < newComm.Size(); q++ {
+		m.localSN[q] = t.Supernode(newComm.Global(q)) == mySN
+	}
+	// Drop shadows (placement-dependent) and every forward cache.
+	m.shadows = nil
+	m.shadowList = nil
+	m.shadowRefs = nil
+	m.shadowOuts = nil
+	m.perTok = nil
+	m.sendOrder = nil
+	m.recvCount = nil
+	m.ordLocal = nil
+	m.ordRemote = nil
+	m.stLocal = nil
+	m.stRemote = nil
+	m.releaseCombine()
+	return nil
+}
+
 // GatherExpertCounts all-reduces the last routing's per-expert token
 // counts over comm, giving every rank the global load picture the
 // rebalancer plans from. Returns zeros if no forward pass has run.

@@ -147,7 +147,7 @@ func (c *Comm) RecvMsg(src, tag int) ([]float32, []int) {
 	if src != AnySource {
 		gsrc = c.group[src]
 	}
-	m := c.proc.recv(gsrc, c.p2pTag(tag))
+	m := c.proc.recv(gsrc, c.p2pTag(tag), c.group)
 	return m.data, m.ints
 }
 
@@ -162,7 +162,7 @@ func (c *Comm) recvStep(src int, tag int) message {
 	if src != AnySource {
 		g = c.group[src]
 	}
-	return c.proc.recv(g, tag)
+	return c.proc.recv(g, tag, c.group)
 }
 
 // Split partitions the communicator by color; ranks passing the same

@@ -33,6 +33,13 @@ type message struct {
 	u16    []uint16 // FP16-encoded payload (wire codec); priced 2 B/elem
 	staged bool     // payload buffers are pooled; receiver must release
 	arrive float64  // virtual arrival time at the destination
+
+	// Fault-injection fields (see fail.go): crc is the payload
+	// checksum computed at send time when wire checking is armed;
+	// dropped marks a tombstone for a payload the injector destroyed.
+	crc     uint32
+	checked bool
+	dropped bool
 }
 
 // nbytes prices the payload: float32 data, 8-byte ints, and 2-byte
@@ -47,10 +54,13 @@ type mailbox struct {
 	cond    *sync.Cond
 	pending []message
 	closed  bool
+
+	w    *World // for failure detection inside the wait loop
+	self int    // global rank this mailbox belongs to
 }
 
-func newMailbox() *mailbox {
-	b := &mailbox{}
+func newMailbox(w *World, self int) *mailbox {
+	b := &mailbox{w: w, self: self}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -64,7 +74,19 @@ func (b *mailbox) put(m message) {
 
 // take blocks until a message matching (src, tag) is available and
 // removes it. src may be AnySource.
-func (b *mailbox) take(src, tag int) message {
+//
+// take is also the failure-detection point: if any rank of the
+// communicator group this receive belongs to has been marked failed
+// (and no matching message is already pending), or this rank itself
+// has been declared failed by its peers, the wait raises a typed
+// *RankFailedError instead of hanging forever. Checking the whole
+// group — not just the awaited source — is what makes detection
+// *propagate*: a survivor that aborts a collective mid-way stops
+// sending, and the ranks waiting on it would otherwise hang even
+// though they never touch the dead rank directly. Pending messages
+// are always drained before the failure check, so data that arrived
+// before the crash is still delivered.
+func (b *mailbox) take(src, tag int, group []int) message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
@@ -78,6 +100,21 @@ func (b *mailbox) take(src, tag int) message {
 		}
 		if b.closed {
 			panic(fmt.Sprintf("mpi: Recv(src=%d, tag=%d) on closed world", src, tag))
+		}
+		if b.w != nil {
+			if b.w.isFailed(b.self) {
+				panic(&RankFailedError{Rank: b.self, Detector: b.self})
+			}
+			if src != AnySource && b.w.isFailed(src) {
+				panic(&RankFailedError{Rank: src, Detector: b.self})
+			}
+			if b.w.failCount.Load() > 0 {
+				for _, g := range group {
+					if b.w.isFailed(g) {
+						panic(&RankFailedError{Rank: g, Detector: b.self})
+					}
+				}
+			}
 		}
 		b.cond.Wait()
 	}
@@ -135,6 +172,20 @@ type World struct {
 	timeMu   sync.Mutex
 	maxTime  float64
 	finished bool
+
+	// Fault-tolerance state (see fail.go): per-rank failed flags, the
+	// straggler delay multipliers, the armed wire-fault hook with its
+	// per-sender message counters, and the registry that hands every
+	// survivor of a shrink the same fresh communicator id.
+	failed    []atomic.Bool
+	delayBits []atomic.Uint64 // per-rank link delay multiplier (float64 bits; 0 = 1.0)
+	failCount atomic.Int64
+	wireFault func(src, dst int, seq int64) WireFault
+	wireSeq   []atomic.Int64
+
+	shrinkMu   sync.Mutex
+	shrinkIDs  map[string]int64
+	nextShrink int64
 }
 
 // NewWorld creates a world of size ranks priced by topo. A nil topo
@@ -146,9 +197,17 @@ func NewWorld(size int, topo *simnet.Topology) *World {
 	if topo == nil {
 		topo = simnet.Uniform(0, 1<<40)
 	}
-	w := &World{size: size, topo: topo, boxes: make([]*mailbox, size)}
+	w := &World{
+		size:       size,
+		topo:       topo,
+		boxes:      make([]*mailbox, size),
+		failed:     make([]atomic.Bool, size),
+		delayBits:  make([]atomic.Uint64, size),
+		wireSeq:    make([]atomic.Int64, size),
+		nextShrink: shrinkIDBase,
+	}
 	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+		w.boxes[i] = newMailbox(w, i)
 	}
 	return w
 }
@@ -238,6 +297,11 @@ func (p *proc) post(dst int, m message) {
 	level := p.w.topo.LevelOf(p.global, dst)
 	beta := p.w.topo.Beta[level]
 	alpha := p.w.topo.Alpha[level]
+	// Straggler model: a slow rank stretches every link it touches.
+	if mult := p.w.linkDelay(p.global, dst); mult != 1 {
+		beta *= mult
+		alpha *= mult
+	}
 	start := p.now
 	// The sender is occupied while injecting the message; the wire
 	// adds latency on top.
@@ -245,15 +309,34 @@ func (p *proc) post(dst int, m message) {
 	m.arrive = start + alpha + float64(n)*beta
 	p.w.stats.Msgs[level].Add(1)
 	p.w.stats.Bytes[level].Add(int64(n))
+	// Sends to a failed rank vanish: the node is gone, nobody will
+	// drain its mailbox. The sender still paid the injection time (it
+	// cannot know yet).
+	if p.w.isFailed(dst) {
+		releaseStaged(&m)
+		return
+	}
+	if p.w.wireFault != nil {
+		p.w.injectWireFault(&m, dst)
+	}
 	p.w.boxes[dst].put(m)
 }
 
 // recv blocks for a matching message and advances the clock to its
-// arrival.
-func (p *proc) recv(src, tag int) message {
-	m := p.w.boxes[p.global].take(src, tag)
+// arrival. group is the communicator group the receive belongs to
+// (failure of any member aborts the wait; see mailbox.take). A
+// message the fault injector destroyed surfaces as a typed
+// *PayloadFaultError panic (catch with Protect).
+func (p *proc) recv(src, tag int, group []int) message {
+	m := p.w.boxes[p.global].take(src, tag, group)
 	if m.arrive > p.now {
 		p.now = m.arrive
+	}
+	if m.dropped {
+		panic(&PayloadFaultError{Src: m.src, Dst: p.global, Dropped: true})
+	}
+	if m.checked && payloadCRC(&m) != m.crc {
+		panic(&PayloadFaultError{Src: m.src, Dst: p.global})
 	}
 	return m
 }

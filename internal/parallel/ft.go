@@ -1,0 +1,439 @@
+// Fault-tolerant training loop: the layer that closes the loop between
+// the fault injector (internal/fault), the failure-detecting runtime
+// (internal/mpi), and sharded checkpointing (internal/ckpt).
+//
+// Every rank runs the same state machine:
+//
+//	step boundary -> scheduled crash? Abandon and exit
+//	             -> checkpoint due? write this rank's shard
+//	             -> Protect(engine.Step())
+//	failure      -> convert wire faults to fail-stop of the sender
+//	             -> survivors agree on the rollback step, shrink the
+//	                communicator, re-form the engine over the survivors,
+//	                restore from the last committed checkpoint, resume
+//
+// The recovery never restarts the process: the surviving ranks keep
+// their goroutines and rebuild in place, which is what "automatic
+// in-run recovery" means at BaGuaLu scale, where a full relaunch of
+// 96,000 nodes costs more than the failure did.
+package parallel
+
+import (
+	"fmt"
+
+	"bagualu/internal/ckpt"
+	"bagualu/internal/data"
+	"bagualu/internal/fault"
+	"bagualu/internal/moe"
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/train"
+)
+
+// FTConfig parameterizes one fault-tolerant run.
+type FTConfig struct {
+	Strategy Strategy
+	Model    ModelConfig
+	Corpus   data.CorpusConfig
+	Train    train.Config
+	Seed     uint64
+	Steps    int
+
+	// Policy drives checkpointing and recovery; nil or disabled means
+	// any failure ends the run (Unrecoverable).
+	Policy *train.FaultPolicy
+
+	// OptFor builds a fresh optimizer. Called once per rank at engine
+	// construction and again on every recovery: optimizer state is
+	// restored from the checkpoint, not migrated, so the instance must
+	// start empty.
+	OptFor func() train.Optimizer
+
+	// ComputeFLOPS, when positive, charges each step's analytic FLOPs
+	// to the virtual clock at this per-rank rate, so goodput reflects
+	// compute as well as communication and checkpoint overhead.
+	ComputeFLOPS float64
+}
+
+// FTResult summarizes a fault-tolerant run, reported from the lowest-
+// ranked survivor.
+type FTResult struct {
+	Completed     bool // reached Steps
+	Unrecoverable bool // a failure could not be recovered from
+	Steps         int  // global step counter at exit
+	Recoveries    int  // in-run recoveries performed
+	Failures      int  // ranks lost over the run
+	FinalWorld    int  // surviving world size
+	FinalLoss     float32
+	Checkpoints   int // checkpoints this rank contributed a shard to
+
+	// UsefulSim is virtual time spent on steps that were never rolled
+	// back; TotalSim is the slowest rank's clock at exit. Goodput is
+	// their ratio — the quantity R11 sweeps against checkpoint
+	// interval and MTBF.
+	UsefulSim float64
+	TotalSim  float64
+	Goodput   float64
+
+	// Timing is the reporting rank's cumulative checkpoint/recovery
+	// phase breakdown on the virtual clock.
+	Timing ckpt.Timing
+}
+
+// ShrinkStrategy maps a process grid onto a smaller world after
+// failures. The expert-parallel width is preserved when the survivor
+// count allows it (experts stay put relative to their EP group);
+// otherwise the grid degenerates to pure expert parallelism if the
+// expert pool divides evenly, and anything else is unrecoverable
+// without spare ranks.
+func ShrinkStrategy(old Strategy, newSize, numExperts int, hasMoE bool) (Strategy, error) {
+	if newSize < 1 {
+		return Strategy{}, fmt.Errorf("parallel: no survivors")
+	}
+	if !hasMoE {
+		return Strategy{DataParallel: newSize, ExpertParallel: 1}, nil
+	}
+	if newSize%old.ExpertParallel == 0 {
+		return Strategy{DataParallel: newSize / old.ExpertParallel, ExpertParallel: old.ExpertParallel}, nil
+	}
+	if numExperts%newSize == 0 {
+		return Strategy{DataParallel: 1, ExpertParallel: newSize}, nil
+	}
+	return Strategy{}, fmt.Errorf("parallel: cannot map EP=%d/%d experts onto %d survivors",
+		old.ExpertParallel, numExperts, newSize)
+}
+
+// Reform rebinds the engine to a shrunk communicator and a new process
+// grid without moving weights: MoE layers reshard in place (checkpoint
+// restore repopulates them), the corpus shard is rebuilt under the NEW
+// rank index so a reformed run is step-identical to a fresh run on a
+// same-size world, and the optimizer is replaced by an empty one whose
+// state the restore fills. Callers restore from a checkpoint
+// immediately after; until then the model's expert weights are
+// meaningless.
+func (e *Engine) Reform(newComm *mpi.Comm, strat Strategy, opt train.Optimizer) error {
+	if err := strat.Validate(); err != nil {
+		return err
+	}
+	if strat.Size() != newComm.Size() {
+		return fmt.Errorf("parallel: reform strategy needs %d ranks, communicator has %d", strat.Size(), newComm.Size())
+	}
+	if len(e.moeLayers) > 0 && e.moeLayers[0].Cfg.NumExperts%strat.ExpertParallel != 0 {
+		return fmt.Errorf("parallel: %d experts not divisible by EP=%d", e.moeLayers[0].Cfg.NumExperts, strat.ExpertParallel)
+	}
+	e.Comm = newComm
+	e.Strategy = strat
+	e.EP = newComm.Split(newComm.Rank()/strat.ExpertParallel, newComm.Rank())
+	e.DP = newComm.Split(newComm.Rank()%strat.ExpertParallel, newComm.Rank())
+	for _, m := range e.moeLayers {
+		place := moe.NewBlockPlacement(m.Cfg.NumExperts, e.EP.Size())
+		if err := m.ReshardTo(e.EP, place); err != nil {
+			return err
+		}
+	}
+	// Re-partition parameters under the new shards.
+	sharded := map[*nn.Param]bool{}
+	for _, m := range e.moeLayers {
+		for _, p := range m.ShardedParams() {
+			sharded[p] = true
+		}
+	}
+	e.denseParams, e.expertParams = nil, nil
+	for _, p := range e.Model.Params() {
+		if sharded[p] {
+			e.expertParams = append(e.expertParams, p)
+		} else {
+			e.denseParams = append(e.denseParams, p)
+		}
+	}
+	cc := e.corpusCfg
+	cc.Seed = e.corpusCfg.Seed + uint64(newComm.Rank())*1_000_003
+	corpus, err := data.NewSynthetic(cc)
+	if err != nil {
+		return err
+	}
+	e.Trainer.Corpus = corpus
+	e.Trainer.Opt = opt
+	e.Trainer.RefreshParams()
+	return nil
+}
+
+// rankState is one rank's exit report.
+type rankState struct {
+	err           error
+	crashed       bool
+	completed     bool
+	unrecoverable bool
+	recoveries    int
+	checkpoints   int
+	finalLoss     float32
+	steps         int
+	useful        float64
+	timing        ckpt.Timing
+}
+
+// RunFaultTolerant trains cfg.Steps steps on w, surviving the
+// injector's schedule within the policy's recovery budget. inj may be
+// nil (failure-free run under the same loop, for baselines).
+func RunFaultTolerant(w *mpi.World, cfg FTConfig, inj *fault.Injector) (*FTResult, error) {
+	if cfg.OptFor == nil {
+		return nil, fmt.Errorf("parallel: FTConfig.OptFor is required")
+	}
+	if cfg.Strategy.Size() != w.Size() {
+		return nil, fmt.Errorf("parallel: strategy needs %d ranks, world has %d", cfg.Strategy.Size(), w.Size())
+	}
+	if inj != nil {
+		inj.Arm(w)
+	}
+	states := make([]rankState, w.Size())
+	w.Run(func(c *mpi.Comm) {
+		runRankFT(w, c, cfg, inj, &states[c.Rank()])
+	})
+
+	res := &FTResult{TotalSim: w.MaxTime(), Failures: len(w.Failed())}
+	report := -1
+	for r := range states {
+		if states[r].err != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, states[r].err)
+		}
+		if report < 0 && !states[r].crashed {
+			report = r
+		}
+	}
+	if report < 0 {
+		res.Unrecoverable = true
+		return res, nil
+	}
+	st := &states[report]
+	res.Completed = st.completed
+	res.Unrecoverable = st.unrecoverable
+	res.Steps = st.steps
+	res.Recoveries = st.recoveries
+	res.Checkpoints = st.checkpoints
+	res.FinalLoss = st.finalLoss
+	res.FinalWorld = w.Size() - res.Failures
+	res.UsefulSim = st.useful
+	res.Timing = st.timing
+	if res.TotalSim > 0 {
+		res.Goodput = res.UsefulSim / res.TotalSim
+	}
+	return res, nil
+}
+
+// runRankFT is one rank's fault-tolerant loop.
+func runRankFT(w *mpi.World, c *mpi.Comm, cfg FTConfig, inj *fault.Injector, st *rankState) {
+	my := c.Rank() // world comm: rank == global rank
+	eng, err := NewEngine(c, cfg.Strategy, cfg.Model, cfg.Corpus, cfg.Train, cfg.OptFor(), cfg.Seed)
+	if err != nil {
+		st.err = err
+		return
+	}
+	if cfg.ComputeFLOPS > 0 {
+		eng.SetComputeRate(cfg.ComputeFLOPS)
+	}
+	pol := cfg.Policy
+	var wr *ckpt.Writer
+	if pol.Enabled() {
+		wr = ckpt.NewWriter(ckpt.Config{Dir: pol.Dir, DiskBWGiBs: pol.DiskBWGiBs, Async: pol.Async}, c)
+	}
+	maxRec := 1
+	if pol != nil && pol.MaxRecoveries > 0 {
+		maxRec = pol.MaxRecoveries
+	}
+	comm := c
+	strat := cfg.Strategy
+	lastCkpt := int64(-1)
+	var pending, lastCredit float64 // sim-time not yet durable; credit of the last checkpoint
+
+	finish := func() {
+		st.useful += pending // work after the last checkpoint still ran to completion
+		if wr != nil {
+			if werr := wr.WaitIdle(); werr != nil && st.err == nil {
+				st.err = werr
+			}
+			st.timing = st.timing.Add(wr.Timing())
+		}
+		st.steps = eng.Trainer.StepCount()
+		st.completed = st.err == nil
+	}
+
+	for eng.Trainer.StepCount() < cfg.Steps {
+		step := eng.Trainer.StepCount()
+		if inj != nil && inj.CrashesAt(my, step) {
+			// Fail-stop at the step boundary. Checkpoint I/O already
+			// handed to the store completes first: shards stream to
+			// burst-buffer/IO nodes that survive a compute-node death,
+			// so an issued flush is durably ordered before any peer can
+			// observe the failure. This keeps the set of committed
+			// checkpoints deterministic for a given schedule.
+			if wr != nil {
+				wr.WaitIdle()
+			}
+			comm.Abandon()
+			st.crashed = true
+			st.steps = step
+			return
+		}
+		var stats StepStats
+		t0 := ckpt.Timing{}
+		if wr != nil {
+			t0 = wr.Timing()
+		}
+		perr := mpi.Protect(func() {
+			// The step-0 save is the bootstrap checkpoint: it guarantees
+			// every later failure has a committed state to roll back to.
+			if wr != nil && step%pol.Interval == 0 && int64(step) != lastCkpt {
+				hdr := eng.Trainer.CheckpointHeader()
+				lay := ckpt.Layout{
+					WorldSize:      comm.Size(),
+					DataParallel:   strat.DataParallel,
+					ExpertParallel: strat.ExpertParallel,
+				}
+				if serr := wr.Save(int64(step), hdr, eng.Trainer.CheckpointParams(), lay); serr != nil {
+					st.err = serr
+					return
+				}
+				lastCkpt = int64(step)
+				st.checkpoints++
+				// Credit the sim-time behind this checkpoint as useful.
+				// If the checkpoint later aborts (async flush racing a
+				// crash), the rollback path takes the credit back.
+				st.useful += pending
+				lastCredit, pending = pending, 0
+			}
+			stats = eng.Step()
+		})
+		if st.err != nil {
+			finish()
+			return
+		}
+		if perr == nil {
+			if wr != nil {
+				d := wr.Timing().Sub(t0)
+				stats.CkptSnapshot, stats.CkptFlush, stats.Recovery = d.Snapshot, d.Flush, d.Recovery
+			}
+			pending += stats.SimTime
+			st.finalLoss = stats.Loss
+			continue
+		}
+
+		// ---- failure path ----
+		if pf, ok := perr.(*mpi.PayloadFaultError); ok {
+			// Wire faults are converted to fail-stop of the sender, as
+			// real systems do: a link that lies cannot be reasoned with.
+			w.MarkFailed(pf.Src)
+		}
+		if !w.Alive(my) {
+			// Peers declared this rank failed (it sent a faulted
+			// payload); it must exit like a crashed rank.
+			st.crashed = true
+			st.steps = eng.Trainer.StepCount()
+			return
+		}
+		pending = 0
+		for {
+			if wr == nil || st.recoveries >= maxRec {
+				st.unrecoverable = true
+				finish()
+				st.completed = false
+				return
+			}
+			st.recoveries++
+			rerr := recoverRank(w, eng, cfg, &comm, &strat, &wr, &lastCkpt, &lastCredit, st)
+			if rerr == nil {
+				break
+			}
+			switch rerr.(type) {
+			case *mpi.RankFailedError, *mpi.PayloadFaultError:
+				if !w.Alive(my) {
+					st.crashed = true
+					return
+				}
+				continue // another rank died during recovery; go again
+			default:
+				if st.unrecoverable {
+					// A verdict, not a malfunction: no committed
+					// checkpoint, or no viable grid over the survivors.
+					finish()
+					st.completed = false
+					return
+				}
+				st.err = rerr
+				finish()
+				st.completed = false
+				return
+			}
+		}
+	}
+	finish()
+}
+
+// recoverRank runs one recovery round for a survivor: abandon
+// half-open checkpoints, agree on the rollback step, shrink the
+// communicator, re-form the engine, restore, and price the whole
+// detour on the virtual clock. comm/strat/wr/lastCkpt are updated in
+// place on success. Communication failures (another rank dying
+// mid-recovery) return typed mpi errors for the caller to retry on.
+func recoverRank(w *mpi.World, eng *Engine, cfg FTConfig, comm **mpi.Comm, strat *Strategy,
+	wr **ckpt.Writer, lastCkpt *int64, lastCredit *float64, st *rankState) error {
+	pol := cfg.Policy
+	// Drain this rank's own background flushes so every shard it issued
+	// is on disk (possibly committing a checkpoint) before the rollback
+	// point is chosen. Deliberately NOT ckpt.AbandonPending: another
+	// survivor's flush may be about to complete a commit this rank
+	// would then wrongly abort. A checkpoint the dead rank never
+	// contributed to simply never commits — its stale coordinator is
+	// replaced when the shrunk world re-saves that step.
+	(*wr).WaitIdle()
+
+	keep := (*comm).Survivors()
+	newComm := (*comm).ShrinkTo(keep)
+	newStrat, serr := ShrinkStrategy(*strat, newComm.Size(), cfg.Model.NumExperts, cfg.Model.MoEEvery > 0)
+	if serr != nil {
+		st.unrecoverable = true
+		return serr
+	}
+
+	latest, lerr := ckpt.Latest(pol.Dir)
+	if lerr != nil {
+		return lerr
+	}
+	// Survivors may disagree on Latest if a manifest committed while
+	// some had already scanned the directory; the min over the shrunk
+	// communicator is committed everywhere. This collective doubles as
+	// the recovery barrier.
+	var agreed int64
+	if aerr := mpi.Protect(func() {
+		red := newComm.AllReduce([]float32{-float32(latest)}, mpi.OpMax)
+		agreed = -int64(red[0])
+	}); aerr != nil {
+		return aerr
+	}
+	if agreed < 0 {
+		st.unrecoverable = true
+		return fmt.Errorf("parallel: failure before any committed checkpoint")
+	}
+	if agreed != *lastCkpt {
+		// The last checkpoint this rank credited never committed
+		// world-wide; its sim-time was lost in the rollback after all.
+		st.useful -= *lastCredit
+	}
+	*lastCredit = 0
+
+	nw := ckpt.NewWriter(ckpt.Config{Dir: pol.Dir, DiskBWGiBs: pol.DiskBWGiBs, Async: pol.Async}, newComm)
+	recoverStart := newComm.Now()
+	if rerr := eng.Reform(newComm, newStrat, cfg.OptFor()); rerr != nil {
+		return rerr
+	}
+	res, rerr := ckpt.Restore(pol.Dir, agreed, newComm.Rank(), eng.Trainer.CheckpointParams())
+	if rerr != nil {
+		return rerr
+	}
+	eng.Trainer.ApplyRestored(res.Header)
+	// Price the restore as disk reads plus the detour since the shrink.
+	nw.ChargeRecovery(nw.RestoreSeconds(res.BytesRead) + (newComm.Now() - recoverStart))
+
+	st.timing = st.timing.Add((*wr).Timing()) // retire the old writer's meter
+	*comm, *strat, *wr, *lastCkpt = newComm, newStrat, nw, agreed
+	return nil
+}

@@ -1,0 +1,200 @@
+package parallel
+
+import (
+	"testing"
+
+	"bagualu/internal/ckpt"
+	"bagualu/internal/fault"
+	"bagualu/internal/mpi"
+	"bagualu/internal/simnet"
+	"bagualu/internal/sunway"
+	"bagualu/internal/train"
+)
+
+// ftModelCfg widens the tiny model's expert pool so the world can
+// shrink 4 -> 3 -> 2 with the pool dividing evenly each time.
+func ftModelCfg() ModelConfig {
+	mc := tinyModelCfg(1)
+	mc.NumExperts = 12
+	return mc
+}
+
+func ftConfig(strat Strategy, steps int, pol *train.FaultPolicy) FTConfig {
+	return FTConfig{
+		Strategy: strat,
+		Model:    ftModelCfg(),
+		Corpus:   tinyCorpusCfg(),
+		Train:    tinyTrainCfg(),
+		Seed:     11,
+		Steps:    steps,
+		Policy:   pol,
+		OptFor:   func() train.Optimizer { return train.NewAdam(0) },
+	}
+}
+
+func TestShrinkStrategy(t *testing.T) {
+	cases := []struct {
+		old     Strategy
+		size    int
+		experts int
+		moe     bool
+		want    Strategy
+		err     bool
+	}{
+		{Strategy{2, 4}, 4, 24, true, Strategy{1, 4}, false}, // EP preserved
+		{Strategy{1, 4}, 3, 12, true, Strategy{1, 3}, false}, // degenerate to pure EP
+		{Strategy{1, 4}, 3, 8, true, Strategy{}, true},       // 8 % 3 != 0: unrecoverable
+		{Strategy{2, 2}, 3, 8, false, Strategy{3, 1}, false}, // dense: any DP
+		{Strategy{1, 3}, 2, 12, true, Strategy{1, 2}, false}, // second shrink
+	}
+	for i, c := range cases {
+		got, err := ShrinkStrategy(c.old, c.size, c.experts, c.moe)
+		if c.err != (err != nil) {
+			t.Fatalf("case %d: err = %v, want err=%v", i, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("case %d: got %+v, want %+v", i, got, c.want)
+		}
+	}
+}
+
+// The acceptance criterion for the whole subsystem: a rank crash
+// mid-run is detected, the survivors restore from the last committed
+// sharded checkpoint onto the shrunk world, and the final loss is
+// EXACTLY the loss of an uninterrupted run that starts from the same
+// checkpoint on a same-size world.
+func TestCrashRecoveryMatchesRestart(t *testing.T) {
+	dir := t.TempDir()
+	const steps = 10
+
+	// Run A: 4 ranks, checkpoint every 4 steps, rank 2 dies entering
+	// step 6 -> rollback to the step-4 checkpoint on 3 survivors.
+	pol := &train.FaultPolicy{Dir: dir, Interval: 4, MaxRecoveries: 2}
+	inj, err := fault.Scripted(fault.Config{Ranks: 4, Steps: steps},
+		[]fault.Event{{Kind: fault.EventCrash, Rank: 2, Step: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mpi.NewWorld(4, nil)
+	res, err := RunFaultTolerant(w, ftConfig(Strategy{DataParallel: 1, ExpertParallel: 4}, steps, pol), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Unrecoverable {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	if res.Recoveries != 1 || res.Failures != 1 || res.FinalWorld != 3 || res.Steps != steps {
+		t.Fatalf("recovery shape wrong: %+v", res)
+	}
+
+	// Run B: a fresh 3-rank world restores the SAME step-4 checkpoint
+	// and trains to the same step count with no faults.
+	wb := mpi.NewWorld(3, nil)
+	var refLoss float32
+	var bErr error
+	wb.Run(func(c *mpi.Comm) {
+		eng, err := NewEngine(c, Strategy{DataParallel: 1, ExpertParallel: 3}, ftModelCfg(),
+			tinyCorpusCfg(), tinyTrainCfg(), train.NewAdam(0), 11)
+		if err != nil {
+			bErr = err
+			return
+		}
+		rr, err := ckpt.Restore(dir, 4, c.Rank(), eng.Trainer.CheckpointParams())
+		if err != nil {
+			bErr = err
+			return
+		}
+		eng.Trainer.ApplyRestored(rr.Header)
+		for eng.Trainer.StepCount() < steps {
+			st := eng.Step()
+			if c.Rank() == 0 {
+				refLoss = st.Loss
+			}
+		}
+	})
+	if bErr != nil {
+		t.Fatal(bErr)
+	}
+	if res.FinalLoss != refLoss {
+		t.Fatalf("recovered run diverged: final loss %v, uninterrupted restart %v", res.FinalLoss, refLoss)
+	}
+}
+
+// Two crashes at different steps force two shrinks (4 -> 3 -> 2) with
+// a strategy change each time; the run must still complete.
+func TestRepeatedRecovery(t *testing.T) {
+	dir := t.TempDir()
+	pol := &train.FaultPolicy{Dir: dir, Interval: 2, MaxRecoveries: 3}
+	inj, err := fault.Scripted(fault.Config{Ranks: 4, Steps: 10}, []fault.Event{
+		{Kind: fault.EventCrash, Rank: 1, Step: 3},
+		{Kind: fault.EventCrash, Rank: 3, Step: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mpi.NewWorld(4, nil)
+	res, err := RunFaultTolerant(w, ftConfig(Strategy{DataParallel: 1, ExpertParallel: 4}, 10, pol), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Recoveries != 2 || res.FinalWorld != 2 {
+		t.Fatalf("double recovery failed: %+v", res)
+	}
+	if res.Steps != 10 {
+		t.Fatalf("steps = %d, want 10", res.Steps)
+	}
+}
+
+// Without a checkpoint policy a failure ends the run as unrecoverable
+// instead of hanging or corrupting state.
+func TestUnrecoverableWithoutCheckpoints(t *testing.T) {
+	inj, err := fault.Scripted(fault.Config{Ranks: 4, Steps: 10},
+		[]fault.Event{{Kind: fault.EventCrash, Rank: 2, Step: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mpi.NewWorld(4, nil)
+	res, err := RunFaultTolerant(w, ftConfig(Strategy{DataParallel: 1, ExpertParallel: 4}, 10, nil), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || !res.Unrecoverable {
+		t.Fatalf("expected unrecoverable exit: %+v", res)
+	}
+}
+
+// On a priced topology with async checkpointing, the run reports a
+// goodput in (0, 1] and a phase breakdown: recovery and flush time
+// must show up after a crash.
+func TestGoodputAccounting(t *testing.T) {
+	dir := t.TempDir()
+	pol := &train.FaultPolicy{Dir: dir, Interval: 3, Async: true, DiskBWGiBs: 0.5, MaxRecoveries: 2}
+	inj, err := fault.Scripted(fault.Config{Ranks: 4, Steps: 12},
+		[]fault.Event{{Kind: fault.EventCrash, Rank: 1, Step: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := simnet.New(sunway.TestMachine(2, 2), 1)
+	w := mpi.NewWorld(4, topo)
+	cfg := ftConfig(Strategy{DataParallel: 1, ExpertParallel: 4}, 12, pol)
+	cfg.ComputeFLOPS = 1e9
+	res, err := RunFaultTolerant(w, cfg, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	if res.Goodput <= 0 || res.Goodput > 1 {
+		t.Fatalf("goodput %v outside (0, 1]", res.Goodput)
+	}
+	if res.UsefulSim <= 0 || res.UsefulSim > res.TotalSim {
+		t.Fatalf("useful %v vs total %v", res.UsefulSim, res.TotalSim)
+	}
+	if res.Timing.Recovery <= 0 {
+		t.Fatalf("no recovery time charged after a crash: %+v", res.Timing)
+	}
+	if res.Timing.Snapshot <= 0 {
+		t.Fatalf("async checkpoints charged no snapshot time: %+v", res.Timing)
+	}
+}

@@ -114,6 +114,14 @@ type StepStats struct {
 	// Wire is this rank's MoE exchange traffic for the step, post-
 	// codec vs raw, split by network tier (see mpi.WireStats).
 	Wire mpi.WireStats
+
+	// Fault-tolerance phase time the fault-tolerant loop attributed
+	// to this step, in virtual seconds (zero outside RunFaultTolerant):
+	// parameter snapshot cost, checkpoint flush (or stall), and
+	// rollback/re-form/restore after a failure.
+	CkptSnapshot float64
+	CkptFlush    float64
+	Recovery     float64
 }
 
 // Engine is the per-rank training engine. Construct one inside
@@ -129,6 +137,7 @@ type Engine struct {
 	moeLayers    []*moe.DistMoE
 	denseParams  []*nn.Param
 	expertParams []*nn.Param
+	corpusCfg    data.CorpusConfig // pre-decorrelation config (Reform rebuilds shards from it)
 	batch        int
 	clipNorm     float32
 	lastGradNorm float32
@@ -159,7 +168,7 @@ func NewEngine(c *mpi.Comm, strat Strategy, mc ModelConfig, corpusCfg data.Corpu
 		return nil, fmt.Errorf("parallel: %d experts not divisible by EP=%d", mc.NumExperts, strat.ExpertParallel)
 	}
 
-	e := &Engine{Comm: c, Strategy: strat, batch: tc.Batch, clipNorm: tc.ClipNorm}
+	e := &Engine{Comm: c, Strategy: strat, corpusCfg: corpusCfg, batch: tc.Batch, clipNorm: tc.ClipNorm}
 	// The engine clips by the *distributed* global norm after the
 	// gradient sync; the trainer's local clip would use a norm that
 	// differs across ranks (expert shards differ) and desynchronize

@@ -58,6 +58,14 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// State returns the generator's current position. SplitMix64 state is
+// a single word, so checkpointing the data-order stream is exact:
+// restoring it with SetState resumes the identical draw sequence.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState rewinds or advances the generator to a captured position.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Randn returns a tensor of i.i.d. N(0, std²) samples.
 func Randn(r *RNG, std float32, shape ...int) *Tensor {
 	t := New(shape...)

@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 
 	"bagualu/internal/nn"
 )
@@ -15,34 +18,59 @@ import (
 // own expert shard; the same property holds here because Save takes
 // whatever parameter list the caller owns (a rank passes only its
 // local params).
+//
+// Version 2 makes the stream sufficient for *bit-exact* resume: the
+// header carries the dynamic loss-scale state, the optimizer update
+// count (Adam/LAMB bias correction depends on it), and the data-order
+// RNG position, while the tensor list includes optimizer moments and
+// FP32 masters (see Trainer.CheckpointParams). Every tensor record
+// ends with a CRC32 of its payload so silent corruption is detected
+// at load time and attributed to a specific tensor. Version 1 streams
+// (weights only, no checksums) remain readable.
 const (
 	ckptMagic   = 0xBA60A1 // "BaGuaLu"
-	ckptVersion = 1
+	ckptVersion = 2
 )
 
 // Header carries run metadata stored alongside the weights.
 type Header struct {
 	Step      int64
 	LossScale float32
+
+	// Version 2 fields (zero when reading a version 1 stream).
+	GoodSteps    int32  // loss-scale growth progress
+	SkippedSteps int32  // overflow-skipped step count
+	OptSteps     int64  // optimizer updates applied (bias correction)
+	RNGState     uint64 // data-order RNG position
+
+	// Version is the format version the stream was read with; it is
+	// ignored by Save (which always writes the current version).
+	Version int
 }
 
-// Save writes a checkpoint of params to w.
+// CorruptError reports a tensor record whose payload checksum does
+// not match, naming the damaged tensor.
+type CorruptError struct {
+	Tensor    string
+	Want, Got uint32
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("train: checkpoint tensor %q corrupted (crc %08x, want %08x)", e.Tensor, e.Got, e.Want)
+}
+
+// Save writes a version-2 checkpoint of params to w.
 func Save(w io.Writer, hdr Header, params []*nn.Param) error {
 	bw := bufio.NewWriter(w)
-	if err := binary.Write(bw, binary.LittleEndian, uint32(ckptMagic)); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(ckptVersion)); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, hdr.Step); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, hdr.LossScale); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
-		return err
+	for _, v := range []any{
+		uint32(ckptMagic), uint32(ckptVersion),
+		hdr.Step, hdr.LossScale,
+		hdr.GoodSteps, hdr.SkippedSteps, hdr.OptSteps, hdr.RNGState,
+		uint32(len(params)),
+	} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
 	}
 	for _, p := range params {
 		if err := writeString(bw, p.Name); err != nil {
@@ -59,96 +87,152 @@ func Save(w io.Writer, hdr Header, params []*nn.Param) error {
 		if err := binary.Write(bw, binary.LittleEndian, p.W.Data); err != nil {
 			return err
 		}
+		if err := binary.Write(bw, binary.LittleEndian, tensorCRC(p.W.Data)); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
 
-// Load restores a checkpoint into params, matching tensors by name.
-// Every parameter in params must be present in the stream with an
-// identical shape; extra tensors in the stream are ignored.
-func Load(r io.Reader, params []*nn.Param) (Header, error) {
+// tensorCRC checksums a tensor payload exactly as it sits on disk
+// (little-endian float32 bytes).
+func tensorCRC(data []float32) uint32 {
+	h := crc32.NewIEEE()
+	var b [4]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+		h.Write(b[:])
+	}
+	return h.Sum32()
+}
+
+// LoadInto restores a checkpoint stream into the given name-indexed
+// parameter set. Tensors present in the stream but absent from byName
+// are skipped (their checksums are still verified); parameters absent
+// from the stream are left untouched. It returns the header and the
+// names that were actually restored — callers decide which absences
+// are errors (a sharded restore unions several streams before
+// checking completeness; see internal/ckpt).
+func LoadInto(r io.Reader, byName map[string]*nn.Param) (Header, []string, error) {
 	br := bufio.NewReader(r)
 	var hdr Header
 	var magic, version uint32
 	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return hdr, err
+		return hdr, nil, err
 	}
 	if magic != ckptMagic {
-		return hdr, fmt.Errorf("train: bad checkpoint magic %#x", magic)
+		return hdr, nil, fmt.Errorf("train: bad checkpoint magic %#x", magic)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return hdr, err
+		return hdr, nil, err
 	}
-	if version != ckptVersion {
-		return hdr, fmt.Errorf("train: unsupported checkpoint version %d", version)
+	if version != 1 && version != ckptVersion {
+		return hdr, nil, fmt.Errorf("train: unsupported checkpoint version %d", version)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &hdr.Step); err != nil {
-		return hdr, err
+	hdr.Version = int(version)
+	fields := []any{&hdr.Step, &hdr.LossScale}
+	if version >= 2 {
+		fields = append(fields, &hdr.GoodSteps, &hdr.SkippedSteps, &hdr.OptSteps, &hdr.RNGState)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &hdr.LossScale); err != nil {
-		return hdr, err
+	for _, f := range fields {
+		if err := binary.Read(br, binary.LittleEndian, f); err != nil {
+			return hdr, nil, err
+		}
 	}
 	var count uint32
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return hdr, err
+		return hdr, nil, err
 	}
-	byName := make(map[string]*nn.Param, len(params))
-	for _, p := range params {
-		byName[p.Name] = p
-	}
-	loaded := make(map[string]bool)
+	var loaded []string
 	for i := uint32(0); i < count; i++ {
 		name, err := readString(br)
 		if err != nil {
-			return hdr, err
+			return hdr, nil, err
 		}
 		var rank uint32
 		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
-			return hdr, err
+			return hdr, nil, err
 		}
 		shape := make([]int, rank)
 		n := 1
 		for j := range shape {
 			var d uint32
 			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
-				return hdr, err
+				return hdr, nil, err
 			}
 			shape[j] = int(d)
 			n *= int(d)
 		}
 		buf := make([]float32, n)
 		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
-			return hdr, err
+			return hdr, nil, err
+		}
+		if version >= 2 {
+			var want uint32
+			if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+				return hdr, nil, err
+			}
+			if got := tensorCRC(buf); got != want {
+				return hdr, nil, &CorruptError{Tensor: name, Want: want, Got: got}
+			}
 		}
 		p := byName[name]
 		if p == nil {
 			continue // tensor not owned by this rank
 		}
 		if len(p.W.Data) != n {
-			return hdr, fmt.Errorf("train: checkpoint tensor %q has %d elements, param has %d", name, n, len(p.W.Data))
+			return hdr, nil, fmt.Errorf("train: checkpoint tensor %q has %d elements, param has %d", name, n, len(p.W.Data))
 		}
 		copy(p.W.Data, buf)
-		loaded[name] = true
+		loaded = append(loaded, name)
+	}
+	return hdr, loaded, nil
+}
+
+// Load restores a checkpoint into params, matching tensors by name.
+// Every parameter in params must be present in the stream with an
+// identical shape; extra tensors in the stream are ignored.
+func Load(r io.Reader, params []*nn.Param) (Header, error) {
+	byName := make(map[string]*nn.Param, len(params))
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	hdr, loaded, err := LoadInto(r, byName)
+	if err != nil {
+		return hdr, err
+	}
+	seen := make(map[string]bool, len(loaded))
+	for _, n := range loaded {
+		seen[n] = true
 	}
 	for _, p := range params {
-		if !loaded[p.Name] {
+		if !seen[p.Name] {
 			return hdr, fmt.Errorf("train: checkpoint missing tensor %q", p.Name)
 		}
 	}
 	return hdr, nil
 }
 
-// SaveFile writes a checkpoint to path.
+// SaveFile writes a checkpoint to path atomically: the stream goes to
+// a temp file in the same directory and is renamed over path only
+// after a successful flush, so a crash mid-write can never destroy
+// the previous checkpoint.
 func SaveFile(path string, hdr Header, params []*nn.Param) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := Save(f, hdr, params); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // LoadFile restores a checkpoint from path.

@@ -1,0 +1,31 @@
+package train
+
+// FaultPolicy configures the fault-tolerant training loop (the
+// parallel engine's RunFaultTolerant): where sharded checkpoints go,
+// how often they are taken, whether the flush overlaps training on
+// the virtual clock, and how many in-run recoveries to attempt before
+// giving up. It lives in train (not internal/ckpt) so the Trainer can
+// carry it without an import cycle — train is below ckpt in the
+// dependency order because ckpt reuses the stream codec.
+type FaultPolicy struct {
+	// Dir is the checkpoint root; shards land in Dir/step-N/.
+	Dir string
+	// Interval takes a sharded checkpoint every Interval steps
+	// (0 disables checkpointing — failures are then unrecoverable).
+	Interval int
+	// Async snapshots parameters into pooled buffers at a memcpy cost
+	// and flushes in the background, overlapping the next steps on the
+	// virtual clock; sync mode charges the full disk write per
+	// checkpoint step.
+	Async bool
+	// DiskBWGiBs is the modeled checkpoint-disk bandwidth per rank in
+	// GiB/s (0 means 1 GiB/s).
+	DiskBWGiBs float64
+	// MaxRecoveries bounds in-run recoveries (0 means 1).
+	MaxRecoveries int
+}
+
+// Enabled reports whether the policy actually checkpoints.
+func (p *FaultPolicy) Enabled() bool {
+	return p != nil && p.Dir != "" && p.Interval > 0
+}

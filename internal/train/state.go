@@ -1,0 +1,260 @@
+package train
+
+import (
+	"fmt"
+	"io"
+
+	"bagualu/internal/nn"
+	"bagualu/internal/tensor"
+)
+
+// StatefulOptimizer is implemented by optimizers whose update rule
+// depends on persistent per-parameter state (momentum, Adam moments).
+// StateTensors exposes that state as named pseudo-parameters so the
+// checkpoint codec can persist it next to the weights; a resume that
+// skips it is *correct* but not bit-exact (the moments re-warm from
+// zero). SetStepCount restores the update counter that bias
+// correction depends on.
+type StatefulOptimizer interface {
+	Optimizer
+	// StateTensors returns one pseudo-parameter per state tensor of
+	// each of params, named "<param>.<opt>.<slot>". State for a
+	// parameter that has not been stepped yet is allocated zeroed, so
+	// the returned set is complete for both save and restore.
+	StateTensors(params []*nn.Param) []*nn.Param
+	// StepCount returns updates applied so far.
+	StepCount() int
+	// SetStepCount restores the update counter.
+	SetStepCount(int)
+}
+
+// stateParam wraps an optimizer state tensor as a named parameter.
+// The tensor is shared, not copied: restoring into the pseudo-param
+// restores the optimizer.
+func stateParam(name string, t *tensor.Tensor) *nn.Param {
+	return &nn.Param{Name: name, W: t}
+}
+
+// ensureState returns the state tensor for p in m, allocating a
+// zeroed one on first use (mirrors the lazy allocation in Step).
+func ensureState(m map[*nn.Param]*tensor.Tensor, p *nn.Param) *tensor.Tensor {
+	t := m[p]
+	if t == nil {
+		t = tensor.New(p.W.Shape...)
+		m[p] = t
+	}
+	return t
+}
+
+// StateTensors exposes the momentum buffers as "<name>.sgd.v".
+// Momentum-free SGD has no state and returns nil.
+func (s *SGD) StateTensors(params []*nn.Param) []*nn.Param {
+	if s.Momentum == 0 {
+		return nil
+	}
+	out := make([]*nn.Param, 0, len(params))
+	for _, p := range params {
+		out = append(out, stateParam(p.Name+".sgd.v", ensureState(s.vel, p)))
+	}
+	return out
+}
+
+// StepCount returns 0: SGD has no step-dependent correction.
+func (s *SGD) StepCount() int { return 0 }
+
+// SetStepCount is a no-op for SGD.
+func (s *SGD) SetStepCount(int) {}
+
+// StateTensors exposes the Adam moments as "<name>.adam.m" / ".adam.v".
+func (a *Adam) StateTensors(params []*nn.Param) []*nn.Param {
+	out := make([]*nn.Param, 0, 2*len(params))
+	for _, p := range params {
+		m := a.m[p]
+		if m == nil {
+			m = tensor.New(p.W.Shape...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.W.Shape...)
+		}
+		out = append(out,
+			stateParam(p.Name+".adam.m", m),
+			stateParam(p.Name+".adam.v", a.v[p]))
+	}
+	return out
+}
+
+// SetStepCount restores the bias-correction counter.
+func (a *Adam) SetStepCount(n int) { a.step = n }
+
+// StateTensors exposes the LAMB moments as "<name>.lamb.m" / ".lamb.v".
+func (l *LAMB) StateTensors(params []*nn.Param) []*nn.Param {
+	out := make([]*nn.Param, 0, 2*len(params))
+	for _, p := range params {
+		m := l.m[p]
+		if m == nil {
+			m = tensor.New(p.W.Shape...)
+			l.m[p] = m
+			l.v[p] = tensor.New(p.W.Shape...)
+		}
+		out = append(out,
+			stateParam(p.Name+".lamb.m", m),
+			stateParam(p.Name+".lamb.v", l.v[p]))
+	}
+	return out
+}
+
+// SetStepCount restores the bias-correction counter.
+func (l *LAMB) SetStepCount(n int) { l.step = n }
+
+// MasterParams exposes the FP32 master weights as "<name>.master"
+// pseudo-parameters (Mixed mode only; nil otherwise). The slices are
+// shared with the precision policy, so restoring into them restores
+// the masters.
+func (mp *MixedPrecision) MasterParams() []*nn.Param {
+	if mp.masters == nil {
+		return nil
+	}
+	out := make([]*nn.Param, len(mp.masters))
+	for i, m := range mp.masters {
+		p := mp.params[i]
+		out[i] = stateParam(p.Name+".master", &tensor.Tensor{Data: m, Shape: p.W.Shape})
+	}
+	return out
+}
+
+// ScaleState captures the dynamic loss-scale machinery: the current
+// scale, progress toward the next growth, and the skip count.
+func (mp *MixedPrecision) ScaleState() (scale float32, goodSteps, skipped int) {
+	return mp.Scale, mp.goodSteps, mp.skipped
+}
+
+// SetScaleState restores the dynamic loss-scale machinery.
+func (mp *MixedPrecision) SetScaleState(scale float32, goodSteps, skipped int) {
+	mp.Scale = scale
+	mp.goodSteps = goodSteps
+	mp.skipped = skipped
+}
+
+// CheckpointParams returns the full set of tensors a bit-exact resume
+// needs: model weights, optimizer state, and FP32 masters.
+func (t *Trainer) CheckpointParams() []*nn.Param {
+	out := append([]*nn.Param(nil), t.params...)
+	if so, ok := t.Opt.(StatefulOptimizer); ok {
+		out = append(out, so.StateTensors(t.params)...)
+	}
+	out = append(out, t.MP.MasterParams()...)
+	return out
+}
+
+// checkpointHeader snapshots the trainer's scalar state.
+func (t *Trainer) checkpointHeader() Header {
+	scale, good, skipped := t.MP.ScaleState()
+	hdr := Header{
+		Step:         int64(t.step),
+		LossScale:    scale,
+		GoodSteps:    int32(good),
+		SkippedSteps: int32(skipped),
+		RNGState:     t.Corpus.RNGState(),
+	}
+	if so, ok := t.Opt.(StatefulOptimizer); ok {
+		hdr.OptSteps = int64(so.StepCount())
+	}
+	return hdr
+}
+
+// CheckpointHeader snapshots the trainer's scalar state (step, loss
+// scale, optimizer step count, data-order RNG position) for a
+// checkpoint taken outside SaveCheckpoint — the sharded writer saves
+// it alongside each rank's tensors.
+func (t *Trainer) CheckpointHeader() Header { return t.checkpointHeader() }
+
+// ApplyRestored finalizes a restore performed outside LoadCheckpoint
+// (the sharded path, where ckpt.Restore fills the tensors directly and
+// guarantees every requested tensor was found): it applies the scalar
+// header and re-derives the working weights from the restored masters.
+func (t *Trainer) ApplyRestored(hdr Header) {
+	seen := make(map[string]bool)
+	for _, p := range t.CheckpointParams() {
+		seen[p.Name] = true
+	}
+	t.applyHeader(hdr)
+	t.afterRestore(seen)
+}
+
+// SaveCheckpoint writes everything needed for a bit-exact resume of
+// this trainer to w.
+func (t *Trainer) SaveCheckpoint(w io.Writer) error {
+	return Save(w, t.checkpointHeader(), t.CheckpointParams())
+}
+
+// applyHeader restores the trainer's scalar state from a header.
+func (t *Trainer) applyHeader(hdr Header) {
+	t.step = int(hdr.Step)
+	if hdr.Version >= 2 {
+		t.MP.SetScaleState(hdr.LossScale, int(hdr.GoodSteps), int(hdr.SkippedSteps))
+		if so, ok := t.Opt.(StatefulOptimizer); ok {
+			so.SetStepCount(int(hdr.OptSteps))
+		}
+		t.Corpus.SetRNGState(hdr.RNGState)
+	} else if hdr.LossScale > 0 {
+		t.MP.Scale = hdr.LossScale
+	}
+}
+
+// LoadCheckpoint restores trainer state from a stream written by
+// SaveCheckpoint. All model weights must be present; optimizer state
+// and masters are restored when the stream has them (a version 1
+// stream has not), so a v1 resume is correct but re-warms the
+// moments. In Mixed mode the working weights are re-quantized from
+// the restored masters.
+func (t *Trainer) LoadCheckpoint(r io.Reader) error {
+	all := t.CheckpointParams()
+	byName := make(map[string]*nn.Param, len(all))
+	for _, p := range all {
+		byName[p.Name] = p
+	}
+	hdr, loaded, err := LoadInto(r, byName)
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, len(loaded))
+	for _, n := range loaded {
+		seen[n] = true
+	}
+	for _, p := range t.params {
+		if !seen[p.Name] {
+			return fmt.Errorf("train: checkpoint missing tensor %q", p.Name)
+		}
+	}
+	t.applyHeader(hdr)
+	t.afterRestore(seen)
+	return nil
+}
+
+// afterRestore re-derives the working weights after tensors changed
+// underneath the precision policy. If the masters were restored they
+// are authoritative; otherwise (v1 stream) they re-snapshot from the
+// just-loaded weights.
+func (t *Trainer) afterRestore(restored map[string]bool) {
+	if t.MP.masters == nil {
+		return
+	}
+	mastersLoaded := false
+	for _, p := range t.params {
+		if restored[p.Name+".master"] {
+			mastersLoaded = true
+			break
+		}
+	}
+	for i, p := range t.params {
+		if mastersLoaded {
+			copy(p.W.Data, t.MP.masters[i])
+		} else {
+			copy(t.MP.masters[i], p.W.Data)
+		}
+	}
+	t.MP.quantizeWeights()
+}
+
+// SetStepCount overrides the trainer's step counter (used by the
+// recovery path when re-aligning survivors to a restored checkpoint).
+func (t *Trainer) SetStepCount(n int) { t.step = n }

@@ -60,6 +60,14 @@ type Metrics struct {
 	// matching phase breakdown.
 	Wire mpi.WireStats
 	Comm moe.Timing
+
+	// Fault-tolerance phases, in virtual seconds attributed to this
+	// step by the recovery loop: parameter snapshot cost, checkpoint
+	// flush stall, and rollback/re-form/restore time after a failure
+	// (metrics.PhaseCkptSnapshot etc. in the phase meter).
+	CkptSnapshot float64
+	CkptFlush    float64
+	Recovery     float64
 }
 
 // Trainer runs synchronous next-token pretraining of a GPT model on a

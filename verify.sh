@@ -2,10 +2,17 @@
 # Repo verification gate: build, vet, full test suite, then the race
 # detector over the packages with concurrency-sensitive hot paths
 # (buffer pool / persistent workers, simulated MPI runtime, the
-# two-phase MoE exchange and the trainer that drives it).
+# two-phase MoE exchange, the trainer that drives it, and the
+# fault-tolerance stack: injector, sharded async checkpointing, and the
+# in-run recovery loop).
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/tensor/... ./internal/mpi/... ./internal/moe/... ./internal/train/...
+go test -race ./internal/fault/... ./internal/ckpt/...
+go test -race -run 'TestCrashRecoveryMatchesRestart|TestRepeatedRecovery|TestGoodputAccounting' ./internal/parallel/
+# Deterministic replay: the same seed must reproduce the same fault
+# schedule and the same wire-fault pattern, run after run.
+go test -count=2 -run 'TestFaultScheduleDeterministic|TestArmedWireFaultsFire' ./internal/fault/
