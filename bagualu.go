@@ -39,6 +39,7 @@ import (
 	"bagualu/internal/ckpt"
 	"bagualu/internal/data"
 	"bagualu/internal/fault"
+	"bagualu/internal/health"
 	"bagualu/internal/moe"
 	"bagualu/internal/mpi"
 	"bagualu/internal/nn"
@@ -347,6 +348,63 @@ type (
 	// wire.
 	PayloadFaultError = mpi.PayloadFaultError
 )
+
+// Graceful degradation: reliable wire transport, health telemetry,
+// and the escalation policy that ties the tiers together.
+type (
+	// TransportConfig bounds the reliable transport's retransmit
+	// engine (retry budget, ack timeout, backoff schedule).
+	TransportConfig = mpi.TransportConfig
+	// TransportStats counts retransmitted/recovered/exhausted frames
+	// and the virtual seconds spent in timeouts and backoff.
+	TransportStats = mpi.TransportStats
+	// Escalation selects how the fault-tolerant loop answers wire
+	// faults and degradation (FaultPolicy.Escalation).
+	Escalation = train.Escalation
+	// HealthConfig tunes the per-rank EWMA + hysteresis classifier.
+	HealthConfig = health.Config
+	// HealthMonitor classifies ranks Healthy/Degraded/Failed from
+	// link-delay scores.
+	HealthMonitor = health.Monitor
+	// HealthState is a rank's classification.
+	HealthState = health.State
+	// OptStateCarrier lets expert migration ship optimizer state
+	// (train.Adam implements it).
+	OptStateCarrier = moe.OptStateCarrier
+)
+
+// Escalation policies for FaultPolicy.Escalation.
+const (
+	// EscalateRollback treats every wire fault as a rank failure
+	// (shrink + rollback).
+	EscalateRollback = train.EscalateRollback
+	// EscalateRetransmit arms reliable transport; only retry
+	// exhaustion escalates to rollback.
+	EscalateRetransmit = train.EscalateRetransmit
+	// EscalateTiered adds health-monitor-driven straggler mitigation
+	// between retransmission and rollback.
+	EscalateTiered = train.EscalateTiered
+)
+
+// Health classifications reported by the monitor.
+const (
+	RankHealthy  = health.Healthy
+	RankDegraded = health.Degraded
+	RankFailed   = health.Failed
+)
+
+// ParseEscalation maps "rollback"/"retransmit"/"tiered" to an
+// Escalation.
+func ParseEscalation(s string) (Escalation, error) { return train.ParseEscalation(s) }
+
+// NewHealthMonitor creates a monitor over n ranks, all initially
+// Healthy.
+func NewHealthMonitor(n int, cfg HealthConfig) *HealthMonitor { return health.NewMonitor(n, cfg) }
+
+// CollectHealthScores aggregates each rank's link-delay observation
+// row up the supernode hierarchy and broadcasts the suspect-robust
+// per-rank scores; collective over c.
+func CollectHealthScores(c *Comm, row []float64) []float64 { return health.CollectScores(c, row) }
 
 // NewFaultInjector draws a reproducible fault schedule from cfg.
 func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) { return fault.New(cfg) }

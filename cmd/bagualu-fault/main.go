@@ -1,8 +1,12 @@
-// Command bagualu-fault regenerates experiment R11: training goodput
-// (useful virtual time / total virtual time) under injected rank
-// failures, swept over the checkpoint interval and the machine MTBF,
-// plus the per-step cost of synchronous versus asynchronous sharded
-// checkpointing on a failure-free run.
+// Command bagualu-fault regenerates experiments R11 and R12. R11:
+// training goodput (useful virtual time / total virtual time) under
+// injected rank failures, swept over the checkpoint interval and the
+// machine MTBF, plus the per-step cost of synchronous versus
+// asynchronous sharded checkpointing on a failure-free run. R12:
+// throughput under a lossy, straggling interconnect compared across
+// escalation policies — always-rollback (every wire fault is a rank
+// failure), retransmit-only (reliable transport, no mitigation), and
+// tiered (transport + straggler-draining expert migration).
 package main
 
 import (
@@ -31,6 +35,10 @@ func main() {
 		flops = flag.Float64("sim-flops", 2e8, "virtual FLOP/s per rank")
 		bw    = flag.Float64("disk-gibs", 0.25, "checkpoint disk bandwidth per rank, GiB/s")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+
+		dropProb = flag.Float64("drop-prob", 1e-3, "R12: per-message wire drop probability")
+		stragN   = flag.Int("stragglers", 2, "R12: number of straggler ranks")
+		stragX   = flag.Float64("straggler-mult", 4, "R12: straggler delay multiplier")
 	)
 	flag.Parse()
 
@@ -42,7 +50,7 @@ func main() {
 	// the expert pool), so the sweep measures checkpoint policy, not
 	// placement luck.
 	strat := parallel.Strategy{DataParallel: *ranks, ExpertParallel: 1}
-	baseCfg := func(dir string, pol *train.FaultPolicy) parallel.FTConfig {
+	baseCfg := func(pol *train.FaultPolicy) parallel.FTConfig {
 		return parallel.FTConfig{
 			Strategy: strat,
 			Model: parallel.ModelConfig{
@@ -63,18 +71,18 @@ func main() {
 			ComputeFLOPS: *flops,
 		}
 	}
-	run := func(pol *train.FaultPolicy, inj *fault.Injector) *parallel.FTResult {
+	run := func(cfg parallel.FTConfig, inj *fault.Injector) *parallel.FTResult {
 		dir, err := os.MkdirTemp("", "bagualu-fault-*")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer os.RemoveAll(dir)
-		if pol != nil {
-			pol.Dir = dir
+		if cfg.Policy != nil {
+			cfg.Policy.Dir = dir
 		}
 		w := mpi.NewWorld(*ranks, topo)
-		res, err := parallel.RunFaultTolerant(w, baseCfg(dir, pol), inj)
+		res, err := parallel.RunFaultTolerant(w, cfg, inj)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -93,7 +101,8 @@ func main() {
 	// R11a: goodput vs checkpoint interval x MTBF (async checkpoints).
 	goodput := metrics.NewTable("R11a: goodput vs checkpoint interval x MTBF (async ckpt)",
 		"mtbf-steps", "ckpt-interval", "crashes", "recoveries", "completed", "goodput", "useful-sim-s", "total-sim-s")
-	phases := metrics.NewPhaseMeter(metrics.PhaseCkptSnapshot, metrics.PhaseCkptFlush, metrics.PhaseRecovery)
+	phases := metrics.NewPhaseMeter(metrics.PhaseCkptSnapshot, metrics.PhaseCkptFlush, metrics.PhaseRecovery,
+		metrics.PhaseRetransmit, metrics.PhaseMitigation)
 	for _, mtbf := range []float64{16, 48} {
 		for _, interval := range []int{2, 5, 10} {
 			inj, err := fault.New(fault.Config{
@@ -104,7 +113,7 @@ func main() {
 				os.Exit(1)
 			}
 			pol := &train.FaultPolicy{Interval: interval, Async: true, DiskBWGiBs: *bw, MaxRecoveries: *ranks}
-			res := run(pol, inj)
+			res := run(baseCfg(pol), inj)
 			goodput.AddRow(mtbf, interval, res.Failures, res.Recoveries, res.Completed,
 				fmt.Sprintf("%.3f", res.Goodput), fmt.Sprintf("%.4f", res.UsefulSim), fmt.Sprintf("%.4f", res.TotalSim))
 			phases.Observe(metrics.PhaseCkptSnapshot, res.Timing.Snapshot)
@@ -117,11 +126,11 @@ func main() {
 	// R11b: per-step checkpoint overhead, sync vs async, failure-free.
 	over := metrics.NewTable("R11b: checkpoint overhead per step (virtual s, failure-free)",
 		"ckpt-interval", "baseline-step", "sync-step", "async-step", "sync-overhead", "async-overhead")
-	base := run(nil, nil)
+	base := run(baseCfg(nil), nil)
 	basePer := base.TotalSim / float64(*steps)
 	for _, interval := range []int{2, 5, 10} {
-		sync := run(&train.FaultPolicy{Interval: interval, DiskBWGiBs: *bw, MaxRecoveries: 1}, nil)
-		async := run(&train.FaultPolicy{Interval: interval, Async: true, DiskBWGiBs: *bw, MaxRecoveries: 1}, nil)
+		sync := run(baseCfg(&train.FaultPolicy{Interval: interval, DiskBWGiBs: *bw, MaxRecoveries: 1}), nil)
+		async := run(baseCfg(&train.FaultPolicy{Interval: interval, Async: true, DiskBWGiBs: *bw, MaxRecoveries: 1}), nil)
 		sp := sync.TotalSim / float64(*steps)
 		ap := async.TotalSim / float64(*steps)
 		over.AddRow(interval,
@@ -130,8 +139,64 @@ func main() {
 	}
 	emit(over)
 
-	// Cumulative fault-tolerance phase time across the R11a sweep.
-	ph := metrics.NewTable("R11 phase breakdown across the sweep (virtual s)",
+	// R12: escalation policy comparison on a lossy, straggling wire.
+	// EP > 1 gives mitigation experts to drain; MoESimFLOPS charges
+	// expert compute per row a rank actually processes, which is the
+	// work a drained straggler stops doing (and ComputeFLOPS is off so
+	// expert compute is not double-priced). ClipNorm 0 keeps the loss
+	// trajectory bit-comparable across expert placements. Stragglers
+	// are pinned to the highest ranks so the schedule is independent of
+	// the drop-probability sweep.
+	if *ranks%4 == 0 && *ranks >= 8 {
+		cfg12 := func(pol *train.FaultPolicy) parallel.FTConfig {
+			cfg := baseCfg(pol)
+			cfg.Strategy = parallel.Strategy{DataParallel: *ranks / 4, ExpertParallel: 4}
+			cfg.Model.NumExperts = 8
+			cfg.Model.MoESimFLOPS = *flops
+			cfg.Train.ClipNorm = 0
+			cfg.ComputeFLOPS = 0
+			return cfg
+		}
+		ev := make([]fault.Event, 0, *stragN)
+		for i := 0; i < *stragN && i < *ranks-1; i++ {
+			ev = append(ev, fault.Event{Kind: fault.EventStraggler, Rank: *ranks - 1 - i, Mult: *stragX})
+		}
+		mkInj := func(dp float64) *fault.Injector {
+			inj, err := fault.Scripted(fault.Config{Seed: *seed, Ranks: *ranks, Steps: *steps, DropProb: dp}, ev)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return inj
+		}
+		polFor := func(esc train.Escalation) *train.FaultPolicy {
+			return &train.FaultPolicy{Interval: 8, Async: true, DiskBWGiBs: *bw, MaxRecoveries: *ranks, Escalation: esc}
+		}
+		ff := run(cfg12(polFor(train.EscalateTiered)), nil)
+		r12 := metrics.NewTable(
+			fmt.Sprintf("R12: throughput vs drop-prob x escalation policy (%d stragglers at x%g)", len(ev), *stragX),
+			"drop-prob", "policy", "completed", "rollbacks", "retransmits", "recovered", "mitigations",
+			"steps", "total-sim-s", "steps-per-sim", "rel-throughput", "final-loss", "bitexact")
+		for _, dp := range []float64{0, *dropProb, *dropProb * 10} {
+			for _, esc := range []train.Escalation{train.EscalateRollback, train.EscalateRetransmit, train.EscalateTiered} {
+				res := run(cfg12(polFor(esc)), mkInj(dp))
+				rel := 0.0
+				if ff.StepsPerSim > 0 {
+					rel = res.StepsPerSim / ff.StepsPerSim
+				}
+				r12.AddRow(fmt.Sprintf("%g", dp), esc.String(), res.Completed, res.Recoveries,
+					res.Retransmits, res.RecoveredFrames, res.Mitigations, res.Steps,
+					fmt.Sprintf("%.4f", res.TotalSim), fmt.Sprintf("%.3f", res.StepsPerSim),
+					fmt.Sprintf("%.3f", rel), fmt.Sprintf("%.5f", res.FinalLoss), res.FinalLoss == ff.FinalLoss)
+				phases.Observe(metrics.PhaseRetransmit, res.BackoffSim)
+				phases.Observe(metrics.PhaseMitigation, res.MitigationSim)
+			}
+		}
+		emit(r12)
+	}
+
+	// Cumulative fault-tolerance phase time across the R11/R12 sweeps.
+	ph := metrics.NewTable("R11/R12 phase breakdown across the sweeps (virtual s)",
 		"phase", "seconds")
 	for _, name := range phases.Names() {
 		ph.AddRow(name, fmt.Sprintf("%.4f", phases.Seconds(name)))

@@ -208,6 +208,8 @@ const (
 	PhaseCkptSnapshot = "ckpt-snapshot" // copying params into pooled buffers
 	PhaseCkptFlush    = "ckpt-flush"    // disk write (or stall on a pending one)
 	PhaseRecovery     = "recovery"      // rollback + re-form + restore after a failure
+	PhaseRetransmit   = "retransmit"    // ack timeouts + backoff of the reliable transport
+	PhaseMitigation   = "mitigation"    // expert resharding away from degraded ranks
 )
 
 // PhaseMeter accumulates seconds into named phases in a fixed

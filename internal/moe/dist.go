@@ -97,9 +97,10 @@ type DistMoE struct {
 	// measurable in simulated time even on a single-core host.
 	SimRate float64
 
-	comm   *mpi.Comm
-	name   string
-	hidden int
+	comm      *mpi.Comm
+	name      string
+	hidden    int
+	perExpert int // parameter count of one expert FFN
 
 	// Expert placement: which rank owns each expert, plus derived
 	// lookup tables. Rebuilt by Migrate.
@@ -212,6 +213,9 @@ func NewDistMoEComm(name string, r *tensor.RNG, cfg GateConfig, hidden int, comm
 	// lives — the property that makes checkpoints layout-independent.
 	for e := 0; e < cfg.NumExperts; e++ {
 		ex := nn.NewFeedForward(fmt.Sprintf("%s.expert%d", name, e), r, cfg.Dim, hidden)
+		if e == 0 {
+			m.perExpert = nn.NumParams(ex.Params())
+		}
 		if m.place.Owner[e] == comm.Rank() {
 			m.Experts = append(m.Experts, ex)
 		}
@@ -240,6 +244,21 @@ func (m *DistMoE) rebuildLookups() {
 
 // Placement returns the current expert placement.
 func (m *DistMoE) Placement() *Placement { return m.place }
+
+// PerExpertParams returns the parameter count of a single expert FFN,
+// independent of how many experts this rank currently hosts (a
+// drained rank hosts none).
+func (m *DistMoE) PerExpertParams() int { return m.perExpert }
+
+// SetCapacityFactor changes the gate capacity factor for subsequent
+// forward passes — the degraded-mode knob that tightens per-expert
+// capacity so the all-to-all stops waiting on overloaded hosts. All
+// ranks gating the same tokens must apply the same factor; changing
+// it alters routing and therefore the loss trajectory.
+func (m *DistMoE) SetCapacityFactor(f float32) {
+	m.Cfg.CapacityFactor = f
+	m.Gate.Cfg.CapacityFactor = f
+}
 
 // ownerOf returns the rank hosting expert e.
 func (m *DistMoE) ownerOf(e int) int { return m.place.Owner[e] }

@@ -9,18 +9,41 @@ import (
 	"bagualu/internal/tensor"
 )
 
+// OptStateCarrier lets expert migration ship optimizer state (Adam
+// moments, SGD velocity) alongside the weights of a moved expert, so
+// a rebalance or straggler mitigation leaves the training trajectory
+// bit-exactly unchanged. Implemented by the train package optimizers;
+// any step-count state (Adam bias correction) advances identically on
+// every rank and needs no shipping.
+type OptStateCarrier interface {
+	// State returns the per-parameter state slices (each the same
+	// length as the parameter), or nil if none exist yet.
+	State(p *nn.Param) [][]float32
+	// SetState installs state slices for a parameter.
+	SetState(p *nn.Param, state [][]float32)
+	// Forget drops any state held for a parameter (its expert left
+	// this rank).
+	Forget(p *nn.Param)
+}
+
 // Migrate applies a new expert placement: every expert whose owner
 // changes has its weights shipped point-to-point from the old owner
 // to the new one. All ranks of the expert-parallel group must call
-// Migrate with an identical plan (it is a collective).
-//
-// Optimizer state of moved experts is not transferred — exactly the
-// trade real systems make when they rebalance (Adam moments restart
-// for migrated experts). LastRouting caches are invalidated.
-//
-// This is the mechanism behind load-aware expert rebalancing: gather
-// per-expert token counts, plan with Placement.Rebalanced, Migrate.
+// Migrate with an identical plan (it is a collective). Optimizer
+// state of moved experts is not transferred — Adam moments restart,
+// as when real systems rebalance without checkpoint surgery. Use
+// MigrateOpt to carry the state and keep the trajectory bit-exact.
 func (m *DistMoE) Migrate(newPlace *Placement) error {
+	return m.MigrateOpt(newPlace, nil)
+}
+
+// MigrateOpt is Migrate with optimizer-state transfer: when opt is
+// non-nil, each moved expert's per-parameter state slices travel in
+// the same frame as its weights and are installed on the new owner
+// (and forgotten on the old), so the next optimizer step is
+// bit-identical to a run where the expert never moved. The plan may
+// be unbalanced (see Placement.Validate); LocalExperts is recomputed.
+func (m *DistMoE) MigrateOpt(newPlace *Placement, opt OptStateCarrier) error {
 	if newPlace.NumExperts != m.Cfg.NumExperts || newPlace.Ranks != m.comm.Size() {
 		return fmt.Errorf("moe: migration plan shape %dx%d does not match %dx%d",
 			newPlace.NumExperts, newPlace.Ranks, m.Cfg.NumExperts, m.comm.Size())
@@ -38,7 +61,10 @@ func (m *DistMoE) Migrate(newPlace *Placement) error {
 	}
 
 	// Ship outgoing experts; tag by move index (the move list is
-	// identical on every rank, so tags match up).
+	// identical on every rank, so tags match up). The frame is the
+	// flattened weights followed by each parameter's optimizer-state
+	// slices; the ints metadata carries the per-parameter slice count
+	// so the receiver can reconstruct the framing.
 	const migrateTagBase = 1 << 20
 	for i, e := range moves {
 		oldOwner, newOwner := m.place.Owner[e], newPlace.Owner[e]
@@ -46,19 +72,45 @@ func (m *DistMoE) Migrate(newPlace *Placement) error {
 		if oldOwner == rank {
 			ex := byGlobal[e]
 			var flat []float32
+			var meta []int
 			for _, p := range ex.Params() {
 				flat = append(flat, p.W.Data...)
 			}
-			m.comm.Send(newOwner, tag, flat)
+			if opt != nil {
+				for _, p := range ex.Params() {
+					st := opt.State(p)
+					meta = append(meta, len(st))
+					for _, s := range st {
+						flat = append(flat, s...)
+					}
+					opt.Forget(p)
+				}
+			}
+			m.comm.SendMsg(newOwner, tag, flat, meta)
 			delete(byGlobal, e)
 		}
 		if newOwner == rank {
-			flat := m.comm.Recv(oldOwner, tag)
+			flat, meta := m.comm.RecvMsg(oldOwner, tag)
 			ex := nn.NewFeedForward(fmt.Sprintf("%s.expert%d", m.name, e), tensor.NewRNG(0), m.Cfg.Dim, m.hidden)
 			off := 0
 			for _, p := range ex.Params() {
 				copy(p.W.Data, flat[off:off+p.W.Len()])
 				off += p.W.Len()
+			}
+			if opt != nil {
+				for pi, p := range ex.Params() {
+					if pi >= len(meta) {
+						return fmt.Errorf("moe: migrated expert %d missing state metadata", e)
+					}
+					st := make([][]float32, meta[pi])
+					for k := range st {
+						st[k] = append([]float32(nil), flat[off:off+p.W.Len()]...)
+						off += p.W.Len()
+					}
+					if len(st) > 0 {
+						opt.SetState(p, st)
+					}
+				}
 			}
 			if off != len(flat) {
 				return fmt.Errorf("moe: migrated expert %d payload %d, want %d", e, len(flat), off)
@@ -68,8 +120,11 @@ func (m *DistMoE) Migrate(newPlace *Placement) error {
 	}
 
 	// Install the new placement and rebuild the ordered local shard.
+	// Ownership may be unbalanced now, so the shard size is whatever
+	// the plan assigns this rank.
 	m.place = newPlace
 	m.rebuildLookups()
+	m.LocalExperts = len(m.localGlobal)
 	globals := make([]int, 0, len(byGlobal))
 	for e := range byGlobal {
 		globals = append(globals, e)

@@ -30,24 +30,18 @@ func NewBlockPlacement(numExperts, ranks int) *Placement {
 	return p
 }
 
-// Validate checks that the placement is a balanced assignment (every
-// rank owns exactly NumExperts/Ranks experts), which the dispatch
-// layout requires.
+// Validate checks that every expert is assigned to a rank inside the
+// group. Ownership may be unbalanced: the dispatch layout addresses
+// experts by (owner, local slot), so ranks can own any number of
+// experts — including zero, the degraded-mode layout that drains work
+// away from a straggler.
 func (p *Placement) Validate() error {
 	if len(p.Owner) != p.NumExperts {
 		return fmt.Errorf("moe: placement has %d owners for %d experts", len(p.Owner), p.NumExperts)
 	}
-	le := p.NumExperts / p.Ranks
-	counts := make([]int, p.Ranks)
 	for e, r := range p.Owner {
 		if r < 0 || r >= p.Ranks {
 			return fmt.Errorf("moe: expert %d assigned to invalid rank %d", e, r)
-		}
-		counts[r]++
-	}
-	for r, c := range counts {
-		if c != le {
-			return fmt.Errorf("moe: rank %d owns %d experts, want %d", r, c, le)
 		}
 	}
 	return nil
@@ -127,6 +121,63 @@ func (p *Placement) Rebalanced(expertCounts []int) *Placement {
 		out.Owner[e] = best
 		loads[best] += expertCounts[e]
 		slots[best]++
+	}
+	return out
+}
+
+// DrainRanks plans a degraded-mode placement that moves every expert
+// off the drained ranks (straggler mitigation): experts already on
+// healthy ranks stay put (minimizing weight movement), and experts
+// owned by drained ranks are reassigned greedily by descending load
+// to the currently lightest healthy rank. Effective loads are token
+// counts plus one per expert, so all-zero counts (no routing yet)
+// still spread experts evenly; the plan is deterministic either way.
+// If every rank is drained there is nowhere to move work; the current
+// placement is returned unchanged.
+func (p *Placement) DrainRanks(expertCounts []int, drain []bool) *Placement {
+	if len(expertCounts) != p.NumExperts {
+		panic(fmt.Sprintf("moe: %d counts for %d experts", len(expertCounts), p.NumExperts))
+	}
+	if len(drain) != p.Ranks {
+		panic(fmt.Sprintf("moe: %d drain flags for %d ranks", len(drain), p.Ranks))
+	}
+	healthy := 0
+	for _, d := range drain {
+		if !d {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		return &Placement{NumExperts: p.NumExperts, Ranks: p.Ranks, Owner: append([]int(nil), p.Owner...)}
+	}
+	out := &Placement{NumExperts: p.NumExperts, Ranks: p.Ranks, Owner: append([]int(nil), p.Owner...)}
+	loads := make([]int, p.Ranks)
+	var moving []int
+	for e, r := range p.Owner {
+		if drain[r] {
+			moving = append(moving, e)
+		} else {
+			loads[r] += expertCounts[e] + 1
+		}
+	}
+	sort.Slice(moving, func(a, b int) bool {
+		if expertCounts[moving[a]] != expertCounts[moving[b]] {
+			return expertCounts[moving[a]] > expertCounts[moving[b]]
+		}
+		return moving[a] < moving[b]
+	})
+	for _, e := range moving {
+		best := -1
+		for r := 0; r < p.Ranks; r++ {
+			if drain[r] {
+				continue
+			}
+			if best < 0 || loads[r] < loads[best] {
+				best = r
+			}
+		}
+		out.Owner[e] = best
+		loads[best] += expertCounts[e] + 1
 	}
 	return out
 }

@@ -21,16 +21,60 @@ func TestBlockPlacement(t *testing.T) {
 	}
 }
 
-func TestPlacementValidateCatchesImbalance(t *testing.T) {
+func TestPlacementValidate(t *testing.T) {
+	// Unbalanced ownership is legal (degraded-mode layouts drain ranks
+	// to zero experts); only out-of-range owners are rejected.
 	p := NewBlockPlacement(4, 2)
 	p.Owner[0] = 1 // rank 1 now owns 3, rank 0 owns 1
-	if p.Validate() == nil {
-		t.Fatal("imbalanced placement accepted")
+	if err := p.Validate(); err != nil {
+		t.Fatalf("unbalanced placement rejected: %v", err)
 	}
 	p = NewBlockPlacement(4, 2)
 	p.Owner[0] = 5
 	if p.Validate() == nil {
 		t.Fatal("out-of-range owner accepted")
+	}
+}
+
+func TestDrainRanks(t *testing.T) {
+	p := NewBlockPlacement(8, 4)
+	counts := []int{5, 1, 7, 2, 3, 3, 1, 1}
+	drained := p.DrainRanks(counts, []bool{false, true, false, false})
+	if err := drained.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for e, r := range drained.Owner {
+		if r == 1 {
+			t.Fatalf("drained rank still owns expert %d: %v", e, drained.Owner)
+		}
+		// Experts on healthy ranks must not move.
+		if p.Owner[e] != 1 && r != p.Owner[e] {
+			t.Fatalf("expert %d moved needlessly from %d to %d", e, p.Owner[e], r)
+		}
+	}
+	if got := len(drained.ExpertsOf(1)); got != 0 {
+		t.Fatalf("drained rank owns %d experts", got)
+	}
+	// Deterministic planning.
+	again := p.DrainRanks(counts, []bool{false, true, false, false})
+	for e := range drained.Owner {
+		if drained.Owner[e] != again.Owner[e] {
+			t.Fatalf("nondeterministic plan: %v vs %v", drained.Owner, again.Owner)
+		}
+	}
+	// Zero counts still spread the moving experts instead of piling
+	// them on one rank.
+	zero := p.DrainRanks(make([]int, 8), []bool{true, true, false, false})
+	l2, l3 := len(zero.ExpertsOf(2)), len(zero.ExpertsOf(3))
+	if l2+l3 != 8 || l2 != l3 {
+		t.Fatalf("zero-count drain unbalanced: rank2=%d rank3=%d", l2, l3)
+	}
+	// All ranks drained: nowhere to go, placement unchanged.
+	stuck := p.DrainRanks(counts, []bool{true, true, true, true})
+	for e := range stuck.Owner {
+		if stuck.Owner[e] != p.Owner[e] {
+			t.Fatal("all-drained plan moved experts")
+		}
 	}
 }
 
@@ -116,16 +160,51 @@ func TestMigrateRejectsBadPlan(t *testing.T) {
 	w.Run(func(c *mpi.Comm) {
 		r := tensor.NewRNG(72)
 		m := NewDistMoE("moe", r, gateCfg(4, 4, 1), 8, c, Auto)
-		bad := NewBlockPlacement(4, 2)
-		bad.Owner[0] = 1 // imbalanced
-		if err := m.Migrate(bad); err == nil {
-			t.Error("imbalanced plan accepted")
-		}
 		wrong := NewBlockPlacement(8, 2)
 		if err := m.Migrate(wrong); err == nil {
 			t.Error("wrong-shape plan accepted")
 		}
+		oob := NewBlockPlacement(4, 2)
+		oob.Owner[0] = 7
+		if err := m.Migrate(oob); err == nil {
+			t.Error("out-of-range plan accepted")
+		}
 	})
+}
+
+// An unbalanced migration (draining one rank entirely) must be
+// applied: expert counts follow the plan and the layer still computes
+// the same function.
+func TestMigrateUnbalanced(t *testing.T) {
+	const P = 2
+	w := mpi.NewWorld(P, nil)
+	outsBefore := make([]*tensor.Tensor, P)
+	outsAfter := make([]*tensor.Tensor, P)
+	w.Run(func(c *mpi.Comm) {
+		r := tensor.NewRNG(91)
+		m := NewDistMoE("moe", r, gateCfg(8, 4, 2), 16, c, Auto)
+		x := tensor.Randn(tensor.NewRNG(5), 1, 6, 8)
+		outsBefore[c.Rank()] = m.Forward(x)
+
+		plan := m.Placement().DrainRanks([]int{1, 1, 1, 1}, []bool{true, false})
+		if err := m.Migrate(plan); err != nil {
+			t.Error(err)
+			return
+		}
+		wantLocal := 0
+		if c.Rank() == 1 {
+			wantLocal = 4
+		}
+		if m.LocalExperts != wantLocal {
+			t.Errorf("rank %d: LocalExperts=%d want %d", c.Rank(), m.LocalExperts, wantLocal)
+		}
+		outsAfter[c.Rank()] = m.Forward(x)
+	})
+	for rank := 0; rank < P; rank++ {
+		if !outsBefore[rank].AllClose(outsAfter[rank], 1e-6) {
+			t.Fatalf("rank %d: drain migration changed the model's function", rank)
+		}
+	}
 }
 
 func TestGatherExpertCounts(t *testing.T) {

@@ -75,12 +75,15 @@ func (c *Comm) Now() float64 { return c.proc.now }
 
 // Compute charges local computation time to the virtual clock. The
 // trainer uses it to account simulated GEMM time so that compute/
-// communication overlap and breakdowns are meaningful.
+// communication overlap and breakdowns are meaningful. A straggler
+// rank's charges are stretched by its delay multiplier: a slow node
+// computes slowly, not just its links (this is what makes migrating
+// work OFF a straggler worthwhile).
 func (c *Comm) Compute(seconds float64) {
 	if seconds < 0 {
 		panic("mpi: negative compute time")
 	}
-	c.proc.now += seconds
+	c.proc.now += seconds * c.proc.w.computeDelay(c.proc.global)
 }
 
 // p2pTag builds the wire tag for a user point-to-point tag.

@@ -41,15 +41,26 @@ func (e *RankFailedError) Error() string {
 
 // PayloadFaultError reports a message destroyed or corrupted on the
 // wire by the fault injector, caught by the per-message checksum.
+// With reliable transport enabled (see transport.go) transient faults
+// are absorbed by retransmission and never surface; an error that
+// does surface then carries Exhausted=true — the frame burned its
+// whole retry budget, evidence of a persistently lying link rather
+// than a transient glitch.
 type PayloadFaultError struct {
-	Src, Dst int
-	Dropped  bool // true: payload destroyed; false: bits flipped
+	Src, Dst  int
+	Dropped   bool // true: payload destroyed; false: bits flipped
+	Exhausted bool // reliable transport gave up after Attempts deliveries
+	Attempts  int  // delivery attempts made (0 when transport disabled)
 }
 
 func (e *PayloadFaultError) Error() string {
 	kind := "corrupted"
 	if e.Dropped {
 		kind = "dropped"
+	}
+	if e.Exhausted {
+		return fmt.Sprintf("mpi: payload from rank %d to rank %d %s on the wire (%d delivery attempts exhausted)",
+			e.Src, e.Dst, kind, e.Attempts)
 	}
 	return fmt.Sprintf("mpi: payload from rank %d to rank %d %s on the wire", e.Src, e.Dst, kind)
 }
@@ -109,9 +120,11 @@ func (w *World) Failed() []int {
 // Alive reports whether a global rank has not been declared failed.
 func (w *World) Alive(global int) bool { return !w.isFailed(global) }
 
-// SetRankDelay installs a straggler multiplier on a rank: every
-// message it sends or receives is priced at mult times the normal α–β
-// cost. mult < 1 is rejected; 1 restores full speed. Safe to call
+// SetRankDelay installs a straggler multiplier on a rank. A straggler
+// is a slow NODE, not just a slow NIC: every message it sends or
+// receives is priced at mult times the normal α–β cost, and local
+// compute charged through Comm.Compute is stretched by the same
+// factor. mult < 1 is rejected; 1 restores full speed. Safe to call
 // concurrently with traffic.
 func (w *World) SetRankDelay(global int, mult float64) {
 	if global < 0 || global >= w.size {
@@ -121,6 +134,15 @@ func (w *World) SetRankDelay(global int, mult float64) {
 		panic(fmt.Sprintf("mpi: straggler multiplier %g < 1", mult))
 	}
 	w.delayBits[global].Store(math.Float64bits(mult))
+}
+
+// computeDelay returns a rank's own slowdown multiplier, applied to
+// its local compute charges.
+func (w *World) computeDelay(global int) float64 {
+	if b := w.delayBits[global].Load(); b != 0 {
+		return math.Float64frombits(b)
+	}
+	return 1
 }
 
 // linkDelay returns the effective multiplier for a (src, dst) link:

@@ -34,12 +34,22 @@ type message struct {
 	staged bool     // payload buffers are pooled; receiver must release
 	arrive float64  // virtual arrival time at the destination
 
-	// Fault-injection fields (see fail.go): crc is the payload
-	// checksum computed at send time when wire checking is armed;
-	// dropped marks a tombstone for a payload the injector destroyed.
-	crc     uint32
-	checked bool
-	dropped bool
+	// Link-telemetry fields (see transport.go): the sender's clock at
+	// injection and the un-delayed wire cost, letting the receiver
+	// compute the observed link slowdown.
+	start   float64
+	nominal float64
+
+	// Fault-injection fields (see fail.go, transport.go): crc is the
+	// payload checksum computed at send time when wire checking is
+	// armed; dropped marks a tombstone for a payload the injector
+	// destroyed; exhausted marks a tombstone from the reliable
+	// transport giving up after attempts deliveries.
+	crc       uint32
+	checked   bool
+	dropped   bool
+	exhausted bool
+	attempts  int
 }
 
 // nbytes prices the payload: float32 data, 8-byte ints, and 2-byte
@@ -47,6 +57,11 @@ type message struct {
 func (m *message) nbytes() int {
 	return 4*len(m.data) + 8*len(m.ints) + 2*len(m.u16)
 }
+
+// closedWorldPanic marks the secondary panic a rank raises when its
+// receive was unblocked by another rank's failure (closeAll); Run
+// reports a root-cause panic in preference to these.
+type closedWorldPanic string
 
 // mailbox is the single-consumer message queue of one rank.
 type mailbox struct {
@@ -99,7 +114,7 @@ func (b *mailbox) take(src, tag int, group []int) message {
 			}
 		}
 		if b.closed {
-			panic(fmt.Sprintf("mpi: Recv(src=%d, tag=%d) on closed world", src, tag))
+			panic(closedWorldPanic(fmt.Sprintf("mpi: Recv(src=%d, tag=%d) on closed world", src, tag)))
 		}
 		if b.w != nil {
 			if b.w.isFailed(b.self) {
@@ -182,6 +197,8 @@ type World struct {
 	failCount atomic.Int64
 	wireFault func(src, dst int, seq int64) WireFault
 	wireSeq   []atomic.Int64
+	transport *transport // reliable retransmit engine (nil = PR 3 fail-fast)
+	linkObs   linkObs    // per-(receiver, sender) observed link multipliers
 
 	shrinkMu   sync.Mutex
 	shrinkIDs  map[string]int64
@@ -206,6 +223,10 @@ func NewWorld(size int, topo *simnet.Topology) *World {
 		wireSeq:    make([]atomic.Int64, size),
 		nextShrink: shrinkIDBase,
 	}
+	// Observation rows themselves are allocated lazily by the owning
+	// rank goroutine on first receive.
+	w.linkObs.sum = make([][]float64, size)
+	w.linkObs.cnt = make([][]float64, size)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox(w, i)
 	}
@@ -231,7 +252,9 @@ func (w *World) MaxTime() float64 {
 
 // Run starts one goroutine per rank executing fn and waits for all
 // of them. Each rank receives a world communicator. A panicking rank
-// propagates its panic to the caller after the others are unblocked.
+// propagates its panic to the caller after the others are unblocked;
+// when several ranks panic, the root cause is reported in preference
+// to the secondary closed-world panics its unblocking provoked.
 func (w *World) Run(fn func(c *Comm)) {
 	var wg sync.WaitGroup
 	panics := make([]any, w.size)
@@ -256,10 +279,21 @@ func (w *World) Run(fn func(c *Comm)) {
 		}(r)
 	}
 	wg.Wait()
+	root := -1
 	for r, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		if p == nil {
+			continue
 		}
+		if root < 0 {
+			root = r
+		}
+		if _, secondary := p.(closedWorldPanic); !secondary {
+			root = r
+			break
+		}
+	}
+	if root >= 0 {
+		panic(fmt.Sprintf("mpi: rank %d panicked: %v", root, panics[root]))
 	}
 }
 
@@ -304,8 +338,11 @@ func (p *proc) post(dst int, m message) {
 	}
 	start := p.now
 	// The sender is occupied while injecting the message; the wire
-	// adds latency on top.
+	// adds latency on top. Retransmissions (below) replay from the NIC
+	// buffer and do not re-occupy the host.
 	p.now += float64(n) * beta
+	m.start = start
+	m.nominal = p.w.topo.Alpha[level] + float64(n)*p.w.topo.Beta[level]
 	m.arrive = start + alpha + float64(n)*beta
 	p.w.stats.Msgs[level].Add(1)
 	p.w.stats.Bytes[level].Add(int64(n))
@@ -317,7 +354,11 @@ func (p *proc) post(dst int, m message) {
 		return
 	}
 	if p.w.wireFault != nil {
-		p.w.injectWireFault(&m, dst)
+		if p.w.transport != nil {
+			p.w.deliverReliable(&m, dst, n, level, alpha+float64(n)*beta)
+		} else {
+			p.w.injectWireFault(&m, dst)
+		}
 	}
 	p.w.boxes[dst].put(m)
 }
@@ -332,11 +373,16 @@ func (p *proc) recv(src, tag int, group []int) message {
 	if m.arrive > p.now {
 		p.now = m.arrive
 	}
+	if m.nominal > 0 && m.src != p.global {
+		p.w.observeLink(p.global, m.src, (m.arrive-m.start)/m.nominal)
+	}
 	if m.dropped {
-		panic(&PayloadFaultError{Src: m.src, Dst: p.global, Dropped: true})
+		panic(&PayloadFaultError{Src: m.src, Dst: p.global, Dropped: true,
+			Exhausted: m.exhausted, Attempts: m.attempts})
 	}
 	if m.checked && payloadCRC(&m) != m.crc {
 		panic(&PayloadFaultError{Src: m.src, Dst: p.global})
 	}
 	return m
 }
+

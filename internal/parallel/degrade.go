@@ -1,0 +1,97 @@
+// Graceful degradation: the middle tier between "everything healthy"
+// and "shrink + rollback". Each step of a tiered fault-tolerant run
+// collects the mpi link telemetry, aggregates it hierarchically into
+// per-rank slowness scores (internal/health), and — on sustained
+// degradation — migrates experts away from the slow ranks so the MoE
+// all-to-all stops waiting on them. Migration ships optimizer state
+// with the weights, so mitigation leaves the loss trajectory
+// bit-exactly unchanged; only the virtual clock improves.
+package parallel
+
+import (
+	"fmt"
+
+	"bagualu/internal/health"
+	"bagualu/internal/moe"
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+)
+
+// collectHealth runs one telemetry round over comm and returns
+// per-GLOBAL-rank slowness scores (0 for ranks outside comm, e.g.
+// already failed). Collective: every rank of comm must call it.
+func collectHealth(w *mpi.World, comm *mpi.Comm) []float64 {
+	row := comm.TakeLinkObservations() // indexed by global rank
+	sub := make([]float64, comm.Size())
+	for q := 0; q < comm.Size(); q++ {
+		sub[q] = row[comm.Global(q)]
+	}
+	scores := health.CollectScores(comm, sub)
+	out := make([]float64, w.Size())
+	for q, s := range scores {
+		out[comm.Global(q)] = s
+	}
+	return out
+}
+
+// repartitionParams rebuilds the dense/expert parameter split from the
+// MoE layers' current shards (used after any resharding: Reform after
+// a shrink, Mitigate after a drain migration).
+func (e *Engine) repartitionParams() {
+	sharded := map[*nn.Param]bool{}
+	for _, m := range e.moeLayers {
+		for _, p := range m.ShardedParams() {
+			sharded[p] = true
+		}
+	}
+	e.denseParams, e.expertParams = nil, nil
+	for _, p := range e.Model.Params() {
+		if sharded[p] {
+			e.expertParams = append(e.expertParams, p)
+		} else {
+			e.denseParams = append(e.denseParams, p)
+		}
+	}
+}
+
+// Mitigate drains experts away from the flagged expert-parallel slots
+// (straggler mitigation, tier 2). degradedSlots is indexed by EP slot
+// and must be identical on every rank — slots, not individual ranks,
+// because every EP group must install the same placement for the
+// data-parallel gradient exchange of expert shards to stay symmetric.
+// Weights AND optimizer state move (moe.MigrateOpt), so the loss
+// trajectory is unchanged. capacityMult in (0, 1) additionally
+// tightens the gate capacity factor — a lossy knob, off by default.
+// Returns without acting when every slot is flagged (nowhere to move
+// work) or none is.
+func (e *Engine) Mitigate(degradedSlots []bool, capacityMult float32) error {
+	if len(degradedSlots) != e.EP.Size() {
+		return fmt.Errorf("parallel: %d degraded slots for EP=%d", len(degradedSlots), e.EP.Size())
+	}
+	flagged := 0
+	for _, d := range degradedSlots {
+		if d {
+			flagged++
+		}
+	}
+	if flagged == 0 || flagged == len(degradedSlots) {
+		return nil
+	}
+	carrier, _ := e.Trainer.Opt.(moe.OptStateCarrier)
+	for _, m := range e.moeLayers {
+		// Counts gathered over the WORLD communicator: every EP group
+		// sees the identical load picture and plans the identical
+		// drain, preserving DP symmetry.
+		counts := m.GatherExpertCounts(e.Comm)
+		plan := m.Placement().DrainRanks(counts, degradedSlots)
+		if err := m.MigrateOpt(plan, carrier); err != nil {
+			return err
+		}
+		if capacityMult > 0 && capacityMult < 1 {
+			m.SetCapacityFactor(m.Cfg.CapacityFactor * capacityMult)
+		}
+	}
+	e.repartitionParams()
+	e.Trainer.RefreshParams()
+	return nil
+}

@@ -1,0 +1,195 @@
+package parallel
+
+import (
+	"reflect"
+	"testing"
+
+	"bagualu/internal/fault"
+	"bagualu/internal/mpi"
+	"bagualu/internal/simnet"
+	"bagualu/internal/sunway"
+	"bagualu/internal/train"
+)
+
+// degradeTopo prices the test machine with bandwidth scaled down so
+// payload time dominates startup latency. The tiny test messages are
+// otherwise alpha-dominated, which would hide exactly the effect
+// straggler mitigation targets (it removes bytes from slow links, not
+// messages).
+func degradeTopo() *simnet.Topology {
+	topo := simnet.New(sunway.TestMachine(2, 2), 1)
+	for l := range topo.Beta {
+		topo.Beta[l] *= 4096
+	}
+	return topo
+}
+
+// degradeCfg is ftConfig with gradient clipping off and per-local-row
+// expert compute charging on. Clipping: the distributed grad-norm
+// reduction is placement-sensitive at ULP level, and the bit-exactness
+// assertions below compare runs whose expert placement diverges
+// mid-run. MoESimFLOPS: expert GEMM time must be charged by the rows a
+// rank actually processes — a straggler's compute runs at its delay
+// multiplier, so draining its experts is exactly the work mitigation
+// removes.
+func degradeCfg(strat Strategy, steps int, pol *train.FaultPolicy) FTConfig {
+	cfg := ftConfig(strat, steps, pol)
+	cfg.Train.ClipNorm = 0
+	cfg.Model.MoESimFLOPS = 1e6
+	return cfg
+}
+
+func runDegrade(t *testing.T, esc train.Escalation, steps int, inj *fault.Injector) *FTResult {
+	t.Helper()
+	pol := &train.FaultPolicy{Dir: t.TempDir(), Interval: 4, MaxRecoveries: 8, Escalation: esc}
+	w := mpi.NewWorld(4, degradeTopo())
+	res, err := RunFaultTolerant(w, degradeCfg(Strategy{DataParallel: 1, ExpertParallel: 4}, steps, pol), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Tier 1 in isolation: random wire drops are absorbed by retransmission
+// with zero recoveries, and the loss trajectory is bit-exactly the
+// fault-free one — the transport pays virtual time, never numerics.
+func TestRetransmitTierBitExactLoss(t *testing.T) {
+	const steps = 8
+	base := runDegrade(t, train.EscalateRetransmit, steps, nil)
+	inj, err := fault.Scripted(fault.Config{Ranks: 4, Steps: steps, Seed: 3, DropProb: 0.01}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := runDegrade(t, train.EscalateRetransmit, steps, inj)
+
+	if !faulty.Completed || faulty.Recoveries != 0 || faulty.Failures != 0 {
+		t.Fatalf("drops were not absorbed by the transport: %+v", faulty)
+	}
+	if faulty.Retransmits == 0 || faulty.RecoveredFrames == 0 {
+		t.Fatalf("1%% drop probability caused no retransmits: %+v", faulty)
+	}
+	if faulty.ExhaustedFrames != 0 {
+		t.Fatalf("retries exhausted under a transient drop rate: %+v", faulty)
+	}
+	if faulty.FinalLoss != base.FinalLoss {
+		t.Fatalf("retransmitted run diverged: loss %v, fault-free %v", faulty.FinalLoss, base.FinalLoss)
+	}
+	if faulty.BackoffSim <= 0 || faulty.TotalSim <= base.TotalSim {
+		t.Fatalf("retransmission charged no virtual time: faulty %v vs base %v (backoff %v)",
+			faulty.TotalSim, base.TotalSim, faulty.BackoffSim)
+	}
+}
+
+// Tier 2 in isolation: with one rank's links at x4, the tiered policy
+// detects it, drains its experts, and finishes in strictly less
+// virtual time than the same run without mitigation — at the identical
+// final loss, because migration ships optimizer state with weights.
+func TestStragglerMitigationImprovesMakespan(t *testing.T) {
+	const steps = 12
+	// Rank 3 is a supernode FOLLOWER (rank 2 leads SN1): mitigation can
+	// offload a follower's expert work entirely. A straggling LEADER
+	// would keep forwarding cross-supernode traffic for its members no
+	// matter where the experts live — see DESIGN.md.
+	ev := []fault.Event{{Kind: fault.EventStraggler, Rank: 3, Mult: 4}}
+	mk := func() *fault.Injector {
+		inj, err := fault.Scripted(fault.Config{Ranks: 4, Steps: steps, Seed: 3}, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	unmit := runDegrade(t, train.EscalateRetransmit, steps, mk())
+	mit := runDegrade(t, train.EscalateTiered, steps, mk())
+
+	if !mit.Completed || mit.Recoveries != 0 {
+		t.Fatalf("mitigated run did not complete cleanly: %+v", mit)
+	}
+	if mit.Mitigations < 1 {
+		t.Fatalf("straggler at x4 triggered no mitigation: %+v", mit)
+	}
+	found := false
+	for _, r := range mit.DegradedRanks {
+		if r == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("health monitor missed the straggler: degraded = %v", mit.DegradedRanks)
+	}
+	if mit.TotalSim >= unmit.TotalSim {
+		t.Fatalf("mitigation did not improve makespan: %v vs unmitigated %v", mit.TotalSim, unmit.TotalSim)
+	}
+	if mit.FinalLoss != unmit.FinalLoss {
+		t.Fatalf("mitigated run diverged: loss %v, unmitigated %v", mit.FinalLoss, unmit.FinalLoss)
+	}
+	if mit.MitigationSim <= 0 {
+		t.Fatalf("mitigation charged no virtual time: %+v", mit)
+	}
+}
+
+// The acceptance scenario: DropProb=1e-3 plus two stragglers at x4.
+// The tiered policy must complete with zero rollbacks, reach the
+// fault-free loss bit-exactly, and deliver strictly higher throughput
+// on the virtual clock than both always-rollback and retransmit-only.
+func TestTieredEscalationBeatsAlternatives(t *testing.T) {
+	const steps = 12
+	ev := []fault.Event{
+		{Kind: fault.EventStraggler, Rank: 1, Mult: 4},
+		{Kind: fault.EventStraggler, Rank: 3, Mult: 4},
+	}
+	mk := func() *fault.Injector {
+		inj, err := fault.Scripted(fault.Config{Ranks: 4, Steps: steps, Seed: 9, DropProb: 1e-3}, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	ff := runDegrade(t, train.EscalateTiered, steps, nil)
+	tiered := runDegrade(t, train.EscalateTiered, steps, mk())
+	noMit := runDegrade(t, train.EscalateRetransmit, steps, mk())
+	rollback := runDegrade(t, train.EscalateRollback, steps, mk())
+
+	if !tiered.Completed || tiered.Recoveries != 0 || tiered.Failures != 0 {
+		t.Fatalf("tiered run rolled back: %+v", tiered)
+	}
+	if tiered.Mitigations < 1 {
+		t.Fatalf("tiered run never mitigated the stragglers: %+v", tiered)
+	}
+	if tiered.FinalLoss != ff.FinalLoss {
+		t.Fatalf("tiered run diverged from fault-free: %v vs %v", tiered.FinalLoss, ff.FinalLoss)
+	}
+	if tiered.StepsPerSim <= noMit.StepsPerSim {
+		t.Fatalf("tiered %.4g steps/sim-s did not beat retransmit-only %.4g",
+			tiered.StepsPerSim, noMit.StepsPerSim)
+	}
+	if tiered.StepsPerSim <= rollback.StepsPerSim {
+		t.Fatalf("tiered %.4g steps/sim-s did not beat always-rollback %.4g (rollback: %+v)",
+			tiered.StepsPerSim, rollback.StepsPerSim, rollback)
+	}
+	// The rollback arm must actually have suffered: wire drops with no
+	// transport convert to rank failures.
+	if rollback.Completed && rollback.Recoveries == 0 {
+		t.Fatalf("rollback arm sailed through a lossy wire: %+v", rollback)
+	}
+}
+
+// The whole escalation state machine — transport retries, health
+// scoring, mitigation, checkpoint suspension — must replay bit-exactly
+// under the same seed: every field of the result, virtual times
+// included.
+func TestEscalationDeterministicReplay(t *testing.T) {
+	const steps = 10
+	run := func() *FTResult {
+		ev := []fault.Event{{Kind: fault.EventStraggler, Rank: 1, Mult: 4}}
+		inj, err := fault.Scripted(fault.Config{Ranks: 4, Steps: steps, Seed: 5, DropProb: 5e-3}, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runDegrade(t, train.EscalateTiered, steps, inj)
+	}
+	a := run()
+	b := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("escalation replay diverged:\n  first  %+v\n  second %+v", a, b)
+	}
+}

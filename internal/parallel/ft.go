@@ -24,9 +24,9 @@ import (
 	"bagualu/internal/ckpt"
 	"bagualu/internal/data"
 	"bagualu/internal/fault"
+	"bagualu/internal/health"
 	"bagualu/internal/moe"
 	"bagualu/internal/mpi"
-	"bagualu/internal/nn"
 	"bagualu/internal/train"
 )
 
@@ -78,6 +78,27 @@ type FTResult struct {
 	// Timing is the reporting rank's cumulative checkpoint/recovery
 	// phase breakdown on the virtual clock.
 	Timing ckpt.Timing
+
+	// Graceful-degradation summary (zero under EscalateRollback).
+	// Retransmits/RecoveredFrames/ExhaustedFrames/BackoffSim aggregate
+	// the reliable transport's work across the whole world;
+	// Mitigations and MitigationSim count the reporting rank's expert
+	// drain migrations; DegradedRanks is the health monitor's degraded
+	// set at exit (reporting rank's view, global rank ids).
+	Retransmits     int64
+	RecoveredFrames int64
+	ExhaustedFrames int64
+	BackoffSim      float64
+	Mitigations     int
+	MitigationSim   float64
+	DegradedRanks   []int
+
+	// StepsPerSim is completed-step throughput on the virtual clock
+	// (Steps / TotalSim) — the quantity R12 normalizes against a
+	// fault-free baseline to compare escalation policies, since
+	// Goodput alone cannot distinguish a slow-but-never-rolled-back
+	// run from a fast one.
+	StepsPerSim float64
 }
 
 // ShrinkStrategy maps a process grid onto a smaller world after
@@ -132,20 +153,7 @@ func (e *Engine) Reform(newComm *mpi.Comm, strat Strategy, opt train.Optimizer) 
 		}
 	}
 	// Re-partition parameters under the new shards.
-	sharded := map[*nn.Param]bool{}
-	for _, m := range e.moeLayers {
-		for _, p := range m.ShardedParams() {
-			sharded[p] = true
-		}
-	}
-	e.denseParams, e.expertParams = nil, nil
-	for _, p := range e.Model.Params() {
-		if sharded[p] {
-			e.expertParams = append(e.expertParams, p)
-		} else {
-			e.denseParams = append(e.denseParams, p)
-		}
-	}
+	e.repartitionParams()
 	cc := e.corpusCfg
 	cc.Seed = e.corpusCfg.Seed + uint64(newComm.Rank())*1_000_003
 	corpus, err := data.NewSynthetic(cc)
@@ -170,6 +178,9 @@ type rankState struct {
 	steps         int
 	useful        float64
 	timing        ckpt.Timing
+	mitigations   int
+	mitigationSim float64
+	degraded      []int
 }
 
 // RunFaultTolerant trains cfg.Steps steps on w, surviving the
@@ -184,6 +195,16 @@ func RunFaultTolerant(w *mpi.World, cfg FTConfig, inj *fault.Injector) (*FTResul
 	}
 	if inj != nil {
 		inj.Arm(w)
+	}
+	// Tier 1: any escalation policy above always-rollback arms the
+	// reliable transport, so transient wire faults are absorbed by
+	// retransmission instead of triggering a recovery cycle.
+	if pol := cfg.Policy; pol != nil && pol.Escalation != train.EscalateRollback {
+		tc := mpi.TransportConfig{}
+		if pol.Transport != nil {
+			tc = *pol.Transport
+		}
+		w.EnableReliableTransport(tc)
 	}
 	states := make([]rankState, w.Size())
 	w.Run(func(c *mpi.Comm) {
@@ -214,8 +235,18 @@ func RunFaultTolerant(w *mpi.World, cfg FTConfig, inj *fault.Injector) (*FTResul
 	res.FinalWorld = w.Size() - res.Failures
 	res.UsefulSim = st.useful
 	res.Timing = st.timing
+	res.Mitigations = st.mitigations
+	res.MitigationSim = st.mitigationSim
+	res.DegradedRanks = st.degraded
+	if ts := w.Transport(); ts != nil {
+		res.Retransmits = ts.Retransmits()
+		res.RecoveredFrames = ts.Recovered()
+		res.ExhaustedFrames = ts.Exhausted()
+		res.BackoffSim = ts.BackoffSim()
+	}
 	if res.TotalSim > 0 {
 		res.Goodput = res.UsefulSim / res.TotalSim
+		res.StepsPerSim = float64(res.Steps) / res.TotalSim
 	}
 	return res, nil
 }
@@ -223,9 +254,33 @@ func RunFaultTolerant(w *mpi.World, cfg FTConfig, inj *fault.Injector) (*FTResul
 // runRankFT is one rank's fault-tolerant loop.
 func runRankFT(w *mpi.World, c *mpi.Comm, cfg FTConfig, inj *fault.Injector, st *rankState) {
 	my := c.Rank() // world comm: rank == global rank
-	eng, err := NewEngine(c, cfg.Strategy, cfg.Model, cfg.Corpus, cfg.Train, cfg.OptFor(), cfg.Seed)
-	if err != nil {
-		st.err = err
+	// Engine construction communicates (splits, initial broadcasts), so
+	// with faults armed and no reliable transport a wire fault can
+	// strike before the first step. There is no checkpoint to roll back
+	// to and no engine to rebuild, so a rank hit during bootstrap
+	// fail-stops: it marks the faulting sender AND itself failed before
+	// exiting. The self-mark is load-bearing — peers may be blocked in
+	// sub-communicator collectives whose groups contain this rank but
+	// not the original casualty, and only a failed member unblocks
+	// their receives. Survivors that reach the step loop then find no
+	// committed checkpoint and report the run unrecoverable.
+	var eng *Engine
+	cerr := mpi.Protect(func() {
+		var err error
+		eng, err = NewEngine(c, cfg.Strategy, cfg.Model, cfg.Corpus, cfg.Train, cfg.OptFor(), cfg.Seed)
+		if err != nil {
+			st.err = err
+		}
+	})
+	if st.err != nil {
+		return
+	}
+	if cerr != nil {
+		if pf, ok := cerr.(*mpi.PayloadFaultError); ok {
+			w.MarkFailed(pf.Src)
+		}
+		c.Abandon()
+		st.crashed = true
 		return
 	}
 	if cfg.ComputeFLOPS > 0 {
@@ -245,6 +300,23 @@ func runRankFT(w *mpi.World, c *mpi.Comm, cfg FTConfig, inj *fault.Injector, st 
 	lastCkpt := int64(-1)
 	var pending, lastCredit float64 // sim-time not yet durable; credit of the last checkpoint
 
+	// Tier 2 state: each rank runs an identical replica of the health
+	// monitor (CollectScores hands every rank the same scores, so the
+	// replicas never diverge and mitigation needs no extra agreement
+	// round). handled remembers which degraded slot-sets were already
+	// drained; both reset after a recovery, which rebuilds placement.
+	ts := w.Transport()
+	var hcfg health.Config
+	var mon *health.Monitor
+	if pol != nil && pol.Escalation != train.EscalateRollback && w.Size() > 1 {
+		if pol.Health != nil {
+			hcfg = *pol.Health
+		}
+		mon = health.NewMonitor(w.Size(), hcfg)
+	}
+	mitigate := pol != nil && pol.Escalation == train.EscalateTiered
+	handled := map[string]bool{}
+
 	finish := func() {
 		st.useful += pending // work after the last checkpoint still ran to completion
 		if wr != nil {
@@ -255,6 +327,9 @@ func runRankFT(w *mpi.World, c *mpi.Comm, cfg FTConfig, inj *fault.Injector, st 
 		}
 		st.steps = eng.Trainer.StepCount()
 		st.completed = st.err == nil
+		if mon != nil {
+			st.degraded = mon.Degraded()
+		}
 	}
 
 	for eng.Trainer.StepCount() < cfg.Steps {
@@ -279,10 +354,20 @@ func runRankFT(w *mpi.World, c *mpi.Comm, cfg FTConfig, inj *fault.Injector, st 
 		if wr != nil {
 			t0 = wr.Timing()
 		}
+		var retr0 int64
+		var back0 float64
+		if ts != nil {
+			retr0, back0 = ts.RetransmitsOf(my), ts.BackoffSimOf(my)
+		}
 		perr := mpi.Protect(func() {
 			// The step-0 save is the bootstrap checkpoint: it guarantees
 			// every later failure has a committed state to roll back to.
-			if wr != nil && step%pol.Interval == 0 && int64(step) != lastCkpt {
+			// Saves are suspended while a mitigation drain is active
+			// (len(handled) > 0): shard layouts under a drained placement
+			// do not match the block placement Reform rebuilds, so a
+			// post-mitigation crash must roll back to the last checkpoint
+			// written under block placement and replay from there.
+			if wr != nil && step%pol.Interval == 0 && int64(step) != lastCkpt && len(handled) == 0 {
 				hdr := eng.Trainer.CheckpointHeader()
 				lay := ckpt.Layout{
 					WorldSize:      comm.Size(),
@@ -302,6 +387,50 @@ func runRankFT(w *mpi.World, c *mpi.Comm, cfg FTConfig, inj *fault.Injector, st 
 				lastCredit, pending = pending, 0
 			}
 			stats = eng.Step()
+			if ts != nil {
+				stats.Retransmits = ts.RetransmitsOf(my) - retr0
+				stats.RetransmitSim = ts.BackoffSimOf(my) - back0
+			}
+			// Tier 2: fold this step's link telemetry into the health
+			// monitor. CollectScores is a collective, so it doubles as
+			// the agreement round — every rank sees the same scores and
+			// the monitor replicas evolve in lockstep.
+			if mon != nil && comm.Size() > 1 {
+				mon.Observe(collectHealth(w, comm))
+				deg := mon.Degraded()
+				stats.Degraded = len(deg)
+				if mitigate && len(deg) > 0 {
+					// Degraded world ranks map to expert-parallel slots;
+					// every EP group drains the same slots so placement
+					// stays DP-symmetric.
+					slots := make([]bool, strat.ExpertParallel)
+					flagged := 0
+					for _, g := range deg {
+						for q := 0; q < comm.Size(); q++ {
+							if comm.Global(q) == g {
+								if s := q % strat.ExpertParallel; !slots[s] {
+									slots[s] = true
+									flagged++
+								}
+							}
+						}
+					}
+					if flagged > 0 && flagged < strat.ExpertParallel {
+						sig := fmt.Sprint(slots)
+						if !handled[sig] {
+							handled[sig] = true
+							m0 := comm.Now()
+							if merr := eng.Mitigate(slots, pol.MitigateCapacity); merr != nil {
+								st.err = merr
+								return
+							}
+							stats.MitigationSim = comm.Now() - m0
+							st.mitigations++
+							st.mitigationSim += stats.MitigationSim
+						}
+					}
+				}
+			}
 		})
 		if st.err != nil {
 			finish()
@@ -319,8 +448,13 @@ func runRankFT(w *mpi.World, c *mpi.Comm, cfg FTConfig, inj *fault.Injector, st 
 
 		// ---- failure path ----
 		if pf, ok := perr.(*mpi.PayloadFaultError); ok {
-			// Wire faults are converted to fail-stop of the sender, as
-			// real systems do: a link that lies cannot be reasoned with.
+			// With the reliable transport armed, transient wire faults
+			// never reach this point — retransmission absorbs them inside
+			// the step. A PayloadFaultError here means either the
+			// transport is off (always-rollback policy) or its retries
+			// were exhausted (pf.Exhausted): the link is persistently
+			// bad, and the sender is treated as fail-stop — a link that
+			// lies, or never answers, cannot be reasoned with.
 			w.MarkFailed(pf.Src)
 		}
 		if !w.Alive(my) {
@@ -339,12 +473,39 @@ func runRankFT(w *mpi.World, c *mpi.Comm, cfg FTConfig, inj *fault.Injector, st 
 				return
 			}
 			st.recoveries++
-			rerr := recoverRank(w, eng, cfg, &comm, &strat, &wr, &lastCkpt, &lastCredit, st)
+			// recoverRank communicates throughout (shrink agreement,
+			// re-form splits, restore); Protect the whole round so a
+			// further fault mid-recovery surfaces as a typed error and
+			// feeds the retry below instead of killing the goroutine.
+			var rerr error
+			if perr := mpi.Protect(func() {
+				rerr = recoverRank(w, eng, cfg, &comm, &strat, &wr, &lastCkpt, &lastCredit, st)
+			}); perr != nil {
+				rerr = perr
+			}
 			if rerr == nil {
+				// Tier 2 state restarts from scratch: Reform rebuilt the
+				// placement, and EWMAs over the pre-shrink world are
+				// meaningless for the survivors.
+				if mon != nil {
+					if comm.Size() > 1 {
+						mon = health.NewMonitor(w.Size(), hcfg)
+					} else {
+						mon = nil
+					}
+					handled = map[string]bool{}
+				}
 				break
 			}
-			switch rerr.(type) {
-			case *mpi.RankFailedError, *mpi.PayloadFaultError:
+			switch re := rerr.(type) {
+			case *mpi.PayloadFaultError:
+				w.MarkFailed(re.Src) // same verdict as in-step wire faults
+				if !w.Alive(my) {
+					st.crashed = true
+					return
+				}
+				continue // survivor set shrank mid-recovery; go again
+			case *mpi.RankFailedError:
 				if !w.Alive(my) {
 					st.crashed = true
 					return

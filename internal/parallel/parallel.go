@@ -122,6 +122,17 @@ type StepStats struct {
 	CkptSnapshot float64
 	CkptFlush    float64
 	Recovery     float64
+
+	// Graceful-degradation telemetry for this step (zero outside
+	// RunFaultTolerant with a retransmit tier armed): frames this rank
+	// retransmitted, virtual seconds its sends spent in ack timeouts
+	// and backoff, virtual seconds spent migrating experts away from
+	// degraded ranks, and how many world ranks the health monitor
+	// currently classifies degraded.
+	Retransmits   int64
+	RetransmitSim float64
+	MitigationSim float64
+	Degraded      int
 }
 
 // Engine is the per-rank training engine. Construct one inside
@@ -229,6 +240,11 @@ func NewEngine(c *mpi.Comm, strat Strategy, mc ModelConfig, corpusCfg data.Corpu
 	if err != nil {
 		return nil, err
 	}
+	// One trainer steps per rank goroutine, concurrently: the global
+	// step arena is off-limits (a rank draining it mid-step — normally
+	// at the barrierless tail of its step, or early when a wire fault
+	// aborts the step — would recycle tensors its peers still hold).
+	tr.Unpooled = c.Size() > 1
 	tr.PostBackward = e.syncGradients
 	e.Trainer = tr
 	return e, nil
@@ -246,11 +262,10 @@ func (e *Engine) SetComputeRate(rate float64) { e.computeRate = rate }
 func (e *Engine) stepFlops() float64 {
 	tokens := float64(e.batch * e.Model.Cfg.SeqLen)
 	active := float64(nn.NumParams(e.denseParams))
-	if len(e.moeLayers) > 0 {
-		perExpert := float64(nn.NumParams(e.expertParams)) / float64(len(e.moeLayers)) / float64(e.moeLayers[0].LocalExperts)
-		for _, m := range e.moeLayers {
-			active += float64(m.Cfg.TopK) * perExpert
-		}
+	for _, m := range e.moeLayers {
+		// Per-expert size comes from the layer, not the local shard: a
+		// drained rank hosts zero experts but still routes tokens.
+		active += float64(m.Cfg.TopK) * float64(m.PerExpertParams())
 	}
 	quad := 12 * float64(e.Model.Cfg.Layers) * float64(e.Model.Cfg.SeqLen) * float64(e.Model.Cfg.Dim)
 	return tokens * (6*active + quad)

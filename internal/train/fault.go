@@ -1,5 +1,59 @@
 package train
 
+import (
+	"fmt"
+
+	"bagualu/internal/health"
+	"bagualu/internal/mpi"
+)
+
+// Escalation selects how the fault-tolerant loop responds to faults
+// below fail-stop severity — the tiered graceful-degradation policy.
+type Escalation int
+
+const (
+	// EscalateRollback is the PR 3 behavior and the zero value: every
+	// wire fault is converted to fail-stop of the sender and handled
+	// by shrink + checkpoint rollback. No retransmission, no health
+	// monitoring.
+	EscalateRollback Escalation = iota
+	// EscalateRetransmit arms the reliable wire transport (tier 1):
+	// transient drops/corruption are absorbed by retry with backoff,
+	// and health telemetry is collected, but no mitigation acts on it.
+	// Retransmit exhaustion and dead ranks still escalate to rollback.
+	EscalateRetransmit
+	// EscalateTiered is the full policy: retransmit for transient wire
+	// faults (tier 1), expert resharding away from ranks classified
+	// degraded (tier 2), shrink + rollback only for dead ranks or
+	// retransmit exhaustion (tier 3).
+	EscalateTiered
+)
+
+func (e Escalation) String() string {
+	switch e {
+	case EscalateRollback:
+		return "rollback"
+	case EscalateRetransmit:
+		return "retransmit"
+	case EscalateTiered:
+		return "tiered"
+	}
+	return fmt.Sprintf("Escalation(%d)", int(e))
+}
+
+// ParseEscalation maps the CLI spelling to an Escalation.
+func ParseEscalation(s string) (Escalation, error) {
+	switch s {
+	case "rollback":
+		return EscalateRollback, nil
+	case "retransmit":
+		return EscalateRetransmit, nil
+	case "tiered":
+		return EscalateTiered, nil
+	}
+	return 0, fmt.Errorf("train: unknown escalation policy %q (want rollback|retransmit|tiered)", s)
+}
+
 // FaultPolicy configures the fault-tolerant training loop (the
 // parallel engine's RunFaultTolerant): where sharded checkpoints go,
 // how often they are taken, whether the flush overlaps training on
@@ -23,6 +77,23 @@ type FaultPolicy struct {
 	DiskBWGiBs float64
 	// MaxRecoveries bounds in-run recoveries (0 means 1).
 	MaxRecoveries int
+
+	// Escalation selects the graceful-degradation tiers; the zero
+	// value keeps the PR 3 always-rollback behavior.
+	Escalation Escalation
+	// Transport overrides the reliable-transport tuning when a
+	// retransmit tier is active; nil takes the defaults.
+	Transport *mpi.TransportConfig
+	// Health overrides the straggler classifier tuning; nil takes the
+	// defaults.
+	Health *health.Config
+	// MitigateCapacity, when in (0, 1), additionally multiplies the
+	// gate capacity factor by this value on the first mitigation,
+	// tightening per-expert capacity so the all-to-all stops waiting
+	// on overloaded hosts. Off by default because it changes routing
+	// and therefore the loss trajectory; expert resharding alone is
+	// bit-exact.
+	MitigateCapacity float32
 }
 
 // Enabled reports whether the policy actually checkpoints.

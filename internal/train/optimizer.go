@@ -49,6 +49,32 @@ func (s *SGD) Step(params []*nn.Param, lr float32) {
 	}
 }
 
+// State, SetState, and Forget implement moe.OptStateCarrier: expert
+// migration ships the velocity with a moved expert's weights so the
+// trajectory stays bit-exact across a rebalance.
+
+// State returns the momentum velocity for p (nil if none exists yet
+// or momentum is off).
+func (s *SGD) State(p *nn.Param) [][]float32 {
+	if v := s.vel[p]; v != nil {
+		return [][]float32{v.Data}
+	}
+	return nil
+}
+
+// SetState installs a shipped velocity slice for p.
+func (s *SGD) SetState(p *nn.Param, state [][]float32) {
+	if len(state) == 0 {
+		return
+	}
+	v := tensor.New(p.W.Shape...)
+	copy(v.Data, state[0])
+	s.vel[p] = v
+}
+
+// Forget drops any velocity held for p.
+func (s *SGD) Forget(p *nn.Param) { delete(s.vel, p) }
+
 // Adam is the Adam/AdamW optimizer. With WeightDecay > 0 it applies
 // decoupled (AdamW-style) decay.
 type Adam struct {
@@ -106,6 +132,40 @@ func (a *Adam) Step(params []*nn.Param, lr float32) {
 
 // StepCount returns the number of updates applied so far.
 func (a *Adam) StepCount() int { return a.step }
+
+// State, SetState, and Forget implement moe.OptStateCarrier: expert
+// migration ships the first and second moments alongside a moved
+// expert's weights, keeping the trajectory bit-exact. The shared step
+// counter (bias correction) advances identically on every rank and
+// needs no transfer.
+
+// State returns p's (m, v) moments, or nil before the first update.
+func (a *Adam) State(p *nn.Param) [][]float32 {
+	m, v := a.m[p], a.v[p]
+	if m == nil {
+		return nil
+	}
+	return [][]float32{m.Data, v.Data}
+}
+
+// SetState installs shipped (m, v) moment slices for p.
+func (a *Adam) SetState(p *nn.Param, state [][]float32) {
+	if len(state) != 2 {
+		return
+	}
+	m := tensor.New(p.W.Shape...)
+	v := tensor.New(p.W.Shape...)
+	copy(m.Data, state[0])
+	copy(v.Data, state[1])
+	a.m[p] = m
+	a.v[p] = v
+}
+
+// Forget drops any moments held for p.
+func (a *Adam) Forget(p *nn.Param) {
+	delete(a.m, p)
+	delete(a.v, p)
+}
 
 // Schedule maps a step index to a learning rate.
 type Schedule interface {

@@ -68,6 +68,17 @@ type Metrics struct {
 	CkptSnapshot float64
 	CkptFlush    float64
 	Recovery     float64
+
+	// Graceful-degradation telemetry attributed to this step by the
+	// fault-tolerant loop (metrics.PhaseRetransmit / PhaseMitigation in
+	// the phase meter): frames this rank retransmitted, the virtual
+	// seconds its sends spent in ack timeouts and backoff, the virtual
+	// seconds spent resharding experts away from degraded ranks, and
+	// the number of world ranks currently classified degraded.
+	Retransmits   int64
+	RetransmitSim float64
+	MitigationSim float64
+	DegradedRanks int
 }
 
 // Trainer runs synchronous next-token pretraining of a GPT model on a
@@ -88,6 +99,15 @@ type Trainer struct {
 	// and before the optimizer step; the parallel engine injects the
 	// gradient all-reduce here.
 	PostBackward func(params []*nn.Param)
+
+	// Unpooled disables the step arena. The ambient arena is
+	// process-global, so it is only safe when exactly one trainer steps
+	// at a time; the parallel engine sets this whenever its
+	// communicator spans more than one rank — concurrent rank
+	// goroutines would record allocations into each other's arenas, and
+	// a rank whose step aborts early (wire fault, peer failure) would
+	// drain buffers its neighbours still hold.
+	Unpooled bool
 
 	// arena holds the step-scoped tensor working set (activations,
 	// attention caches, backward intermediates). Step installs it as
@@ -140,21 +160,23 @@ func (t *Trainer) StepCount() int { return t.step }
 // step, so every intermediate the forward/backward passes allocate is
 // recycled when the arena drains on return. The ambient arena is
 // process-global, so Step must not run concurrently with another
-// arena-installing Step (the multi-rank engine uses StepOn, which
-// deliberately stays unpooled).
+// arena-installing Step; trainers stepping concurrently (one per rank
+// goroutine in the parallel engine) must set Unpooled.
 func (t *Trainer) Step() Metrics {
 	accum := t.Cfg.Accum
 	if accum < 1 {
 		accum = 1
 	}
-	if t.arena == nil {
-		t.arena = tensor.NewArena()
+	if !t.Unpooled {
+		if t.arena == nil {
+			t.arena = tensor.NewArena()
+		}
+		prev := tensor.SetStepArena(t.arena)
+		defer func() {
+			tensor.SetStepArena(prev)
+			t.arena.Drain()
+		}()
 	}
-	prev := tensor.SetStepArena(t.arena)
-	defer func() {
-		tensor.SetStepArena(prev)
-		t.arena.Drain()
-	}()
 	nn.ZeroGrads(t.params)
 	m := Metrics{Step: t.step}
 	wire0, comm0 := t.commSnapshot()
@@ -170,13 +192,11 @@ func (t *Trainer) Step() Metrics {
 	return m
 }
 
-// StepOn runs one cycle on caller-provided tokens (the parallel
-// engine feeds per-rank shards). Gradient accumulation is not applied
-// here; use Step for that.
+// StepOn runs one cycle on caller-provided tokens. Gradient
+// accumulation is not applied here; use Step for that.
 //
-// StepOn does NOT install a step arena: the engine runs one StepOn
-// per rank goroutine concurrently, and the ambient arena is global —
-// a shared arena would recycle buffers another rank still holds.
+// StepOn never installs a step arena, making it the pooling-free
+// reference path (see Unpooled for the equivalent Step behaviour).
 func (t *Trainer) StepOn(ids, targets []int) Metrics {
 	nn.ZeroGrads(t.params)
 	m := Metrics{Step: t.step}

@@ -11,8 +11,18 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/tensor/... ./internal/mpi/... ./internal/moe/... ./internal/train/...
-go test -race ./internal/fault/... ./internal/ckpt/...
+go test -race ./internal/fault/... ./internal/ckpt/... ./internal/health/...
 go test -race -run 'TestCrashRecoveryMatchesRestart|TestRepeatedRecovery|TestGoodputAccounting' ./internal/parallel/
+# Graceful-degradation gates: the reliable transport must survive the
+# race detector under loss, and the escalation tiers must hold their
+# acceptance properties (retransmission is loss-transparent and
+# bit-exact, straggler mitigation beats no mitigation, tiered beats
+# always-rollback and retransmit-only).
+go test -race -run 'Transport|Reliable|LinkObservations' ./internal/mpi/
+go test -race -run 'TestRetransmitTierBitExactLoss|TestStragglerMitigationImprovesMakespan|TestTieredEscalationBeatsAlternatives' ./internal/parallel/
 # Deterministic replay: the same seed must reproduce the same fault
-# schedule and the same wire-fault pattern, run after run.
+# schedule and the same wire-fault pattern, run after run — and the
+# full tiered run (retransmits, mitigations, final loss) must replay
+# identically under the scripted injector.
 go test -count=2 -run 'TestFaultScheduleDeterministic|TestArmedWireFaultsFire' ./internal/fault/
+go test -count=2 -run 'TestEscalationDeterministicReplay' ./internal/parallel/
