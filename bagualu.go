@@ -40,11 +40,13 @@ import (
 	"bagualu/internal/data"
 	"bagualu/internal/fault"
 	"bagualu/internal/health"
+	"bagualu/internal/metrics"
 	"bagualu/internal/moe"
 	"bagualu/internal/mpi"
 	"bagualu/internal/nn"
 	"bagualu/internal/parallel"
 	"bagualu/internal/perfmodel"
+	"bagualu/internal/serve"
 	"bagualu/internal/simnet"
 	"bagualu/internal/sunway"
 	"bagualu/internal/tensor"
@@ -438,3 +440,63 @@ func CkptRestore(dir string, step int64, shard int, params []*Param) (ckpt.Resto
 // CkptLatest returns the highest committed checkpoint step under dir,
 // or -1.
 func CkptLatest(dir string) (int64, error) { return ckpt.Latest(dir) }
+
+// Inference & serving: KV-cache decode, continuous batching, and
+// SLO-aware admission (see internal/serve).
+type (
+	// KVCache holds one sequence's per-layer cached keys and values.
+	KVCache = nn.KVCache
+	// InferRun pairs a sequence's KV cache with the rows it
+	// contributes to a mixed prefill/decode step.
+	InferRun = nn.InferRun
+	// ServeRequest is one request of the synthetic serving stream.
+	ServeRequest = serve.Request
+	// ServeWorkload shapes the seeded Poisson request generator.
+	ServeWorkload = serve.WorkloadConfig
+	// ServeConfig drives one serving run (batching policy, KV budget,
+	// admission bounds, cost model).
+	ServeConfig = serve.Config
+	// ServeResult aggregates a serving run's counters and latency
+	// histograms.
+	ServeResult = serve.Result
+	// Batching selects the serving batching policy.
+	Batching = serve.Batching
+	// Histogram is a mergeable log-bucket histogram (latency
+	// quantiles across ranks).
+	Histogram = metrics.Histogram
+)
+
+// Batching policies for ServeConfig.Batching.
+const (
+	ServeSerial     = serve.Serial
+	ServeStatic     = serve.Static
+	ServeContinuous = serve.Continuous
+)
+
+// Serve runs the serving engine over this rank's requests; collective
+// over c (single-rank worlds work too). Returns the local result —
+// merge with ServeResult.MergeAcross for the world view.
+func Serve(model *GPT, c *Comm, cfg ServeConfig, reqs []ServeRequest) ServeResult {
+	return serve.Run(model, c, cfg, reqs)
+}
+
+// PartitionRequests deals a request stream round-robin across ranks.
+func PartitionRequests(reqs []ServeRequest, rank, size int) []ServeRequest {
+	return serve.Partition(reqs, rank, size)
+}
+
+// NewHistogram builds a log-bucket histogram: bucket i spans
+// [lo*growth^i, lo*growth^(i+1)).
+func NewHistogram(lo, growth float64, buckets int) *Histogram {
+	return metrics.NewHistogram(lo, growth, buckets)
+}
+
+// NewLatencyHistogram builds a histogram sized for second-scale
+// latencies at ~10% resolution.
+func NewLatencyHistogram() *Histogram { return metrics.NewLatencyHistogram() }
+
+// LoadForInference restores model weights from the newest committed
+// sharded checkpoint under dir, whatever parallel layout wrote it.
+func LoadForInference(dir string, params []*Param) (ckpt.Manifest, train.Header, error) {
+	return ckpt.LoadForInference(dir, params)
+}

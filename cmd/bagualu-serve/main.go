@@ -1,0 +1,140 @@
+// Command bagualu-serve regenerates experiment R13: distributed MoE
+// serving throughput versus offered load, comparing continuous
+// batching against static batches and one-request-at-a-time serving,
+// and the FP16 versus FP32 wire codec, with p50/p99 TTFT, TPOT, and
+// end-to-end latency on the virtual clock. Optionally restores model
+// weights from a sharded training checkpoint before serving.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bagualu/internal/ckpt"
+	"bagualu/internal/metrics"
+	"bagualu/internal/moe"
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/serve"
+	"bagualu/internal/simnet"
+	"bagualu/internal/sunway"
+	"bagualu/internal/tensor"
+)
+
+func main() {
+	var (
+		ranks = flag.Int("ranks", 16, "serving world size (expert-parallel group)")
+		perSN = flag.Int("nodes-per-sn", 4, "nodes per supernode")
+		rpn   = flag.Int("ranks-per-node", 2, "ranks per node")
+
+		vocab   = flag.Int("vocab", 64, "vocabulary size")
+		dim     = flag.Int("dim", 32, "model width")
+		heads   = flag.Int("heads", 4, "attention heads")
+		layers  = flag.Int("layers", 2, "transformer blocks")
+		seqLen  = flag.Int("seq-len", 48, "context window (bounds prompt+output)")
+		hidden  = flag.Int("ffn-hidden", 64, "expert hidden width")
+		experts = flag.Int("experts", 16, "global expert count (divisible by ranks)")
+		topk    = flag.Int("topk", 2, "experts per token")
+
+		requests = flag.Int("requests", 96, "requests in the synthetic stream")
+		baseRate = flag.Float64("base-rate", 40, "offered load at load factor 1.0 (requests/s)")
+		seed     = flag.Uint64("seed", 7, "workload + model seed")
+		kvBudget = flag.Int("kv-budget", 0, "max in-flight KV tokens per rank (0 = unlimited)")
+		maxBatch = flag.Int("max-batch", 0, "max resident sequences per rank (0 = unlimited)")
+		queueCap = flag.Int("queue-cap", 0, "admission queue bound (0 = unlimited)")
+		sloWait  = flag.Float64("slo-wait", 0, "admission deadline in seconds (0 = none)")
+
+		flops = flag.Float64("flops", 1e9, "virtual FLOP/s per rank")
+		memBW = flag.Float64("mem-bw", 1e-3, "weight-streaming bandwidth (GiB/s)")
+
+		ckptDir = flag.String("ckpt", "", "restore weights from this sharded checkpoint dir")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	if *experts%*ranks != 0 {
+		fmt.Fprintf(os.Stderr, "experts (%d) must divide by ranks (%d)\n", *experts, *ranks)
+		os.Exit(2)
+	}
+
+	nodes := (*ranks + *rpn - 1) / *rpn
+	sns := (nodes + *perSN - 1) / *perSN
+	topo := simnet.New(sunway.TestMachine(sns, *perSN), *rpn)
+	gcfg := moe.GateConfig{Dim: *dim, NumExperts: *experts, TopK: *topk, CapacityFactor: 2}
+	mcfg := nn.GPTConfig{Vocab: *vocab, Dim: *dim, Heads: *heads, Layers: *layers, SeqLen: *seqLen, FFNHidden: *hidden}
+
+	// One serving measurement: fresh world, same seeds, merged result
+	// plus the inter-supernode wire bytes the run moved.
+	measure := func(batching serve.Batching, codec mpi.Codec, rate float64) (serve.Result, float64) {
+		all := serve.WorkloadConfig{
+			Seed: *seed, Requests: *requests, RatePerSec: rate, Vocab: *vocab,
+			PromptMin: 4, PromptMax: *seqLen / 3, NewMin: 4, NewMax: *seqLen / 3,
+		}.Generate()
+		var merged serve.Result
+		w := mpi.NewWorld(*ranks, topo)
+		w.Run(func(c *mpi.Comm) {
+			model := nn.NewGPT(mcfg, tensor.NewRNG(*seed), func(_ int, name string, r *tensor.RNG) nn.Layer {
+				m := moe.NewDistMoEComm(name, r, gcfg, *hidden, c, moe.Hierarchical,
+					moe.CommConfig{Codec: codec, Overlap: true})
+				m.SimRate = *flops
+				return m
+			})
+			if *ckptDir != "" {
+				if _, _, err := ckpt.LoadForInference(*ckptDir, model.Params()); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			cfg := serve.Config{
+				Batching: batching, MaxBatch: *maxBatch, KVBudget: *kvBudget,
+				QueueCap: *queueCap, SLOQueueWait: *sloWait,
+				FLOPS: *flops, MemBWGiBs: *memBW,
+			}
+			res := serve.Run(model, c, cfg, serve.Partition(all, c.Rank(), c.Size()))
+			m := res.MergeAcross(c) // collective: every rank participates
+			if c.Rank() == 0 {
+				merged = m
+			}
+		})
+		return merged, float64(w.Stats().BytesAt(simnet.MachineLevel)) / (1 << 20)
+	}
+
+	emit := func(t *metrics.Table) {
+		if *csv {
+			t.WriteCSV(os.Stdout)
+		} else {
+			t.WriteText(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	addRow := func(t *metrics.Table, load float64, mode, codec string, r serve.Result, mb float64) {
+		t.AddRow(load, mode, codec,
+			r.Throughput(),
+			r.TTFT.Quantile(0.5), r.TTFT.Quantile(0.99),
+			r.TPOT.Quantile(0.5), r.TPOT.Quantile(0.99),
+			r.E2E.Quantile(0.5), r.E2E.Quantile(0.99),
+			r.Completed, r.Rejected, mb)
+	}
+	cols := []string{"load-factor", "batching", "codec", "tok/s",
+		"ttft-p50", "ttft-p99", "tpot-p50", "tpot-p99", "e2e-p50", "e2e-p99",
+		"completed", "rejected", "interSN-MB"}
+
+	// R13a: throughput vs offered load, per batching policy.
+	r13 := metrics.NewTable("R13: serving throughput vs offered load (fp16 wire)", cols...)
+	for _, load := range []float64{0.5, 1, 2, 4} {
+		for _, b := range []serve.Batching{serve.Serial, serve.Static, serve.Continuous} {
+			r, mb := measure(b, mpi.FP16Wire, load**baseRate)
+			addRow(r13, load, b.String(), mpi.FP16Wire.String(), r, mb)
+		}
+	}
+	emit(r13)
+
+	// R13b: wire codec under continuous batching at saturation.
+	r13b := metrics.NewTable("R13b: wire codec at load factor 2 (continuous batching)", cols...)
+	for _, codec := range []mpi.Codec{mpi.FP32Wire, mpi.FP16Wire} {
+		r, mb := measure(serve.Continuous, codec, 2**baseRate)
+		addRow(r13b, 2, serve.Continuous.String(), codec.String(), r, mb)
+	}
+	emit(r13b)
+}

@@ -1,8 +1,8 @@
 // generation: pretrain a small MoE language model on the synthetic
-// corpus, then sample continuations from it — demonstrating that the
-// reproduction's training stack produces a model that actually
-// learned the corpus's sequence structure (the affine next-token
-// rule), and showing greedy vs temperature sampling.
+// corpus, then sample continuations through the KV-cache decode path
+// — one prefill over the prompt, then one cached step per token —
+// and prove it bit-exact against the full-reforward reference loop
+// before showing greedy vs temperature sampling.
 //
 //	go run ./examples/generation
 package main
@@ -51,21 +51,37 @@ func main() {
 	}
 
 	prompt := []int{5}
+	const n = 8
 	fmt.Printf("\nprompt: %v (corpus rule: next = (3*cur+1) mod %d)\n", prompt, vocab)
 
-	greedy := model.Generate(prompt, 8, 0, nil)
-	fmt.Printf("greedy:      %v\n", greedy)
+	// KV-cache greedy decode: the prompt is prefilled once, then each
+	// token reuses the cached keys/values — O(1) attention state per
+	// step instead of re-running the whole prefix.
+	greedy := model.GenerateKV(prompt, n, 0, nil)
+	fmt.Printf("greedy (kv-cache):  %v\n", greedy)
+
+	// The reference loop re-forwards the entire prefix for every
+	// token. The inference kernels are batch-invariant, so the two
+	// paths must agree bit-exactly — not just approximately.
+	ref := model.GenerateReforward(prompt, n, 0, nil)
+	for i := range greedy {
+		if greedy[i] != ref[i] {
+			log.Fatalf("KV decode diverged from reforward at token %d: %v vs %v", i, greedy, ref)
+		}
+	}
+	fmt.Printf("greedy (reforward): %v  — bit-exact match\n", ref)
+
 	follows := 0
 	for i := 1; i < len(greedy); i++ {
 		if greedy[i] == (greedy[i-1]*3+1)%vocab {
 			follows++
 		}
 	}
-	fmt.Printf("             %d/%d transitions follow the learned rule\n", follows, len(greedy)-1)
+	fmt.Printf("                    %d/%d transitions follow the learned rule\n", follows, len(greedy)-1)
 
 	rng := bagualu.NewRNG(8)
 	for _, temp := range []float32{0.5, 1.5} {
-		out := model.Generate(prompt, 8, temp, rng)
-		fmt.Printf("T=%.1f:       %v\n", temp, out)
+		out := model.GenerateKV(prompt, n, temp, rng)
+		fmt.Printf("T=%.1f:              %v\n", temp, out)
 	}
 }

@@ -1,0 +1,36 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"bagualu/internal/nn"
+	"bagualu/internal/train"
+)
+
+// LoadForInference restores model weights from the latest checkpoint
+// in dir into params, matching tensors by name across layouts: the
+// checkpoint may have been written by any DP×EP training world (one
+// shard per rank) while params describe a single inference process
+// with its own expert placement. Restore already scans every shard,
+// so the only inference-specific work is picking the step and
+// ignoring the training layout entirely. Optimizer moments and FP32
+// masters present in the shards are skipped by name; weights missing
+// from every shard are an error.
+func LoadForInference(dir string, params []*nn.Param) (Manifest, train.Header, error) {
+	step, err := Latest(dir)
+	if err != nil {
+		return Manifest{}, train.Header{}, err
+	}
+	if step < 0 {
+		return Manifest{}, train.Header{}, fmt.Errorf("ckpt: no committed checkpoint in %s", dir)
+	}
+	man, err := ReadManifest(dir, step)
+	if err != nil {
+		return Manifest{}, train.Header{}, err
+	}
+	res, err := Restore(dir, step, 0, params)
+	if err != nil {
+		return Manifest{}, train.Header{}, err
+	}
+	return man, res.Header, nil
+}

@@ -119,6 +119,8 @@ type DistMoE struct {
 
 	localSN []bool // comm rank -> in this rank's supernode
 
+	inferStats InferStats // last Infer call; see infer.go
+
 	// Forward caches for backward.
 	perTok    [][]slot    // slot.pos = index into sendOrder[dst]
 	sendOrder [][]sendRef // per dst rank: which (token, k) produced row i

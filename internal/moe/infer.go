@@ -1,0 +1,330 @@
+package moe
+
+import (
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/tensor"
+)
+
+// Inference dispatch path. Serving routes top-k like training but
+// drops everything training-only: no gate noise, no capacity limit
+// (no token is ever dropped at inference), no auxiliary losses, no
+// backward caches, no shadow replicas. The distributed variant still
+// rides the two-phase flattened Exchange — FP16 codec on
+// inter-supernode legs, local experts overlapped with the remote
+// receive — because that wire layer is exactly what an MoE serving
+// engine needs per decode step.
+//
+// Numerics are batch-invariant end to end: the gate projection uses
+// the naive kernel, softmax and top-k are per-row, expert FFNs run
+// through nn's inference forwards, and each token's combine
+// accumulates its k expert outputs in a per-token order that does not
+// depend on which other tokens share the step. A single decoded token
+// therefore produces bitwise the same output as the same token inside
+// any prefill batch.
+
+// InferStats describes the expert work of the last Infer call on the
+// local rank, for the serving engine's cost model.
+type InferStats struct {
+	// Rows is the number of token-assignment rows the local experts
+	// processed (post-dispatch on the distributed layer).
+	Rows int
+	// ActiveExperts is how many local experts saw at least one row —
+	// the number of expert weight sets the step had to touch.
+	ActiveExperts int
+	// Flops is the expert forward cost of those rows (2 GEMMs per
+	// row: d->hidden, hidden->d).
+	Flops float64
+	// Charged reports whether Flops was already priced onto the
+	// rank's virtual clock (DistMoE does this itself when SimRate is
+	// set; LocalMoE leaves pricing to the caller).
+	Charged bool
+}
+
+func expertFlops(rows, dim, hidden int) float64 {
+	return 4 * float64(rows) * float64(dim) * float64(hidden)
+}
+
+// InferRoute is the inference gate: top-k routing with normalized
+// combine weights and no noise, no capacity dropping, and no
+// auxiliary losses. Assignments are in decreasing-probability order
+// per token, matching the training gate.
+func (g *Gate) InferRoute(x *tensor.Tensor) [][]Assignment {
+	cfg := g.Cfg
+	if cfg.RandomRouting {
+		panic("moe: InferRoute does not support RandomRouting (training-only ablation)")
+	}
+	tokens := x.Shape[0]
+	probs := tensor.SoftmaxRows(nn.InferLinear(g.Proj, x))
+	assign := make([][]Assignment, tokens)
+	asBuf := make([]Assignment, tokens*cfg.TopK)
+	var idxBuf []int
+	for t := 0; t < tokens; t++ {
+		row := probs.Row(t)
+		idxBuf = topKIndices(row, cfg.TopK, idxBuf[:0])
+		var sum float32
+		for _, e := range idxBuf {
+			sum += row[e]
+		}
+		as := asBuf[t*cfg.TopK : (t+1)*cfg.TopK]
+		for i, e := range idxBuf {
+			as[i] = Assignment{Expert: e, Weight: row[e] / sum}
+		}
+		assign[t] = as
+	}
+	return assign
+}
+
+// inferExpert applies expert f to the gathered rows, with the
+// inference (batch-invariant, no-cache) forward.
+func inferExpert(f *nn.FeedForward, in *tensor.Tensor) *tensor.Tensor {
+	return f.Infer(in)
+}
+
+// Infer runs the local MoE in inference mode. Stats are recorded with
+// Charged=false: the caller owns pricing of single-rank expert
+// compute.
+func (m *LocalMoE) Infer(x *tensor.Tensor) *tensor.Tensor {
+	tokens, d := x.Shape[0], x.Shape[1]
+	assign := m.Gate.InferRoute(x)
+
+	gather := make([][]int, m.Cfg.NumExperts) // expert -> token rows
+	pos := make([][]int, tokens)              // token,k -> row in expert batch
+	rows := 0
+	for t := 0; t < tokens; t++ {
+		pos[t] = make([]int, len(assign[t]))
+		for k, a := range assign[t] {
+			pos[t][k] = len(gather[a.Expert])
+			gather[a.Expert] = append(gather[a.Expert], t)
+			rows++
+		}
+	}
+
+	outs := make([]*tensor.Tensor, m.Cfg.NumExperts)
+	active := 0
+	hidden := m.Experts[0].Up.Out
+	for e, toks := range gather {
+		if len(toks) == 0 {
+			continue
+		}
+		active++
+		in := tensor.New(len(toks), d)
+		for i, t := range toks {
+			copy(in.Row(i), x.Row(t))
+		}
+		outs[e] = inferExpert(m.Experts[e], in)
+	}
+
+	out := tensor.New(tokens, d)
+	for t := 0; t < tokens; t++ {
+		row := out.Row(t)
+		for k, a := range assign[t] {
+			y := outs[a.Expert].Row(pos[t][k])
+			for j := range row {
+				row[j] += a.Weight * y[j]
+			}
+		}
+	}
+	m.inferStats = InferStats{Rows: rows, ActiveExperts: active, Flops: expertFlops(rows, d, hidden), Charged: false}
+	return out
+}
+
+// LastInferStats returns the expert-work stats of the last Infer call.
+func (m *LocalMoE) LastInferStats() InferStats { return m.inferStats }
+
+// NumLocalExperts returns how many experts live on this rank (all of
+// them, for the local layer).
+func (m *LocalMoE) NumLocalExperts() int { return len(m.Experts) }
+
+// PerExpertParams returns the parameter count of one expert FFN.
+func (m *LocalMoE) PerExpertParams() int {
+	n := 0
+	for _, p := range m.Experts[0].Params() {
+		n += p.W.Len()
+	}
+	return n
+}
+
+// Infer runs the distributed MoE in inference mode: gate locally,
+// dispatch token rows to expert owners over the two-phase flattened
+// exchange, run local experts (overlapped with the remote leg when
+// configured), and combine the returned outputs. Ranks with zero
+// tokens must still call Infer — the exchange is collective.
+//
+// When SimRate is set, expert compute is charged to the virtual clock
+// here (at the owner rank, where the FLOPs actually land) and the
+// recorded stats have Charged=true.
+func (m *DistMoE) Infer(x *tensor.Tensor) *tensor.Tensor {
+	tokens, d := x.Shape[0], x.Shape[1]
+	p := m.comm.Size()
+	assign := m.Gate.InferRoute(x)
+
+	// Route per destination, in token order. No drops, no shadows.
+	sendOrder := make([][]sendRef, p)
+	for t := 0; t < tokens; t++ {
+		for k, a := range assign[t] {
+			dst := m.ownerOf(a.Expert)
+			sendOrder[dst] = append(sendOrder[dst], sendRef{t, k})
+		}
+	}
+
+	counts := make([]int, p)
+	for dst := 0; dst < p; dst++ {
+		counts[dst] = len(sendOrder[dst]) * d
+	}
+	sb := mpi.NewSendBuf(counts)
+	for dst := 0; dst < p; dst++ {
+		for _, ref := range sendOrder[dst] {
+			sb.Append(dst, x.Row(ref.token))
+			sb.AppendMeta(dst, m.slotOf[assign[ref.token][ref.k].Expert])
+		}
+	}
+
+	overlap := m.overlapOn()
+	var ex *mpi.Exchange
+	var dispLocal, dispRemote *mpi.RecvBuf
+	if m.Algo == Bruck {
+		dispLocal = m.comm.AllToAllvBruck(sb)
+	} else {
+		ex = m.comm.BeginExchange(m.hierWire(), m.CommCfg.Codec)
+		m.postRemoteFirst(ex, sb)
+		ex.Flush()
+		if overlap {
+			dispLocal = ex.RecvLocal()
+		} else {
+			dispLocal = ex.RecvAll()
+		}
+	}
+	sb.Release()
+
+	ordLocal := m.groupRows(dispLocal)
+	outLocal := m.inferExperts(dispLocal, ordLocal, d)
+	rows := phaseRows(ordLocal)
+	m.chargeCompute(rows, false)
+
+	var ordRemote [][]rowRef
+	var outRemote []*tensor.Tensor
+	if overlap {
+		dispRemote = ex.RecvRemote()
+		ordRemote = m.groupRows(dispRemote)
+		outRemote = m.inferExperts(dispRemote, ordRemote, d)
+		r := phaseRows(ordRemote)
+		m.chargeCompute(r, false)
+		rows += r
+	}
+
+	// Rows received per source, for combine sizing.
+	recvCount := make([]int, p)
+	for _, src := range dispLocal.Srcs() {
+		recvCount[src] = len(dispLocal.Meta(src))
+	}
+	if dispRemote != nil {
+		for _, src := range dispRemote.Srcs() {
+			recvCount[src] = len(dispRemote.Meta(src))
+		}
+	}
+
+	ccounts := make([]int, p)
+	for s := 0; s < p; s++ {
+		ccounts[s] = recvCount[s] * d
+	}
+	csb := mpi.NewSendBuf(ccounts)
+	fill := func(ord [][]rowRef, outs []*tensor.Tensor) {
+		for le, refs := range ord {
+			for i, ref := range refs {
+				copy(csb.Chunk(ref.src)[ref.pos*d:(ref.pos+1)*d], outs[le].Row(i))
+			}
+		}
+	}
+	fill(ordLocal, outLocal)
+	if outRemote != nil {
+		fill(ordRemote, outRemote)
+	}
+	dispLocal.Release()
+	if dispRemote != nil {
+		dispRemote.Release()
+	}
+
+	var combLocal, combRemote *mpi.RecvBuf
+	if m.Algo == Bruck {
+		combLocal = m.comm.AllToAllvBruck(csb)
+	} else {
+		ex2 := m.comm.BeginExchange(m.hierWire(), m.CommCfg.Codec)
+		m.postRemoteFirst(ex2, csb)
+		ex2.Flush()
+		if overlap {
+			combLocal = ex2.RecvLocal()
+			combRemote = ex2.RecvRemote()
+		} else {
+			combLocal = ex2.RecvAll()
+		}
+	}
+	csb.Release()
+	row := func(src, pos int) []float32 {
+		rb := combLocal
+		if combRemote != nil && !m.localSN[src] {
+			rb = combRemote
+		}
+		return rb.Chunk(src)[pos*d : (pos+1)*d]
+	}
+
+	// Combine. Iterating dst then position gives each token a
+	// per-token accumulation order fixed by its own experts' owners —
+	// independent of batch composition, so decode == prefill bitwise.
+	out := tensor.New(tokens, d)
+	for dst := 0; dst < p; dst++ {
+		for i, ref := range sendOrder[dst] {
+			a := assign[ref.token][ref.k]
+			y := row(dst, i)
+			o := out.Row(ref.token)
+			for j := range o {
+				o[j] += a.Weight * y[j]
+			}
+		}
+	}
+	combLocal.Release()
+	if combRemote != nil {
+		combRemote.Release()
+	}
+
+	active := 0
+	for le := 0; le < m.LocalExperts; le++ {
+		busy := len(ordLocal[le]) > 0
+		if !busy && ordRemote != nil {
+			busy = len(ordRemote[le]) > 0
+		}
+		if busy {
+			active++
+		}
+	}
+	m.inferStats = InferStats{
+		Rows:          rows,
+		ActiveExperts: active,
+		Flops:         expertFlops(rows, m.Cfg.Dim, m.hidden),
+		Charged:       m.SimRate > 0,
+	}
+	return out
+}
+
+// inferExperts applies the local experts to one received leg with the
+// inference forward (no backward state).
+func (m *DistMoE) inferExperts(rb *mpi.RecvBuf, ord [][]rowRef, d int) []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, m.LocalExperts)
+	for le, refs := range ord {
+		if len(refs) == 0 {
+			continue
+		}
+		in := tensor.New(len(refs), d)
+		for i, ref := range refs {
+			copy(in.Row(i), rb.Chunk(ref.src)[ref.pos*d:(ref.pos+1)*d])
+		}
+		outs[le] = inferExpert(m.Experts[le], in)
+	}
+	return outs
+}
+
+// LastInferStats returns the expert-work stats of the last Infer call.
+func (m *DistMoE) LastInferStats() InferStats { return m.inferStats }
+
+// NumLocalExperts returns the size of this rank's expert shard.
+func (m *DistMoE) NumLocalExperts() int { return m.LocalExperts }

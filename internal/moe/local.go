@@ -28,6 +28,8 @@ type LocalMoE struct {
 	slotBuf []slot
 	dwBuf   []float32
 	dwPtrs  [][]float32
+
+	inferStats InferStats // last Infer call; see infer.go
 }
 
 // slot records where a token's copy landed inside an expert batch.

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"bagualu/internal/tensor"
+)
+
+// Request is one generation job: a prompt that arrives on the virtual
+// clock and wants MaxNew tokens decoded.
+type Request struct {
+	ID      int
+	Arrival float64 // virtual-clock seconds
+	Prompt  []int
+	MaxNew  int
+}
+
+// Tokens returns the request's total KV footprint: every prompt and
+// output token holds one cache row until the request completes.
+func (r Request) Tokens() int { return len(r.Prompt) + r.MaxNew }
+
+// WorkloadConfig describes a synthetic open-loop request stream:
+// Poisson arrivals at RatePerSec, prompt and output lengths uniform
+// on the configured ranges. The same seed reproduces the same stream
+// exactly — the serving benchmark's determinism starts here.
+type WorkloadConfig struct {
+	Seed       uint64
+	Requests   int
+	RatePerSec float64
+	Vocab      int
+	PromptMin  int
+	PromptMax  int
+	NewMin     int
+	NewMax     int
+}
+
+// Generate draws the request stream. Arrivals are a Poisson process:
+// exponential interarrival gaps -ln(1-u)/rate.
+func (w WorkloadConfig) Generate() []Request {
+	if w.Requests <= 0 || w.RatePerSec <= 0 || w.Vocab <= 0 {
+		panic(fmt.Sprintf("serve: bad workload %+v", w))
+	}
+	if w.PromptMin <= 0 || w.PromptMax < w.PromptMin || w.NewMin <= 0 || w.NewMax < w.NewMin {
+		panic(fmt.Sprintf("serve: bad workload lengths %+v", w))
+	}
+	r := tensor.NewRNG(w.Seed)
+	reqs := make([]Request, 0, w.Requests)
+	clock := 0.0
+	for i := 0; i < w.Requests; i++ {
+		clock += -math.Log(1-r.Float64()) / w.RatePerSec
+		plen := w.PromptMin + r.Intn(w.PromptMax-w.PromptMin+1)
+		n := w.NewMin + r.Intn(w.NewMax-w.NewMin+1)
+		prompt := make([]int, plen)
+		for j := range prompt {
+			prompt[j] = r.Intn(w.Vocab)
+		}
+		reqs = append(reqs, Request{ID: i, Arrival: clock, Prompt: prompt, MaxNew: n})
+	}
+	return reqs
+}
+
+// Partition deals a request stream round-robin across ranks; each
+// serving rank runs its own share of the open-loop stream while the
+// expert dispatch underneath stays collective.
+func Partition(reqs []Request, rank, size int) []Request {
+	var out []Request
+	for i := rank; i < len(reqs); i += size {
+		out = append(out, reqs[i])
+	}
+	return out
+}

@@ -145,6 +145,15 @@ func (t *Trainer) CheckpointParams() []*nn.Param {
 	return out
 }
 
+// WeightParams returns only the model weights — the serving export.
+// Unlike CheckpointParams it carries no optimizer moments and no FP32
+// masters: an inference process restores by tensor name and needs
+// nothing else, so a weights-only checkpoint is roughly a third the
+// bytes of a resume checkpoint under Adam.
+func (t *Trainer) WeightParams() []*nn.Param {
+	return append([]*nn.Param(nil), t.params...)
+}
+
 // checkpointHeader snapshots the trainer's scalar state.
 func (t *Trainer) checkpointHeader() Header {
 	scale, good, skipped := t.MP.ScaleState()

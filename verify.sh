@@ -26,3 +26,9 @@ go test -race -run 'TestRetransmitTierBitExactLoss|TestStragglerMitigationImprov
 # identically under the scripted injector.
 go test -count=2 -run 'TestFaultScheduleDeterministic|TestArmedWireFaultsFire' ./internal/fault/
 go test -count=2 -run 'TestEscalationDeterministicReplay' ./internal/parallel/
+# Serving gates: the inference engine (KV decode, continuous batching,
+# admission) must survive the race detector, and the R13 seeded-replay
+# property must hold — a full 4-rank fp16 overlapped serving run
+# reproduces every counter and latency quantile exactly, run after run.
+go test -race ./internal/serve/...
+go test -count=2 -run 'TestServeDeterministicReplay' ./internal/serve/
