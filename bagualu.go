@@ -79,6 +79,8 @@ type (
 	GPT = nn.GPT
 	// GateConfig shapes MoE routing.
 	GateConfig = moe.GateConfig
+	// RouteMode selects the gate's routing discipline.
+	RouteMode = moe.RouteMode
 	// LocalMoE is the single-rank MoE layer.
 	LocalMoE = moe.LocalMoE
 	// DistMoE is the distributed expert-parallel MoE layer.
@@ -199,6 +201,13 @@ const (
 	A2APairwise     = moe.Pairwise
 	A2AHierarchical = moe.Hierarchical
 	A2ABruck        = moe.Bruck
+)
+
+// Routing disciplines for GateConfig.Mode / ModelConfig.RouteMode.
+const (
+	RouteTokenChoice  = moe.TokenChoice
+	RouteCapacityDrop = moe.CapacityDrop
+	RouteExpertChoice = moe.ExpertChoice
 )
 
 // Wire-format layer for the MoE dispatch/combine exchange.

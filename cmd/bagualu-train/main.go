@@ -38,7 +38,8 @@ func main() {
 		seq       = flag.Int("seq", 32, "sequence length")
 		experts   = flag.Int("experts", 8, "experts per MoE layer")
 		topk      = flag.Int("topk", 2, "experts per token")
-		capf      = flag.Float64("capacity", 1.5, "capacity factor")
+		capf      = flag.Float64("capacity", 1.5, "capacity factor (capacity-drop mode only)")
+		route     = flag.String("route", "token-choice", "routing mode: token-choice|capacity-drop|expert-choice")
 		auxw      = flag.Float64("aux", 0.01, "load-balance loss weight")
 		precision = flag.String("precision", "fp32", "fp32|fp16|mixed")
 		lr        = flag.Float64("lr", 3e-3, "peak learning rate")
@@ -57,6 +58,12 @@ func main() {
 		"fp32": sunway.FP32, "fp16": sunway.FP16, "mixed": sunway.Mixed, "bf16": sunway.BF16,
 	}[*precision]
 
+	mode, err := moe.ParseRouteMode(*route)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	strat := parallel.Strategy{DataParallel: *dp, ExpertParallel: *ep}
 	mc := parallel.ModelConfig{
 		GPT: nn.GPTConfig{
@@ -66,6 +73,7 @@ func main() {
 		NumExperts:     *experts,
 		TopK:           *topk,
 		CapacityFactor: float32(*capf),
+		RouteMode:      mode,
 		AuxLossWeight:  float32(*auxw),
 		MoEHidden:      4 * *dim,
 		MoEEvery:       1,

@@ -108,11 +108,19 @@ type DistMoE struct {
 	localGlobal []int // local slot -> global expert id
 	slotOf      []int // global expert id -> local slot at its owner
 
+	// group runs the whole local expert shard as one batched GEMM
+	// call per phase (see nn.ExpertGroup); rebuilt lazily and dropped
+	// whenever migration changes the shard.
+	group *nn.ExpertGroup
+
 	// Shadowed (locally replicated) hot experts; see shadow.go.
-	shadows    map[int]*nn.FeedForward
-	shadowList []int
-	shadowRefs map[int][]sendRef // shadowed expert -> local (token, k) list
-	shadowOuts map[int]*tensor.Tensor
+	shadows     map[int]*nn.FeedForward
+	shadowList  []int
+	shadowGroup *nn.ExpertGroup   // grouped view over the replicas, shadowList order
+	shadowRefs  map[int][]sendRef // shadowed expert -> local (token, k) list
+	shadowOuts  map[int]*tensor.Tensor
+	shadowSt    *nn.GroupState
+	shadowOff   []int
 
 	// Time accumulates the per-phase wall-clock breakdown.
 	Time Timing
@@ -127,8 +135,8 @@ type DistMoE struct {
 	recvCount []int       // rows received from each src rank
 	ordLocal  [][]rowRef  // per local expert: rows of the local phase
 	ordRemote [][]rowRef  // per local expert: rows of the remote phase
-	stLocal   []*nn.FFNState
-	stRemote  []*nn.FFNState
+	stLocal   *nn.GroupState
+	stRemote  *nn.GroupState
 	// Combine results (y rows per source), kept until Backward needs
 	// them for combine-weight gradients. combRemote is nil outside
 	// overlap mode.
@@ -327,9 +335,13 @@ func (m *DistMoE) exchangeBlocking(sb *mpi.SendBuf) *mpi.RecvBuf {
 
 // groupRows assigns each row of a received leg to its target local
 // expert using the expert-slot metadata that rode in the messages.
-func (m *DistMoE) groupRows(rb *mpi.RecvBuf) [][]rowRef {
+// Counts are exact under dropless routing, so each source's
+// variable-length framing is asserted (payload a whole number of
+// d-wide rows, one slot id per row) before rows are attributed.
+func (m *DistMoE) groupRows(rb *mpi.RecvBuf, d int) [][]rowRef {
 	ord := make([][]rowRef, m.LocalExperts)
 	for _, src := range rb.Srcs() {
+		rb.Rows(src, d)
 		for pos, le := range rb.Meta(src) {
 			if le < 0 || le >= m.LocalExperts {
 				panic(fmt.Sprintf("moe: received slot %d out of range (local experts %d)", le, m.LocalExperts))
@@ -362,26 +374,39 @@ func (m *DistMoE) chargeCompute(rows int, backward bool) {
 	m.comm.Compute(f / m.SimRate)
 }
 
-// runExperts applies the local experts to one phase's received rows,
-// returning per-expert outputs and backward states (nil entries for
-// idle experts).
-func (m *DistMoE) runExperts(rb *mpi.RecvBuf, ord [][]rowRef, d int) ([]*tensor.Tensor, []*nn.FFNState) {
+// runExperts applies the local experts to one phase's received rows
+// through one grouped FFN call: every expert's rows are packed into a
+// flat [rows, d] matrix (expert-major, dispatch order within each
+// expert) and the GEMM kernel dispatch sees the phase's total FLOPs.
+// Returns per-expert output views (nil for idle experts) and the
+// grouped backward state (nil when the phase received nothing).
+func (m *DistMoE) runExperts(rb *mpi.RecvBuf, ord [][]rowRef, d int) ([]*tensor.Tensor, *nn.GroupState) {
 	outs := make([]*tensor.Tensor, m.LocalExperts)
-	states := make([]*nn.FFNState, m.LocalExperts)
-	tensor.ParallelRows(m.LocalExperts, func(lo, hi int) {
-		for le := lo; le < hi; le++ {
-			refs := ord[le]
-			if len(refs) == 0 {
-				continue
-			}
-			in := tensor.New(len(refs), d)
-			for i, ref := range refs {
-				copy(in.Row(i), rb.Chunk(ref.src)[ref.pos*d:(ref.pos+1)*d])
-			}
-			outs[le], states[le] = m.Experts[le].ForwardState(in)
+	total := phaseRows(ord)
+	if total == 0 || m.LocalExperts == 0 {
+		return outs, nil
+	}
+	off := make([]int, m.LocalExperts+1)
+	in := tensor.New(total, d)
+	row := 0
+	for le, refs := range ord {
+		off[le] = row
+		for _, ref := range refs {
+			copy(in.Row(row), rb.Chunk(ref.src)[ref.pos*d:(ref.pos+1)*d])
+			row++
 		}
-	})
-	return outs, states
+	}
+	off[m.LocalExperts] = row
+	if m.group == nil {
+		m.group = nn.NewExpertGroup(m.Experts)
+	}
+	y, st := m.group.Forward(in, off)
+	for le := range outs {
+		if off[le+1] > off[le] {
+			outs[le] = y.RowsView(off[le], off[le+1])
+		}
+	}
+	return outs, st
 }
 
 // releaseCombine frees the previous step's combine buffers (normally
@@ -484,25 +509,43 @@ func (m *DistMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 	// Phase 1: experts on self + intra-supernode tokens (all tokens
 	// when blocking).
-	m.ordLocal = m.groupRows(dispLocal)
+	m.ordLocal = m.groupRows(dispLocal, d)
 	t0 = time.Now()
 	outLocal, stLocal := m.runExperts(dispLocal, m.ordLocal, d)
 	m.stLocal = stLocal
 	m.chargeCompute(phaseRows(m.ordLocal), false)
 
 	// Shadowed experts: local replicas on local tokens, also inside
-	// the in-flight window (no all-to-all involvement at all).
+	// the in-flight window (no all-to-all involvement at all). The
+	// replicas run as their own grouped FFN call, in shadowList order.
 	m.shadowOuts = make(map[int]*tensor.Tensor, len(m.shadowList))
-	for _, e := range m.shadowList {
-		refs := m.shadowRefs[e]
-		if len(refs) == 0 {
-			continue
+	m.shadowSt = nil
+	if n := len(m.shadowList); n > 0 {
+		soff := make([]int, n+1)
+		srows := 0
+		for i, e := range m.shadowList {
+			soff[i] = srows
+			srows += len(m.shadowRefs[e])
 		}
-		in := tensor.New(len(refs), d)
-		for i, ref := range refs {
-			copy(in.Row(i), x.Row(ref.token))
+		soff[n] = srows
+		m.shadowOff = soff
+		if srows > 0 {
+			in := tensor.New(srows, d)
+			row := 0
+			for _, e := range m.shadowList {
+				for _, ref := range m.shadowRefs[e] {
+					copy(in.Row(row), x.Row(ref.token))
+					row++
+				}
+			}
+			y, st := m.shadowGroup.Forward(in, soff)
+			m.shadowSt = st
+			for i, e := range m.shadowList {
+				if soff[i+1] > soff[i] {
+					m.shadowOuts[e] = y.RowsView(soff[i], soff[i+1])
+				}
+			}
 		}
-		m.shadowOuts[e] = m.shadows[e].Forward(in)
 	}
 	m.Time.Expert += time.Since(t0).Seconds()
 
@@ -514,7 +557,7 @@ func (m *DistMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
 		dt := time.Since(t0).Seconds()
 		m.Time.DispatchRemote += dt
 		m.Time.Dispatch += dt
-		m.ordRemote = m.groupRows(dispRemote)
+		m.ordRemote = m.groupRows(dispRemote, d)
 		t0 = time.Now()
 		outRemote, m.stRemote = m.runExperts(dispRemote, m.ordRemote, d)
 		m.chargeCompute(phaseRows(m.ordRemote), false)
@@ -640,27 +683,26 @@ func (m *DistMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// Shadow assignments: combine-weight grads from the cached local
-	// outputs.
-	shadowDy := make(map[int]*tensor.Tensor, len(m.shadowList))
-	for _, e := range m.shadowList {
-		refs := m.shadowRefs[e]
-		if len(refs) == 0 {
-			continue
-		}
-		dy := tensor.New(len(refs), d)
-		for i, ref := range refs {
-			s := m.perTok[ref.token][ref.k]
-			y := m.shadowOuts[e].Row(i)
-			g := dout.Row(ref.token)
-			var dw float64
-			dyRow := dy.Row(i)
-			for j := range g {
-				dw += float64(g[j]) * float64(y[j])
-				dyRow[j] = s.weight * g[j]
+	// outputs, staged into one flat dy for the grouped replica
+	// backward (same row order as the shadow forward).
+	var shadowDy *tensor.Tensor
+	if m.shadowSt != nil {
+		shadowDy = tensor.New(m.shadowSt.Rows(), d)
+		for i, e := range m.shadowList {
+			base := m.shadowOff[i]
+			for j, ref := range m.shadowRefs[e] {
+				s := m.perTok[ref.token][ref.k]
+				y := m.shadowOuts[e].Row(j)
+				g := dout.Row(ref.token)
+				var dw float64
+				dyRow := shadowDy.Row(base + j)
+				for c := range g {
+					dw += float64(g[c]) * float64(y[c])
+					dyRow[c] = s.weight * g[c]
+				}
+				dWeights[ref.token][ref.k] = float32(dw)
 			}
-			dWeights[ref.token][ref.k] = float32(dw)
 		}
-		shadowDy[e] = dy
 	}
 
 	// Reverse dispatch of output gradients (the combine's backward).
@@ -691,23 +733,29 @@ func (m *DistMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		rcounts[s] = m.recvCount[s] * d
 	}
 	rsb := mpi.NewSendBuf(rcounts)
-	backPhase := func(rb *mpi.RecvBuf, ord [][]rowRef, st []*nn.FFNState) {
-		tensor.ParallelRows(m.LocalExperts, func(lo, hi int) {
-			for le := lo; le < hi; le++ {
-				refs := ord[le]
-				if len(refs) == 0 {
-					continue
-				}
-				dy := tensor.New(len(refs), d)
-				for i, ref := range refs {
-					copy(dy.Row(i), rb.Chunk(ref.src)[ref.pos*d:(ref.pos+1)*d])
-				}
-				dx := m.Experts[le].BackwardState(dy, st[le])
-				for i, ref := range refs {
-					copy(rsb.Chunk(ref.src)[ref.pos*d:(ref.pos+1)*d], dx.Row(i))
-				}
+	backPhase := func(rb *mpi.RecvBuf, ord [][]rowRef, st *nn.GroupState) {
+		if st == nil {
+			return
+		}
+		// Flat dy in the forward pack order (expert-major), one
+		// grouped backward call, then input grads scatter back to
+		// their dispatch positions.
+		dy := tensor.New(st.Rows(), d)
+		row := 0
+		for _, refs := range ord {
+			for _, ref := range refs {
+				copy(dy.Row(row), rb.Chunk(ref.src)[ref.pos*d:(ref.pos+1)*d])
+				row++
 			}
-		})
+		}
+		dx := m.group.Backward(dy, st)
+		row = 0
+		for _, refs := range ord {
+			for _, ref := range refs {
+				copy(rsb.Chunk(ref.src)[ref.pos*d:(ref.pos+1)*d], dx.Row(row))
+				row++
+			}
+		}
 	}
 	t0 = time.Now()
 	backPhase(dyLocal, m.ordLocal, m.stLocal)
@@ -748,19 +796,18 @@ func (m *DistMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	}
 	ret.Release()
 
-	// Shadow replicas: local backward, then gradients reduced to the
-	// expert's owner.
-	for _, e := range m.shadowList {
-		dy := shadowDy[e]
-		if dy == nil {
-			continue
-		}
-		dxe := m.shadows[e].Backward(dy)
-		for i, ref := range m.shadowRefs[e] {
-			row := dx.Row(ref.token)
-			src := dxe.Row(i)
-			for j := range row {
-				row[j] += src[j]
+	// Shadow replicas: grouped local backward, then gradients reduced
+	// to the expert's owner.
+	if shadowDy != nil {
+		dxe := m.shadowGroup.Backward(shadowDy, m.shadowSt)
+		for i, e := range m.shadowList {
+			base := m.shadowOff[i]
+			for j, ref := range m.shadowRefs[e] {
+				row := dx.Row(ref.token)
+				src := dxe.Row(base + j)
+				for c := range row {
+					row[c] += src[c]
+				}
 			}
 		}
 	}

@@ -1,0 +1,239 @@
+package moe
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/tensor"
+)
+
+// Dropless routing tests: the TokenChoice default must conserve every
+// token assignment regardless of how skewed the batch is, the
+// expert-choice ablation must produce perfectly balanced
+// variable-length assignments, and the unified routing core must make
+// training and inference agree exactly.
+
+// skewedBatch returns T tokens of width d where frac of them are
+// copies of one "hot" row (they all route identically, concentrating
+// load on a few experts).
+func skewedBatch(seed uint64, tokens, d int, frac float64) *tensor.Tensor {
+	r := tensor.NewRNG(seed)
+	x := tensor.Randn(r, 1, tokens, d)
+	hot := x.Row(0)
+	nHot := int(frac * float64(tokens))
+	for t := 1; t <= nHot && t < tokens; t++ {
+		copy(x.Row(t), hot)
+	}
+	return x
+}
+
+func TestDroplessConservation(t *testing.T) {
+	const tokens, d, experts, topk = 32, 8, 8, 2
+	for _, seed := range []uint64{1, 2, 3} {
+		for _, frac := range []float64{0, 0.5, 0.9} {
+			t.Run(fmt.Sprintf("seed=%d/skew=%.1f", seed, frac), func(t *testing.T) {
+				cfg := GateConfig{Dim: d, NumExperts: experts, TopK: topk, NoiseStd: 0.5}
+				g := NewGate("gate", tensor.NewRNG(seed), cfg)
+				r := g.Forward(skewedBatch(seed+10, tokens, d, frac))
+
+				if r.Overflow != 0 {
+					t.Fatalf("dropless overflow %d, want 0", r.Overflow)
+				}
+				total, recount := 0, make([]int, experts)
+				for tok, as := range r.Assign {
+					if len(as) != topk {
+						t.Fatalf("token %d has %d assignments, want %d", tok, len(as), topk)
+					}
+					var wsum float32
+					seen := map[int]bool{}
+					for _, a := range as {
+						if a.Dropped {
+							t.Fatalf("token %d: dropless assignment marked Dropped", tok)
+						}
+						if seen[a.Expert] {
+							t.Fatalf("token %d routed twice to expert %d", tok, a.Expert)
+						}
+						seen[a.Expert] = true
+						recount[a.Expert]++
+						wsum += a.Weight
+						total++
+					}
+					if math.Abs(float64(wsum)-1) > 1e-5 {
+						t.Fatalf("token %d combine weights sum %v, want 1", tok, wsum)
+					}
+				}
+				if total != tokens*topk {
+					t.Fatalf("conserved %d assignments, want %d", total, tokens*topk)
+				}
+				for e, c := range recount {
+					if c != r.Counts[e] {
+						t.Fatalf("expert %d: Counts=%d but %d assignments", e, r.Counts[e], c)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestExpertChoiceInvariants(t *testing.T) {
+	const tokens, d, experts, topk = 16, 8, 4, 2
+	cfg := GateConfig{
+		Dim: d, NumExperts: experts, TopK: topk,
+		CapacityFactor: 1, Mode: ExpertChoice, AuxLossWeight: 0.01,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	C := cfg.Capacity(tokens) // ceil(1 * 16 * 2 / 4) = 8
+	g := NewGate("gate", tensor.NewRNG(4), cfg)
+	r := g.Forward(skewedBatch(5, tokens, d, 0.5))
+
+	if r.Overflow != 0 {
+		t.Fatalf("expert-choice overflow %d, want 0", r.Overflow)
+	}
+	// Perfect balance by construction: every expert takes exactly C.
+	for e, c := range r.Counts {
+		if c != C {
+			t.Fatalf("expert %d count %d, want C=%d", e, c, C)
+		}
+	}
+	total := 0
+	for tok, as := range r.Assign {
+		for i, a := range as {
+			if i > 0 && as[i-1].Expert >= a.Expert {
+				t.Fatalf("token %d assignments not expert-ascending: %v", tok, as)
+			}
+			if a.Weight <= 0 || a.Weight > 1 {
+				t.Fatalf("token %d weight %v outside (0,1]", tok, a.Weight)
+			}
+			total++
+		}
+	}
+	if total != experts*C {
+		t.Fatalf("total assignments %d, want E*C=%d", total, experts*C)
+	}
+	// Balance is structural, so the GShard balance loss is skipped.
+	if r.AuxLoss != 0 {
+		t.Fatalf("expert-choice aux loss %v, want 0 (skipped)", r.AuxLoss)
+	}
+}
+
+// TestInferRouteMatchesForward: the unified routing core means a
+// noise-free training gate and the inference gate must agree exactly
+// — same experts, bitwise the same combine weights.
+func TestInferRouteMatchesForward(t *testing.T) {
+	const tokens, d, experts, topk = 8, 8, 8, 2
+	cfg := GateConfig{Dim: d, NumExperts: experts, TopK: topk}
+	g := NewGate("gate", tensor.NewRNG(6), cfg)
+	x := skewedBatch(7, tokens, d, 0.5)
+
+	train := g.Forward(x).Assign
+	infer := g.InferRoute(x)
+	for tok := range train {
+		if len(train[tok]) != len(infer[tok]) {
+			t.Fatalf("token %d: %d train vs %d infer assignments", tok, len(train[tok]), len(infer[tok]))
+		}
+		for i := range train[tok] {
+			tr, in := train[tok][i], infer[tok][i]
+			if tr.Expert != in.Expert || tr.Weight != in.Weight {
+				t.Fatalf("token %d slot %d: train (%d,%v) vs infer (%d,%v)",
+					tok, i, tr.Expert, tr.Weight, in.Expert, in.Weight)
+			}
+		}
+	}
+}
+
+// TestLocalMoEGradNumericExpertChoice mirrors TestLocalMoEGradNumeric
+// for the expert-choice mode: the straight-through combine-weight
+// gradient must match numeric differentiation (routing selections are
+// discrete and stay fixed under the small perturbation).
+func TestLocalMoEGradNumericExpertChoice(t *testing.T) {
+	r := tensor.NewRNG(8)
+	cfg := GateConfig{Dim: 4, NumExperts: 3, TopK: 2, CapacityFactor: 1, Mode: ExpertChoice}
+	m := NewLocalMoE("moe", r, cfg, 8)
+	x := tensor.Randn(r, 1, 6, 4)
+	w := tensor.Randn(r, 1, 6, 4)
+
+	loss := func() float64 {
+		return float64(tensor.Dot(m.Forward(x), w))
+	}
+	params := m.Params()
+	nn.ZeroGrads(params)
+	loss()
+	dx := m.Backward(w.Clone())
+
+	const h = 1e-4
+	check := func(label string, data, grad []float32) {
+		for i := range data {
+			orig := data[i]
+			data[i] = orig + h
+			fp := loss()
+			data[i] = orig - h
+			fm := loss()
+			data[i] = orig
+			num := (fp - fm) / (2 * h)
+			if math.Abs(num-float64(grad[i])) > 0.05*math.Max(1, math.Abs(num)) {
+				t.Fatalf("%s grad[%d] = %v, numeric %v", label, i, grad[i], num)
+			}
+		}
+	}
+	check("input", x.Data, dx.Data)
+	for _, p := range params {
+		check(p.Name, p.W.Data, p.G.Data)
+	}
+}
+
+// runDistSkewed drives the distributed layer on a heavily skewed
+// batch (90% of each rank's tokens are one hot row) in dropless
+// TokenChoice mode, returning per-rank outputs, input grads, and
+// parameter grads.
+func runDistSkewed(t *testing.T, algo A2AAlgo, cc CommConfig, seed uint64) (outs, dxs []*tensor.Tensor, grads []map[string]*tensor.Tensor) {
+	t.Helper()
+	const P, tokens, d = 4, 16, 8
+	outs = make([]*tensor.Tensor, P)
+	dxs = make([]*tensor.Tensor, P)
+	grads = make([]map[string]*tensor.Tensor, P)
+	w := mpi.NewWorld(P, distTestTopo())
+	w.Run(func(c *mpi.Comm) {
+		r := tensor.NewRNG(seed)
+		cfg := gateCfg(d, 8, 2) // Mode zero value: dropless TokenChoice
+		m := NewDistMoEComm("moe", r, cfg, 16, c, algo, cc)
+		x := skewedBatch(seed+uint64(c.Rank()), tokens, d, 0.9)
+		outs[c.Rank()] = m.Forward(x)
+		dxs[c.Rank()] = m.Backward(tensor.Ones(tokens, d))
+		g := map[string]*tensor.Tensor{}
+		for _, p := range m.Params() {
+			g[p.Name] = p.G.Clone()
+		}
+		grads[c.Rank()] = g
+	})
+	return outs, dxs, grads
+}
+
+// TestDroplessDistMoEOverlapMatchesBlocking: with a skewed dropless
+// batch funneling most rows to one expert owner, the two-phase
+// overlapped exchange must still be a pure scheduling change.
+func TestDroplessDistMoEOverlapMatchesBlocking(t *testing.T) {
+	for _, algo := range []A2AAlgo{Direct, Hierarchical} {
+		t.Run(algo.String(), func(t *testing.T) {
+			bOut, bDx, bG := runDistSkewed(t, algo, CommConfig{Codec: mpi.FP32Wire, Overlap: false}, 31)
+			oOut, oDx, oG := runDistSkewed(t, algo, CommConfig{Codec: mpi.FP32Wire, Overlap: true}, 31)
+			for rank := range bOut {
+				if !oOut[rank].AllClose(bOut[rank], 1e-5) {
+					t.Fatalf("rank %d: overlap forward differs from blocking", rank)
+				}
+				if !oDx[rank].AllClose(bDx[rank], 1e-5) {
+					t.Fatalf("rank %d: overlap input grad differs from blocking", rank)
+				}
+				for name, want := range bG[rank] {
+					if !oG[rank][name].AllClose(want, 1e-4) {
+						t.Fatalf("rank %d: overlap grad %s differs from blocking", rank, name)
+					}
+				}
+			}
+		})
+	}
+}

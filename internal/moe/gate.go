@@ -14,10 +14,58 @@ package moe
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"bagualu/internal/nn"
 	"bagualu/internal/tensor"
 )
+
+// RouteMode selects the routing discipline of the gate.
+type RouteMode int
+
+const (
+	// TokenChoice is dropless top-k routing: every token keeps all
+	// TopK assignments with full normalized weight — no capacity, no
+	// drops, exact per-expert counts carried through the dispatch.
+	// The zero value, and the training default.
+	TokenChoice RouteMode = iota
+	// CapacityDrop is the legacy GShard-style mode: per-expert
+	// capacity ceil(cf·T·k/E), tokens beyond it dropped in token
+	// order. Kept as an opt-in ablation baseline.
+	CapacityDrop
+	// ExpertChoice inverts the selection: each expert picks its top-C
+	// tokens (C = Capacity(T)) by gate probability, with the raw
+	// probability as combine weight. Perfect load balance by
+	// construction; a token may land on 0..NumExperts experts.
+	ExpertChoice
+)
+
+// String names the mode for flags and benchmark labels.
+func (m RouteMode) String() string {
+	switch m {
+	case TokenChoice:
+		return "token-choice"
+	case CapacityDrop:
+		return "capacity-drop"
+	case ExpertChoice:
+		return "expert-choice"
+	default:
+		return fmt.Sprintf("RouteMode(%d)", int(m))
+	}
+}
+
+// ParseRouteMode parses a RouteMode flag value.
+func ParseRouteMode(s string) (RouteMode, error) {
+	switch s {
+	case "token-choice", "dropless", "":
+		return TokenChoice, nil
+	case "capacity-drop", "capacity":
+		return CapacityDrop, nil
+	case "expert-choice":
+		return ExpertChoice, nil
+	}
+	return 0, fmt.Errorf("moe: unknown route mode %q", s)
+}
 
 // GateConfig parameterizes the router.
 type GateConfig struct {
@@ -25,10 +73,15 @@ type GateConfig struct {
 	NumExperts int // total experts (across all ranks)
 	TopK       int // experts per token (1 or 2 in the paper's configs)
 
+	// Mode selects the routing discipline. The zero value is
+	// TokenChoice: dropless routing with exact counts.
+	Mode RouteMode
+
 	// CapacityFactor scales per-expert capacity:
 	// capacity = ceil(CapacityFactor * tokens * TopK / NumExperts).
-	// Tokens routed beyond capacity are dropped (their expert
-	// contribution is zero; the residual connection carries them).
+	// Used by CapacityDrop (tokens routed beyond capacity are dropped;
+	// the residual connection carries them) and ExpertChoice (C tokens
+	// per expert). Ignored — and may be zero — under TokenChoice.
 	CapacityFactor float32
 
 	// NoiseStd adds N(0, NoiseStd²) exploration noise to gate logits
@@ -61,8 +114,10 @@ func (c GateConfig) Validate() error {
 		return fmt.Errorf("moe: non-positive gate dims %+v", c)
 	case c.TopK < 1 || c.TopK > c.NumExperts:
 		return fmt.Errorf("moe: TopK %d out of range for %d experts", c.TopK, c.NumExperts)
-	case c.CapacityFactor <= 0:
-		return fmt.Errorf("moe: capacity factor %v must be positive", c.CapacityFactor)
+	case c.Mode != TokenChoice && c.CapacityFactor <= 0:
+		return fmt.Errorf("moe: capacity factor %v must be positive in %s mode", c.CapacityFactor, c.Mode)
+	case c.Mode == ExpertChoice && c.RandomRouting:
+		return fmt.Errorf("moe: ExpertChoice and RandomRouting are mutually exclusive")
 	}
 	return nil
 }
@@ -70,17 +125,20 @@ func (c GateConfig) Validate() error {
 // Assignment is one token-to-expert routing decision.
 type Assignment struct {
 	Expert  int     // expert index in [0, NumExperts)
-	Weight  float32 // normalized combine weight ŵ
-	Dropped bool    // true when the expert was over capacity
+	Weight  float32 // combine weight ŵ
+	Dropped bool    // CapacityDrop only: the expert was over capacity
 }
 
 // Routing is the gate's output for a batch of tokens.
 type Routing struct {
-	// Assign[t] lists the TopK assignments of token t, in
-	// decreasing-probability order.
+	// Assign[t] lists the assignments of token t: exactly TopK
+	// entries in decreasing-probability order under
+	// TokenChoice/CapacityDrop, 0..NumExperts entries in
+	// expert-ascending order under ExpertChoice.
 	Assign [][]Assignment
-	// Counts[e] is the number of tokens assigned to expert e after
-	// capacity enforcement; Overflow counts dropped assignments.
+	// Counts[e] is the number of tokens routed to expert e (exact in
+	// the dropless modes; post-capacity under CapacityDrop). Overflow
+	// counts dropped assignments and is zero outside CapacityDrop.
 	Counts   []int
 	Overflow int
 	// AuxLoss is the weighted load-balance loss value for this batch.
@@ -182,6 +240,13 @@ func (g *Gate) Forward(x *tensor.Tensor) *Routing {
 		g.zloss = cfg.ZLossWeight * float32(zsum/float64(tokens))
 	}
 
+	if cfg.Mode == ExpertChoice {
+		r := g.forwardExpertChoice(tokens)
+		r.AuxLoss += g.zloss
+		g.routing = r
+		return r
+	}
+
 	r := &Routing{
 		Assign: make([][]Assignment, tokens),
 		Counts: make([]int, cfg.NumExperts),
@@ -192,32 +257,20 @@ func (g *Gate) Forward(x *tensor.Tensor) *Routing {
 		g.top1Cnt = g.top1Cnt[:cfg.NumExperts]
 		clear(g.top1Cnt)
 	}
-	capacity := cfg.Capacity(tokens)
+	// capacity <= 0 disables dropping: the dropless default.
+	capacity := 0
+	if cfg.Mode == CapacityDrop {
+		capacity = cfg.Capacity(tokens)
+	}
 
 	// One flat assignment buffer, subsliced per token (a Routing owns
 	// its assignments — callers may hold it across Forward calls — so
 	// the buffer is per-call, but it is one allocation, not tokens).
 	asBuf := make([]Assignment, tokens*cfg.TopK)
 	for t := 0; t < tokens; t++ {
-		row := g.probs.Row(t)
-		g.idxBuf = topKIndices(row, cfg.TopK, g.idxBuf[:0])
-		idx := g.idxBuf
-		g.top1Cnt[idx[0]]++
-		var sum float32
-		for _, e := range idx {
-			sum += row[e]
-		}
 		as := asBuf[t*cfg.TopK : (t+1)*cfg.TopK]
-		for i, e := range idx {
-			a := Assignment{Expert: e, Weight: row[e] / sum}
-			if r.Counts[e] >= capacity {
-				a.Dropped = true
-				r.Overflow++
-			} else {
-				r.Counts[e]++
-			}
-			as[i] = a
-		}
+		r.Overflow += g.routeRow(g.probs.Row(t), as, r.Counts, capacity)
+		g.top1Cnt[as[0].Expert]++
 		r.Assign[t] = as
 	}
 
@@ -240,15 +293,108 @@ func (g *Gate) Forward(x *tensor.Tensor) *Routing {
 	return r
 }
 
+// routeRow is the routing core shared by the training gate and
+// InferRoute: top-k selection over one token's probability row,
+// normalized combine weights, and optional capacity enforcement.
+// capacity <= 0 means dropless — every assignment kept with full
+// weight. counts (when non-nil) receives the exact per-expert counts;
+// the return value is the number of dropped assignments.
+func (g *Gate) routeRow(row []float32, as []Assignment, counts []int, capacity int) int {
+	g.idxBuf = topKIndices(row, g.Cfg.TopK, g.idxBuf[:0])
+	var sum float32
+	for _, e := range g.idxBuf {
+		sum += row[e]
+	}
+	dropped := 0
+	for i, e := range g.idxBuf {
+		a := Assignment{Expert: e, Weight: row[e] / sum}
+		if capacity > 0 && counts[e] >= capacity {
+			a.Dropped = true
+			dropped++
+		} else if counts != nil {
+			counts[e]++
+		}
+		as[i] = a
+	}
+	return dropped
+}
+
+// forwardExpertChoice implements expert-choice routing over the cached
+// g.probs: each expert independently selects its top-C tokens
+// (C = Capacity(tokens), clamped to the batch) by gate probability,
+// ties broken toward the lower token index, and contributes with the
+// raw probability p_{t,e} as combine weight (no normalization — the
+// straight expert-choice formulation). Load is perfectly balanced by
+// construction, so the GShard auxiliary loss is skipped; per-token
+// assignment lists are variable-length, in expert-ascending order so
+// the combine order is deterministic.
+func (g *Gate) forwardExpertChoice(tokens int) *Routing {
+	cfg := g.Cfg
+	C := cfg.Capacity(tokens)
+	if C > tokens {
+		C = tokens
+	}
+	r := &Routing{
+		Assign: make([][]Assignment, tokens),
+		Counts: make([]int, cfg.NumExperts),
+	}
+	// Rank token indices per expert by descending probability.
+	idx := make([]int, tokens)
+	perTok := make([]int, tokens) // assignments landing on each token
+	chosen := make([][]int, cfg.NumExperts)
+	for e := 0; e < cfg.NumExperts; e++ {
+		for t := range idx {
+			idx[t] = t
+		}
+		col := e
+		probs := g.probs
+		sort.Slice(idx, func(a, b int) bool {
+			pa := probs.Data[idx[a]*cfg.NumExperts+col]
+			pb := probs.Data[idx[b]*cfg.NumExperts+col]
+			if pa != pb {
+				return pa > pb
+			}
+			return idx[a] < idx[b]
+		})
+		chosen[e] = append([]int(nil), idx[:C]...)
+		r.Counts[e] = C
+		for _, t := range idx[:C] {
+			perTok[t]++
+		}
+	}
+	// Flat assignment buffer, filled expert-ascending so each token's
+	// list comes out in expert order.
+	total := cfg.NumExperts * C
+	asBuf := make([]Assignment, total)
+	off := 0
+	for t := 0; t < tokens; t++ {
+		r.Assign[t] = asBuf[off : off : off+perTok[t]]
+		off += perTok[t]
+	}
+	for e := 0; e < cfg.NumExperts; e++ {
+		for _, t := range chosen[e] {
+			r.Assign[t] = append(r.Assign[t], Assignment{
+				Expert: e,
+				Weight: g.probs.Data[t*cfg.NumExperts+e],
+			})
+		}
+	}
+	return r
+}
+
 // forwardRandom assigns each token TopK uniformly random distinct
-// experts with equal weights and enforces capacity as usual.
+// experts with equal weights; capacity applies only in CapacityDrop
+// mode (dropless random routing keeps every assignment).
 func (g *Gate) forwardRandom(tokens int) *Routing {
 	cfg := g.Cfg
 	r := &Routing{
 		Assign: make([][]Assignment, tokens),
 		Counts: make([]int, cfg.NumExperts),
 	}
-	capacity := cfg.Capacity(tokens)
+	capacity := 0
+	if cfg.Mode == CapacityDrop {
+		capacity = cfg.Capacity(tokens)
+	}
 	w := 1 / float32(cfg.TopK)
 	for t := 0; t < tokens; t++ {
 		as := make([]Assignment, cfg.TopK)
@@ -260,7 +406,7 @@ func (g *Gate) forwardRandom(tokens int) *Routing {
 			}
 			chosen = append(chosen, e)
 			a := Assignment{Expert: e, Weight: w}
-			if r.Counts[e] >= capacity {
+			if capacity > 0 && r.Counts[e] >= capacity {
 				a.Dropped = true
 				r.Overflow++
 			} else {
@@ -290,28 +436,40 @@ func (g *Gate) Backward(dWeights [][]float32) *tensor.Tensor {
 	}
 	dprobs := tensor.Scratch(tokens, cfg.NumExperts)
 
-	for t := 0; t < tokens; t++ {
-		as := g.routing.Assign[t]
-		row := g.probs.Row(t)
-		dpRow := dprobs.Row(t)
-		// ŵ_i = p_i / s with s = Σ_{j∈K} p_j:
-		// dL/dp_i = (dL/dŵ_i - Σ_j dL/dŵ_j·ŵ_j) / s for i ∈ K.
-		var s float32
-		for _, a := range as {
-			s += row[a.Expert]
+	if cfg.Mode == ExpertChoice {
+		// ŵ = p_{t,e} directly (no normalization), so the weight
+		// gradient passes straight through to the probability.
+		for t := 0; t < tokens; t++ {
+			dpRow := dprobs.Row(t)
+			for i, a := range g.routing.Assign[t] {
+				dpRow[a.Expert] = dWeights[t][i]
+			}
 		}
-		var mix float32
-		for i, a := range as {
-			mix += dWeights[t][i] * a.Weight
-		}
-		for i, a := range as {
-			dpRow[a.Expert] = (dWeights[t][i] - mix) / s
+	} else {
+		for t := 0; t < tokens; t++ {
+			as := g.routing.Assign[t]
+			row := g.probs.Row(t)
+			dpRow := dprobs.Row(t)
+			// ŵ_i = p_i / s with s = Σ_{j∈K} p_j:
+			// dL/dp_i = (dL/dŵ_i - Σ_j dL/dŵ_j·ŵ_j) / s for i ∈ K.
+			var s float32
+			for _, a := range as {
+				s += row[a.Expert]
+			}
+			var mix float32
+			for i, a := range as {
+				mix += dWeights[t][i] * a.Weight
+			}
+			for i, a := range as {
+				dpRow[a.Expert] = (dWeights[t][i] - mix) / s
+			}
 		}
 	}
 
 	// Aux loss: dL_aux/dp_{t,e} = w * E * f_e / T (f treated as
-	// constant, the standard straight-through choice).
-	if cfg.AuxLossWeight > 0 {
+	// constant, the standard straight-through choice). ExpertChoice is
+	// balanced by construction and skips the aux loss entirely.
+	if cfg.AuxLossWeight > 0 && cfg.Mode != ExpertChoice {
 		for e := 0; e < cfg.NumExperts; e++ {
 			f := float32(g.top1Cnt[e]) / float32(tokens)
 			d := cfg.AuxLossWeight * float32(cfg.NumExperts) * f / float32(tokens) * g.gradScale

@@ -45,10 +45,15 @@ func expertFlops(rows, dim, hidden int) float64 {
 	return 4 * float64(rows) * float64(dim) * float64(hidden)
 }
 
-// InferRoute is the inference gate: top-k routing with normalized
-// combine weights and no noise, no capacity dropping, and no
-// auxiliary losses. Assignments are in decreasing-probability order
-// per token, matching the training gate.
+// InferRoute is the inference gate. It runs the same routing core as
+// the training gate (routeRow) in its dropless configuration: top-k
+// with normalized combine weights, no noise, no capacity, no
+// auxiliary losses — training and serving can no longer disagree on
+// what routing means. Assignments are in decreasing-probability order
+// per token. ExpertChoice configs fall back to token-choice here:
+// expert selection depends on which other tokens share the batch,
+// which would break the serving engine's batch-invariance guarantee
+// (decode == prefill bitwise).
 func (g *Gate) InferRoute(x *tensor.Tensor) [][]Assignment {
 	cfg := g.Cfg
 	if cfg.RandomRouting {
@@ -58,18 +63,9 @@ func (g *Gate) InferRoute(x *tensor.Tensor) [][]Assignment {
 	probs := tensor.SoftmaxRows(nn.InferLinear(g.Proj, x))
 	assign := make([][]Assignment, tokens)
 	asBuf := make([]Assignment, tokens*cfg.TopK)
-	var idxBuf []int
 	for t := 0; t < tokens; t++ {
-		row := probs.Row(t)
-		idxBuf = topKIndices(row, cfg.TopK, idxBuf[:0])
-		var sum float32
-		for _, e := range idxBuf {
-			sum += row[e]
-		}
 		as := asBuf[t*cfg.TopK : (t+1)*cfg.TopK]
-		for i, e := range idxBuf {
-			as[i] = Assignment{Expert: e, Weight: row[e] / sum}
-		}
+		g.routeRow(probs.Row(t), as, nil, 0)
 		assign[t] = as
 	}
 	return assign
@@ -197,7 +193,7 @@ func (m *DistMoE) Infer(x *tensor.Tensor) *tensor.Tensor {
 	}
 	sb.Release()
 
-	ordLocal := m.groupRows(dispLocal)
+	ordLocal := m.groupRows(dispLocal, d)
 	outLocal := m.inferExperts(dispLocal, ordLocal, d)
 	rows := phaseRows(ordLocal)
 	m.chargeCompute(rows, false)
@@ -206,7 +202,7 @@ func (m *DistMoE) Infer(x *tensor.Tensor) *tensor.Tensor {
 	var outRemote []*tensor.Tensor
 	if overlap {
 		dispRemote = ex.RecvRemote()
-		ordRemote = m.groupRows(dispRemote)
+		ordRemote = m.groupRows(dispRemote, d)
 		outRemote = m.inferExperts(dispRemote, ordRemote, d)
 		r := phaseRows(ordRemote)
 		m.chargeCompute(r, false)

@@ -16,11 +16,16 @@ type LocalMoE struct {
 	Gate    *Gate
 	Experts []*nn.FeedForward
 
+	// group runs all experts' token blocks as one batched GEMM call;
+	// see nn.ExpertGroup. Built lazily on first Forward.
+	group *nn.ExpertGroup
+
 	// Cached per forward call.
 	routing *Routing
 	x       *tensor.Tensor
-	perTok  [][]slot // mirror of routing with expert-batch positions
-	outputs []*tensor.Tensor
+	perTok  [][]slot         // mirror of routing with expert-batch positions
+	outputs []*tensor.Tensor // views into the grouped output, per expert
+	gst     *nn.GroupState
 	dout    *tensor.Tensor
 
 	// Reused flat backing storage for the per-token slices above;
@@ -28,6 +33,8 @@ type LocalMoE struct {
 	slotBuf []slot
 	dwBuf   []float32
 	dwPtrs  [][]float32
+	gather  [][]int // expert -> token indices, forward order
+	off     []int   // expert block offsets in the flat grouped batch
 
 	inferStats InferStats // last Infer call; see infer.go
 }
@@ -62,7 +69,13 @@ func (m *LocalMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 	// Gather token rows per expert, in token order. The per-token
 	// slot slices subslice one flat reused buffer.
-	gather := make([][]int, m.Cfg.NumExperts) // expert -> token indices
+	if len(m.gather) != m.Cfg.NumExperts {
+		m.gather = make([][]int, m.Cfg.NumExperts)
+	}
+	gather := m.gather
+	for e := range gather {
+		gather[e] = gather[e][:0]
+	}
 	if cap(m.perTok) < tokens {
 		m.perTok = make([][]slot, tokens)
 	} else {
@@ -90,21 +103,43 @@ func (m *LocalMoE) Forward(x *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 
-	// Run each expert on its batch.
-	m.outputs = make([]*tensor.Tensor, m.Cfg.NumExperts)
+	// Flatten every expert's batch into one [rows, d] matrix and run
+	// all experts through a single grouped FFN call — the kernel
+	// dispatch sees the whole group's FLOPs, not one expert at a time.
+	if cap(m.off) < m.Cfg.NumExperts+1 {
+		m.off = make([]int, m.Cfg.NumExperts+1)
+	}
+	offs := m.off[:m.Cfg.NumExperts+1]
+	rows := 0
+	for e, g := range gather {
+		offs[e] = rows
+		rows += len(g)
+	}
+	offs[m.Cfg.NumExperts] = rows
+	in := tensor.Scratch(rows, d)
 	tensor.ParallelRows(m.Cfg.NumExperts, func(lo, hi int) {
 		for e := lo; e < hi; e++ {
-			if len(gather[e]) == 0 {
-				m.outputs[e] = nil
-				continue
-			}
-			in := tensor.Scratch(len(gather[e]), d)
+			base := offs[e]
 			for i, t := range gather[e] {
-				copy(in.Row(i), x.Row(t))
+				copy(in.Row(base+i), x.Row(t))
 			}
-			m.outputs[e] = m.Experts[e].Forward(in)
 		}
 	})
+	if m.group == nil {
+		m.group = nn.NewExpertGroup(m.Experts)
+	}
+	y, st := m.group.Forward(in, offs)
+	m.gst = st
+	if len(m.outputs) != m.Cfg.NumExperts {
+		m.outputs = make([]*tensor.Tensor, m.Cfg.NumExperts)
+	}
+	for e := range m.outputs {
+		if offs[e+1] > offs[e] {
+			m.outputs[e] = y.RowsView(offs[e], offs[e+1])
+		} else {
+			m.outputs[e] = nil
+		}
+	}
 
 	// Combine: out[t] = Σ ŵ_i · y_{e_i}.
 	out := tensor.Scratch(tokens, d)
@@ -143,9 +178,11 @@ func (m *LocalMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	}
 	clear(m.dwBuf[:total])
 	off := 0
-	// Per-expert output gradients (ŵ-scaled dout rows).
-	dy := make([]*tensor.Tensor, m.Cfg.NumExperts)
-	rowsOf := make([][]int, m.Cfg.NumExperts) // expert -> source tokens
+	// Combine-weight gradients plus the flat, ŵ-scaled output-gradient
+	// matrix for the grouped expert backward (row offs[e]+pos mirrors
+	// the forward gather order).
+	offs := m.gst.Off
+	dy := tensor.Scratch(m.gst.Rows(), d)
 	for t := 0; t < tokens; t++ {
 		dWeights[t] = m.dwBuf[off : off+len(m.perTok[t]) : off+len(m.perTok[t])]
 		off += len(m.perTok[t])
@@ -155,51 +192,24 @@ func (m *LocalMoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			}
 			y := m.outputs[s.expert].Row(s.pos)
 			g := dout.Row(t)
+			dst := dy.Row(offs[s.expert] + s.pos)
 			var dw float64
 			for j := range g {
 				dw += float64(g[j]) * float64(y[j])
+				dst[j] = s.weight * g[j]
 			}
 			dWeights[t][i] = float32(dw)
-			rowsOf[s.expert] = append(rowsOf[s.expert], t)
-		}
-	}
-	for e := range dy {
-		if m.outputs[e] == nil {
-			continue
-		}
-		dy[e] = tensor.Scratch(m.outputs[e].Shape...)
-	}
-	for t := 0; t < tokens; t++ {
-		for _, s := range m.perTok[t] {
-			if s.dropped {
-				continue
-			}
-			dst := dy[s.expert].Row(s.pos)
-			g := dout.Row(t)
-			for j := range dst {
-				dst[j] += s.weight * g[j]
-			}
 		}
 	}
 
-	// Expert backward, scattering input grads back to tokens.
+	// Grouped expert backward, scattering input grads back to tokens.
 	dx := tensor.Scratch(tokens, d)
-	var dxs = make([]*tensor.Tensor, m.Cfg.NumExperts)
-	tensor.ParallelRows(m.Cfg.NumExperts, func(lo, hi int) {
-		for e := lo; e < hi; e++ {
-			if dy[e] == nil {
-				continue
-			}
-			dxs[e] = m.Experts[e].Backward(dy[e])
-		}
-	})
-	for e, dxe := range dxs {
-		if dxe == nil {
-			continue
-		}
-		for i, t := range rowsOf[e] {
+	dxFlat := m.group.Backward(dy, m.gst)
+	for e, g := range m.gather {
+		base := offs[e]
+		for i, t := range g {
 			dst := dx.Row(t)
-			src := dxe.Row(i)
+			src := dxFlat.Row(base + i)
 			for j := range dst {
 				dst[j] += src[j]
 			}

@@ -24,9 +24,22 @@ func TestGateConfigValidate(t *testing.T) {
 		t.Fatal("TopK > NumExperts accepted")
 	}
 	bad = gateCfg(4, 4, 1)
+	bad.Mode = CapacityDrop
 	bad.CapacityFactor = 0
 	if bad.Validate() == nil {
-		t.Fatal("zero capacity factor accepted")
+		t.Fatal("zero capacity factor accepted in capacity-drop mode")
+	}
+	// Dropless token-choice ignores capacity entirely, so zero is fine.
+	ok := gateCfg(4, 4, 1)
+	ok.CapacityFactor = 0
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("dropless config rejected: %v", err)
+	}
+	bad = gateCfg(4, 4, 1)
+	bad.Mode = ExpertChoice
+	bad.RandomRouting = true
+	if bad.Validate() == nil {
+		t.Fatal("expert-choice + random routing accepted")
 	}
 }
 
@@ -93,7 +106,8 @@ func TestGateRoutingInvariants(t *testing.T) {
 func TestGateCapacityEnforced(t *testing.T) {
 	r := tensor.NewRNG(2)
 	cfg := gateCfg(4, 4, 1)
-	cfg.CapacityFactor = 1 // tight: capacity = ceil(T/E)
+	cfg.Mode = CapacityDrop // legacy ablation mode: the only one that drops
+	cfg.CapacityFactor = 1  // tight: capacity = ceil(T/E)
 	g := NewGate("g", r, cfg)
 	// Force all tokens toward expert 0 by biasing the projection.
 	g.Proj.Weight.W.Zero()
@@ -224,6 +238,7 @@ func TestLocalMoEDroppedTokensPassThrough(t *testing.T) {
 	// transformer residual carries it).
 	r := tensor.NewRNG(7)
 	cfg := gateCfg(4, 2, 1)
+	cfg.Mode = CapacityDrop   // dropping exists only in the legacy mode
 	cfg.CapacityFactor = 0.01 // capacity 1 per expert
 	m := NewLocalMoE("moe", r, cfg, 8)
 	x := tensor.Randn(r, 1, 8, 4)

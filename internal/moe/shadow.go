@@ -45,6 +45,7 @@ func (m *DistMoE) SetShadows(experts []int) error {
 	sort.Ints(list)
 	m.shadowList = list
 	m.shadows = make(map[int]*nn.FeedForward, len(list))
+	ordered := make([]*nn.FeedForward, 0, len(list))
 	for _, e := range list {
 		if m.place.Owner[e] == m.comm.Rank() {
 			// The owner's replica IS the canonical expert.
@@ -52,6 +53,12 @@ func (m *DistMoE) SetShadows(experts []int) error {
 		} else {
 			m.shadows[e] = nn.NewFeedForward(fmt.Sprintf("%s.expert%d", m.name, e), tensor.NewRNG(0), m.Cfg.Dim, m.hidden)
 		}
+		ordered = append(ordered, m.shadows[e])
+	}
+	// Replicas run as one grouped FFN call per step, in list order.
+	m.shadowGroup = nil
+	if len(ordered) > 0 {
+		m.shadowGroup = nn.NewExpertGroup(ordered)
 	}
 	m.refreshShadows()
 	return nil

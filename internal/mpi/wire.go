@@ -283,6 +283,25 @@ func (b *RecvBuf) Chunk(src int) []float32 {
 // Meta returns the metadata received from src.
 func (b *RecvBuf) Meta(src int) []int { return b.meta[src] }
 
+// Rows validates src's variable-length framing against a row width of
+// d floats and returns the row count. Dropless MoE dispatch sends
+// exactly what routed — no capacity padding — so the payload must be
+// a whole number of d-wide rows and every row must carry exactly one
+// metadata slot id; any disagreement means the counts header and the
+// payload were framed inconsistently, and we fail loudly rather than
+// misattribute rows to experts.
+func (b *RecvBuf) Rows(src, d int) int {
+	n := b.counts[src]
+	if d <= 0 || n%d != 0 {
+		panic(fmt.Sprintf("mpi: recv payload from %d is %d floats, not a multiple of row width %d", src, n, d))
+	}
+	rows := n / d
+	if m := len(b.meta[src]); m != rows {
+		panic(fmt.Sprintf("mpi: recv framing mismatch from %d: %d rows of %d floats but %d metadata slots", src, rows, d, m))
+	}
+	return rows
+}
+
 // Release returns the backing buffer to the pool.
 func (b *RecvBuf) Release() {
 	tensor.PutSlice(b.data)

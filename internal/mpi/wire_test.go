@@ -265,3 +265,44 @@ func TestFP16WireValuesRoundTrip(t *testing.T) {
 		rb.Release()
 	})
 }
+
+// TestRecvBufRows pins the variable-length framing assert the
+// dropless MoE dispatch relies on: a payload that is a whole number
+// of d-wide rows with one metadata slot per row passes and returns
+// the exact row count; a non-multiple width or a meta/row mismatch
+// panics instead of silently misattributing rows to experts.
+func TestRecvBufRows(t *testing.T) {
+	const d = 4
+	w := NewWorld(2, wireTestTopo())
+	w.Run(func(c *Comm) {
+		rows := c.Rank() + 1 // rank 0 sends 1 row, rank 1 sends 2
+		cs := make([]int, c.Size())
+		for dst := range cs {
+			cs[dst] = rows * d
+		}
+		sb := NewSendBuf(cs)
+		for dst := range cs {
+			for i := 0; i < rows; i++ {
+				sb.Append(dst, []float32{1, 2, 3, 4})
+				sb.AppendMeta(dst, i)
+			}
+		}
+		rb := c.AllToAllvDirect(sb, FP32Wire)
+		sb.Release()
+		for _, src := range rb.Srcs() {
+			if got, want := rb.Rows(src, d), src+1; got != want {
+				t.Errorf("rank %d: Rows(%d) = %d, want %d", c.Rank(), src, got, want)
+			}
+			// Width that does not divide the payload must panic.
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("rank %d: non-multiple row width accepted", c.Rank())
+					}
+				}()
+				rb.Rows(src, d-1)
+			}()
+		}
+		rb.Release()
+	})
+}

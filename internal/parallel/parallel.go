@@ -65,6 +65,13 @@ type ModelConfig struct {
 	MoEEvery       int
 	Algo           moe.A2AAlgo
 
+	// RouteMode selects the gate's routing discipline. The zero value
+	// is moe.TokenChoice — dropless routing with exact counts;
+	// moe.CapacityDrop restores the legacy capacity-truncation
+	// baseline (CapacityFactor then applies) and moe.ExpertChoice the
+	// experts-pick-tokens ablation.
+	RouteMode moe.RouteMode
+
 	// Comm selects the MoE wire behavior: on-the-wire codec for
 	// cross-supernode payloads and two-phase comm/compute overlap.
 	// The zero value is the FP32 blocking path.
@@ -102,7 +109,7 @@ type StepStats struct {
 	Step      int
 	Loss      float32 // world-mean cross-entropy
 	AuxLoss   float32 // world-mean auxiliary loss
-	Overflow  int     // total dropped assignments
+	Overflow  int     // total dropped assignments (CapacityDrop mode only; 0 when dropless)
 	GradNorm  float32 // local (post-sync) gradient norm at rank 0
 	WallFwd   float64 // seconds, rank-local
 	WallBwd   float64
@@ -200,6 +207,7 @@ func NewEngine(c *mpi.Comm, strat Strategy, mc ModelConfig, corpusCfg data.Corpu
 				Dim:            mc.GPT.Dim,
 				NumExperts:     mc.NumExperts,
 				TopK:           mc.TopK,
+				Mode:           mc.RouteMode,
 				CapacityFactor: mc.CapacityFactor,
 				AuxLossWeight:  mc.AuxLossWeight,
 				ZLossWeight:    mc.ZLossWeight,

@@ -156,6 +156,20 @@ func (t *Tensor) Row(i int) []float32 {
 	return t.Data[i*c : (i+1)*c]
 }
 
+// RowsView returns a view of rows [lo, hi) of a rank-2 tensor. The
+// data is shared, not copied; like all views it must never be passed
+// to Release.
+func (t *Tensor) RowsView(lo, hi int) *Tensor {
+	if len(t.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: RowsView on tensor of shape %v", t.Shape))
+	}
+	if lo < 0 || hi < lo || hi > t.Shape[0] {
+		panic(fmt.Sprintf("tensor: RowsView [%d,%d) out of range for shape %v", lo, hi, t.Shape))
+	}
+	c := t.Shape[1]
+	return &Tensor{Data: t.Data[lo*c : hi*c : hi*c], Shape: []int{hi - lo, c}}
+}
+
 // SameShape reports whether t and o have identical shapes.
 func (t *Tensor) SameShape(o *Tensor) bool {
 	if len(t.Shape) != len(o.Shape) {

@@ -50,7 +50,7 @@ type Metrics struct {
 	GradNorm float32
 	LR       float32
 	Skipped  bool // step dropped by loss-scale overflow
-	Overflow int  // MoE capacity overflow count
+	Overflow int  // MoE capacity overflow count (CapacityDrop mode only; 0 when dropless)
 	Scale    float32
 
 	// Wire traffic and exchange-phase time of this step's MoE

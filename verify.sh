@@ -32,3 +32,9 @@ go test -count=2 -run 'TestEscalationDeterministicReplay' ./internal/parallel/
 # reproduces every counter and latency quantile exactly, run after run.
 go test -race ./internal/serve/...
 go test -count=2 -run 'TestServeDeterministicReplay' ./internal/serve/
+# Dropless-MoE gates (R14): the race detector must hold over the
+# dropless/expert-choice routing paths and the grouped expert kernel
+# (worker-parallel panel packing), and the grouped kernel must replay
+# bitwise under the same seed, run after run.
+go test -race -run 'Dropless|ExpertChoice|Grouped|ExpertGroup|TestInferRouteMatchesForward' ./internal/moe/ ./internal/nn/ ./internal/tensor/
+go test -count=2 -run 'TestGroupedKernelDeterministicReplay' ./internal/tensor/
