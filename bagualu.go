@@ -162,6 +162,15 @@ func NewAdam(weightDecay float32) *train.Adam { return train.NewAdam(weightDecay
 // NewSGD constructs SGD with momentum.
 func NewSGD(momentum float32) *train.SGD { return train.NewSGD(momentum) }
 
+// NewShardedAdam constructs the ZeRO-style Adam whose master weights
+// and moments are range-sharded across the gradient-sync
+// communicators (reduce-scatter, shard-local update, all-gather).
+// The engine binds the shard groups when it installs the optimizer;
+// the trajectory is bit-exact versus replicated Adam.
+func NewShardedAdam(weightDecay float32) *train.ShardedAdam {
+	return train.NewShardedAdam(weightDecay)
+}
+
 // ConstantLR is a fixed learning-rate schedule.
 func ConstantLR(lr float32) train.Schedule { return train.ConstantLR(lr) }
 

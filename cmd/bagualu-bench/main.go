@@ -1,8 +1,11 @@
 // Command bagualu-bench regenerates the in-simulator scaling
-// experiments: weak scaling (R2), strong scaling (R3), and the
-// per-step communication/computation breakdown (R9) of hybrid MoDa
-// training, using virtual network time so topology effects are
-// visible regardless of host hardware.
+// experiments: weak scaling (R2), strong scaling (R3), the per-step
+// communication/computation breakdown (R9) of hybrid MoDa training,
+// and the memory-capacity experiments — analytic max trainable
+// parameters per node for each memory-wall lever (R15) and measured
+// ZeRO gradient-sync traffic and optimizer-state footprint (R16) —
+// using virtual network time so topology effects are visible
+// regardless of host hardware.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"bagualu/internal/mpi"
 	"bagualu/internal/nn"
 	"bagualu/internal/parallel"
+	"bagualu/internal/perfmodel"
 	"bagualu/internal/simnet"
 	"bagualu/internal/sunway"
 	"bagualu/internal/train"
@@ -81,6 +85,40 @@ func run(ranks, batch, steps, experts int, algo moe.A2AAlgo) (simPerStep float64
 	return sim / float64(steps), tps, tm
 }
 
+// runMem runs data-parallel training of a dense model (experts off so
+// every gradient byte is sync traffic) and reports the per-step
+// machine traffic, the per-rank optimizer-state footprint, and the
+// mean virtual step time. optFor builds one optimizer per rank.
+func runMem(ranks, batch, steps int, optFor func() train.Optimizer) (bytesPerStep float64, optBytes int64, simPerStep float64) {
+	strat := parallel.Strategy{DataParallel: ranks, ExpertParallel: 1}
+	mc := modelCfg(2, moe.Auto)
+	mc.MoEEvery = 0 // dense: all traffic is gradient sync
+	machine := sunway.TestMachine(1, ranks)
+	topo := simnet.New(machine, 1)
+	w := mpi.NewWorld(ranks, topo)
+	cc := data.CorpusConfig{Vocab: 128, SeqLen: 16, Zipf: 1, Determinism: 0.85, Seed: 9}
+	tc := train.Config{Batch: batch, Precision: sunway.FP32, Schedule: train.ConstantLR(1e-3), ClipNorm: 1}
+
+	var sim float64
+	w.Run(func(c *mpi.Comm) {
+		e, err := parallel.NewEngine(c, strat, mc, cc, tc, optFor(), 5)
+		if err != nil {
+			panic(err)
+		}
+		e.SetComputeRate(machine.NodeFlops(sunway.FP32) * 0.3)
+		for s := 0; s < steps; s++ {
+			st := e.Step()
+			if c.Rank() == 0 {
+				sim += st.SimTime
+			}
+		}
+		if c.Rank() == 0 {
+			optBytes = e.OptStateBytes()
+		}
+	})
+	return float64(w.Stats().TotalBytes()) / float64(steps), optBytes, sim / float64(steps)
+}
+
 func main() {
 	var (
 		maxRanks = flag.Int("max-ranks", 16, "largest world size")
@@ -141,4 +179,76 @@ func main() {
 		br.AddRow(algo.String(), tm.Gate, tm.Dispatch, tm.Expert, tm.Combine)
 	}
 	emit(br)
+
+	// R15: analytic max trainable parameters per 96 GiB node, per
+	// memory-wall lever, on a 64-node supernode slice at mixed
+	// precision (bisected over model width by perfmodel.Memory).
+	dep := perfmodel.Deployment{
+		Machine: sunway.TestMachine(1, 64), RanksPerNode: 1,
+		DataParallel: 64, ExpertParallel: 1,
+		BatchPerRank: 4, Precision: sunway.Mixed, Efficiency: 0.35,
+		A2A: perfmodel.A2AHierarchical,
+	}
+	spec := perfmodel.ModelSpec{
+		Name: "r15", Vocab: 50304, Dim: 1024, Heads: 16, Layers: 24,
+		SeqLen: 1024, FFNHidden: 4096,
+	}
+	cap15 := metrics.NewTable("R15: max trainable params per node (mixed precision, 64 nodes, bisected width)",
+		"config", "max-params", "dim", "mem GiB/node", "step(s)", "vs-baseline")
+	var base15 float64
+	for _, lever := range []struct {
+		name string
+		set  func(*perfmodel.Deployment)
+	}{
+		{"baseline (replicated opt)", func(*perfmodel.Deployment) {}},
+		{"+zero", func(d *perfmodel.Deployment) { d.ZeRO = true }},
+		{"+zero +recompute", func(d *perfmodel.Deployment) { d.ZeRO = true; d.RecomputeFraction = 1 }},
+		{"+zero +recompute +offload", func(d *perfmodel.Deployment) {
+			d.ZeRO = true
+			d.RecomputeFraction = 1
+			d.OffloadOptState = true
+		}},
+	} {
+		dd := dep
+		lever.set(&dd)
+		n, best, err := dd.MaxTrainableParams(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep, err := dd.Project(best)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if base15 == 0 {
+			base15 = float64(n)
+		}
+		cap15.AddRow(lever.name, fmt.Sprintf("%.3gB", float64(n)/1e9), best.Dim,
+			fmt.Sprintf("%.1f", rep.Mem.TotalGiB), fmt.Sprintf("%.3g", rep.StepTime),
+			fmt.Sprintf("%.2fx", float64(n)/base15))
+	}
+	emit(cap15)
+
+	// R16: measured gradient-sync traffic and optimizer-state bytes,
+	// dense model over DP ranks: replicated Adam + ring all-reduce vs
+	// ZeRO-sharded Adam + reduce-scatter/all-gather.
+	r16 := metrics.NewTable("R16: measured grad-sync traffic & optimizer state (dense model)",
+		"optimizer", "ranks", "sync KiB/step", "opt-state KiB/rank", "simtime/step(s)")
+	p16 := *maxRanks
+	if p16 > 8 {
+		p16 = 8
+	}
+	for _, cfg := range []struct {
+		name   string
+		optFor func() train.Optimizer
+	}{
+		{"adam (replicated)", func() train.Optimizer { return train.NewAdam(0) }},
+		{"zero (sharded)", func() train.Optimizer { return train.NewShardedAdam(0) }},
+	} {
+		bytes, ob, sim := runMem(p16, *batch, *steps, cfg.optFor)
+		r16.AddRow(cfg.name, p16, fmt.Sprintf("%.1f", bytes/(1<<10)),
+			fmt.Sprintf("%.1f", float64(ob)/(1<<10)), sim)
+	}
+	emit(r16)
 }

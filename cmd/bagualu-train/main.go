@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"bagualu/internal/data"
+	"bagualu/internal/metrics"
 	"bagualu/internal/moe"
 	"bagualu/internal/mpi"
 	"bagualu/internal/nn"
@@ -46,6 +47,9 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "global seed")
 		accum     = flag.Int("accum", 1, "gradient-accumulation micro-batches per step")
 		recompute = flag.Bool("recompute", false, "activation checkpointing (recompute in backward)")
+		recEvery  = flag.Int("recompute-every", 0, "selective recomputation: recompute every N-th block (0 = off)")
+		zero      = flag.Bool("zero", false, "ZeRO-shard Adam optimizer states across data-parallel peers")
+		offload   = flag.Bool("offload", false, "offload optimizer state to the host-memory tier (priced on the virtual clock)")
 		optName   = flag.String("optimizer", "adam", "adam|lamb|sgd")
 		ckpt      = flag.String("checkpoint", "", "path to write the final checkpoint (rank 0 dense shard)")
 		rebalance = flag.Int("rebalance", 0, "migrate experts to balance load every N steps (0 = off)")
@@ -79,6 +83,7 @@ func main() {
 		MoEEvery:       1,
 		Algo:           moe.Auto,
 		Recompute:      *recompute,
+		RecomputeEvery: *recEvery,
 	}
 	cc := data.CorpusConfig{
 		Vocab: *vocab, SeqLen: *seq, Zipf: 1.0, Determinism: 0.85,
@@ -91,14 +96,22 @@ func main() {
 		ClipNorm:  1,
 		Accum:     *accum,
 	}
-	var opt train.Optimizer
-	switch *optName {
-	case "lamb":
-		opt = train.NewLAMB(0.01)
-	case "sgd":
-		opt = train.NewSGD(0.9)
-	default:
-		opt = train.NewAdam(0.01)
+	// One optimizer instance per rank: state is rank-local (and the
+	// ZeRO optimizer binds to rank-specific communicators).
+	optFor := func() train.Optimizer {
+		switch {
+		case *zero:
+			return train.NewShardedAdam(0.01)
+		case *optName == "lamb":
+			return train.NewLAMB(0.01)
+		case *optName == "sgd":
+			return train.NewSGD(0.9)
+		default:
+			return train.NewAdam(0.01)
+		}
+	}
+	if *zero && *optName != "adam" {
+		fmt.Fprintln(os.Stderr, "-zero shards Adam states; -optimizer is ignored")
 	}
 
 	machine := sunway.TestMachine(2, (strat.Size()+3)/4)
@@ -112,21 +125,27 @@ func main() {
 	if *traceOut != "" {
 		rec = trace.New()
 	}
+	var phases *metrics.PhaseMeter
 	world.Run(func(c *mpi.Comm) {
-		e, err := parallel.NewEngine(c, strat, mc, cc, tc, opt, *seed)
+		e, err := parallel.NewEngine(c, strat, mc, cc, tc, optFor(), *seed)
 		if err != nil {
 			log.Fatalf("rank %d: %v", c.Rank(), err)
 		}
 		e.Trace = rec
+		if *offload {
+			e.EnableOffload(machine.HostMemBWGiBs)
+		}
 		if c.Rank() == 0 {
-			fmt.Printf("global params: %d (%.2f M), tokens/step: %d\n",
-				e.NumParamsGlobal(), float64(e.NumParamsGlobal())/1e6, e.GlobalBatchTokens())
+			fmt.Printf("global params: %d (%.2f M), tokens/step: %d, opt state/rank: %.1f KiB\n",
+				e.NumParamsGlobal(), float64(e.NumParamsGlobal())/1e6, e.GlobalBatchTokens(),
+				float64(e.OptStateBytes())/(1<<10))
 		}
 		for s := 0; s < *steps; s++ {
 			st := e.Step()
 			if c.Rank() == 0 && (s%*every == 0 || s == *steps-1) {
-				fmt.Printf("step %3d  loss %.4f  aux %.4f  overflow %4d  gnorm %.3f  simtime %.3gs  tok/s(sim) %.3g\n",
-					st.Step, st.Loss, st.AuxLoss, st.Overflow, st.GradNorm, st.SimTime, st.TokensPer)
+				fmt.Printf("step %3d  loss %.4f  aux %.4f  overflow %4d  gnorm %.3f  simtime %.3gs  tok/s(sim) %.3g  sync %.2gs  gather %.2gs\n",
+					st.Step, st.Loss, st.AuxLoss, st.Overflow, st.GradNorm, st.SimTime, st.TokensPer,
+					st.GradSync, st.ParamGather)
 			}
 			if *rebalance > 0 && s > 0 && s%*rebalance == 0 {
 				var imbBefore, imbAfter float64
@@ -144,6 +163,9 @@ func main() {
 					}
 				}
 			}
+		}
+		if c.Rank() == 0 {
+			phases = e.Phases()
 		}
 		if *ckpt != "" && c.Rank() == 0 {
 			f, err := os.Create(*ckpt)
@@ -163,6 +185,16 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace written to %s (%d events)\n", *traceOut, rec.Len())
+	}
+
+	if phases != nil && phases.Total() > 0 {
+		fmt.Printf("\nmemory-capacity phases (rank 0, virtual seconds):")
+		for _, name := range phases.Names() {
+			if s := phases.Seconds(name); s > 0 {
+				fmt.Printf("  %s %.3g", name, s)
+			}
+		}
+		fmt.Println()
 	}
 
 	st := world.Stats()

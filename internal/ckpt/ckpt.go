@@ -157,14 +157,14 @@ func Restore(dir string, step int64, shard int, params []*nn.Param) (RestoreResu
 		byName[p.Name] = p
 	}
 	adopt := ((shard % m.Shards) + m.Shards) % m.Shards
-	seen := make(map[string]bool)
+	cov := train.NewCoverage()
 	for i, name := range m.Files {
 		path := filepath.Join(StepDir(dir, step), name)
 		f, err := os.Open(path)
 		if err != nil {
 			return res, fmt.Errorf("ckpt: committed checkpoint missing shard: %w", err)
 		}
-		hdr, loaded, err := train.LoadInto(f, byName)
+		hdr, err := train.LoadIntoCov(f, byName, cov)
 		if st, serr := f.Stat(); serr == nil {
 			res.BytesRead += st.Size()
 		}
@@ -175,13 +175,14 @@ func Restore(dir string, step int64, shard int, params []*nn.Param) (RestoreResu
 		if i == adopt {
 			res.Header = hdr
 		}
-		for _, n := range loaded {
-			seen[n] = true
-		}
 	}
+	// Completeness is per flat range, not per name: a ZeRO checkpoint
+	// holds each optimizer moment as range records scattered across
+	// shard files, and a restoring rank may itself own only a view.
 	for _, p := range params {
-		if !seen[p.Name] {
-			return res, fmt.Errorf("ckpt: tensor %q not found in any shard of step %d", p.Name, step)
+		if !cov.Covers(p.Name, p.ShardLo, p.ShardLo+p.W.Len()) {
+			return res, fmt.Errorf("ckpt: tensor %q range [%d,%d) not covered by any shard of step %d",
+				p.Name, p.ShardLo, p.ShardLo+p.W.Len(), step)
 		}
 	}
 	return res, nil

@@ -178,6 +178,11 @@ func (w *Writer) Save(step int64, hdr train.Header, params []*nn.Param, layout L
 		snapParams[i] = &nn.Param{
 			Name: p.Name,
 			W:    &tensor.Tensor{Data: cp, Shape: append([]int(nil), p.W.Shape...)},
+			// Shard-view identity must survive the snapshot: a ZeRO
+			// moment view serializes as a range record of its logical
+			// tensor.
+			FullShape: append([]int(nil), p.FullShape...),
+			ShardLo:   p.ShardLo,
 		}
 	}
 	w.wg.Add(1)

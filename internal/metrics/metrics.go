@@ -212,6 +212,17 @@ const (
 	PhaseMitigation   = "mitigation"    // expert resharding away from degraded ranks
 )
 
+// Canonical phase names for the memory-capacity subsystem (ZeRO-style
+// sharded optimizer, selective recomputation, host-memory offload),
+// shared by the parallel engine and the CLI step report.
+const (
+	PhaseGradSync       = "grad-sync"       // gradient reduce-scatter (or legacy all-reduce)
+	PhaseOptimizerShard = "optimizer-shard" // local Adam update of the owned moment shard
+	PhaseParamGather    = "param-gather"    // all-gather of updated parameters
+	PhaseRecompute      = "recompute"       // activation-recomputation forward replay
+	PhaseOffload        = "offload"         // optimizer-state traffic to/from host memory
+)
+
 // PhaseMeter accumulates seconds into named phases in a fixed
 // presentation order — the exchange-phase breakdown (dispatch-local,
 // dispatch-remote, ...) a step report renders as one table row.

@@ -155,34 +155,53 @@ func (c *Comm) allReduceRing(seq int64, stepBase, me, p int, toComm func(int) in
 	if p == 1 {
 		return acc
 	}
-	n := len(acc)
-	// Chunk boundaries: chunk i covers [bounds[i], bounds[i+1]).
+	bounds := ringBounds(len(acc), p)
+	tag := collTag(c.id, seq, stepBase)
+	c.ringReduceScatter(tag, me, p, toComm, acc, bounds, op)
+	c.ringAllGather(tag, me, p, toComm, acc, bounds)
+	return acc
+}
+
+// ringBounds returns the p+1 chunk boundaries of the ring algorithms:
+// chunk i covers [bounds[i], bounds[i+1]).
+func ringBounds(n, p int) []int {
 	bounds := make([]int, p+1)
 	for i := 0; i <= p; i++ {
 		bounds[i] = i * n / p
 	}
-	next := toComm((me + 1) % p)
-	prev := (me - 1 + p) % p
-	tag := collTag(c.id, seq, stepBase)
+	return bounds
+}
 
-	// Reduce-scatter: after step s, rank holds the partial sum of
-	// chunk (me-s) reduced over s+1 contributors.
+// ringReduceScatter runs the reduce-scatter half of the ring
+// all-reduce in place: after step s this rank holds the partial sum of
+// chunk (me-s) reduced over s+1 contributors, so on return it owns the
+// fully reduced chunk (me+1)%p. All ring messages under one tag ride
+// FIFO per (src,tag) ordering.
+func (c *Comm) ringReduceScatter(tag int, me, p int, toComm func(int) int, acc []float32, bounds []int, op ReduceOp) {
+	next := toComm((me + 1) % p)
+	prev := toComm((me - 1 + p) % p)
 	for s := 0; s < p-1; s++ {
 		sendChunk := (me - s + p) % p
 		recvChunk := (me - s - 1 + p) % p
 		c.sendStep(next, tag, acc[bounds[sendChunk]:bounds[sendChunk+1]], nil)
-		m := c.recvStep(toComm(prev), tag)
+		m := c.recvStep(prev, tag)
 		op(acc[bounds[recvChunk]:bounds[recvChunk+1]], m.data)
 	}
-	// All-gather: circulate the fully reduced chunks.
+}
+
+// ringAllGather runs the all-gather half of the ring all-reduce:
+// each rank enters owning chunk (me+1)%p (the reduce-scatter result)
+// and circulates chunks until every rank holds all of acc.
+func (c *Comm) ringAllGather(tag int, me, p int, toComm func(int) int, acc []float32, bounds []int) {
+	next := toComm((me + 1) % p)
+	prev := toComm((me - 1 + p) % p)
 	for s := 0; s < p-1; s++ {
 		sendChunk := (me + 1 - s + p) % p
 		recvChunk := (me - s + p) % p
 		c.sendStep(next, tag, acc[bounds[sendChunk]:bounds[sendChunk+1]], nil)
-		m := c.recvStep(toComm(prev), tag)
+		m := c.recvStep(prev, tag)
 		copy(acc[bounds[recvChunk]:bounds[recvChunk+1]], m.data)
 	}
-	return acc
 }
 
 // AllReduceHier is the topology-aware all-reduce: reduce to a leader

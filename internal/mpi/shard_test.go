@@ -1,0 +1,182 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"bagualu/internal/simnet"
+	"bagualu/internal/sunway"
+)
+
+// shardTestData builds a deterministic per-rank vector with varied
+// magnitudes so reduction-order differences would show up bitwise.
+func shardTestData(rank, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rank+1)*(float32(i%17)-8.25) + float32(i)*1e-3
+	}
+	return out
+}
+
+func TestShardBoundsPartition(t *testing.T) {
+	topos := map[string]*simnet.Topology{
+		"flat": nil,
+		"hier": simnet.New(sunway.TestMachine(2, 2), 2), // 8 ranks, 2 supernodes
+	}
+	for name, topo := range topos {
+		sizes := []int{1, 2, 3, 5}
+		if name == "hier" {
+			sizes = []int{8}
+		}
+		for _, p := range sizes {
+			for _, n := range []int{0, 1, 3, 64, 103} {
+				w := NewWorld(p, topo)
+				w.Run(func(c *Comm) {
+					if c.Rank() != 0 {
+						return
+					}
+					shards := c.ShardBounds(n)
+					if len(shards) != p {
+						t.Errorf("%s p=%d n=%d: %d shards", name, p, n, len(shards))
+						return
+					}
+					covered := make([]int, n)
+					for r, s := range shards {
+						if s.Lo > s.Hi || s.Lo < 0 || s.Hi > n {
+							t.Errorf("%s p=%d n=%d rank %d: bad shard %+v", name, p, n, r, s)
+						}
+						for i := s.Lo; i < s.Hi; i++ {
+							covered[i]++
+						}
+					}
+					for i, ct := range covered {
+						if ct != 1 {
+							t.Errorf("%s p=%d n=%d: offset %d covered %d times", name, p, n, i, ct)
+							return
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// runShardVsAllReduce checks the core bit-exactness contract on one
+// topology: ReduceScatterShard returns exactly the owned slice of the
+// AllReduce result, and AllGatherShard reassembles the identical full
+// vector on every rank.
+func runShardVsAllReduce(t *testing.T, topo *simnet.Topology, p, n int) {
+	t.Helper()
+	w := NewWorld(p, topo)
+	w.Run(func(c *Comm) {
+		data := shardTestData(c.Rank(), n)
+		want := c.AllReduce(append([]float32(nil), data...), OpSum)
+		shard, s := c.ReduceScatterShard(data, OpSum)
+		if len(shard) != s.Len() {
+			t.Errorf("rank %d: shard len %d != %d", c.Rank(), len(shard), s.Len())
+			return
+		}
+		if got := c.MyShard(n); got != s {
+			t.Errorf("rank %d: MyShard %+v != returned %+v", c.Rank(), got, s)
+		}
+		for i := s.Lo; i < s.Hi; i++ {
+			if math.Float32bits(shard[i-s.Lo]) != math.Float32bits(want[i]) {
+				t.Errorf("rank %d: shard[%d] = %v, AllReduce[%d] = %v", c.Rank(), i-s.Lo, shard[i-s.Lo], i, want[i])
+				return
+			}
+		}
+		full := c.AllGatherShard(shard, n)
+		if len(full) != n {
+			t.Errorf("rank %d: AllGatherShard len %d != %d", c.Rank(), len(full), n)
+			return
+		}
+		for i := range full {
+			if math.Float32bits(full[i]) != math.Float32bits(want[i]) {
+				t.Errorf("rank %d: gathered[%d] = %v, AllReduce = %v", c.Rank(), i, full[i], want[i])
+				return
+			}
+		}
+	})
+}
+
+func TestReduceScatterShardMatchesAllReduceRing(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4} {
+		for _, n := range []int{7, 64, 103} {
+			runShardVsAllReduce(t, nil, p, n)
+		}
+	}
+}
+
+func TestReduceScatterShardMatchesAllReduceHier(t *testing.T) {
+	topo := simnet.New(sunway.TestMachine(2, 2), 2) // 8 ranks, 2 supernodes
+	for _, n := range []int{64, 257, 1023} {
+		runShardVsAllReduce(t, topo, 8, n)
+	}
+	// 4 ranks on 2 supernodes: smallest world that takes the
+	// hierarchical path, with 2 members per supernode.
+	small := simnet.New(sunway.TestMachine(2, 2), 1)
+	for _, n := range []int{31, 100} {
+		runShardVsAllReduce(t, small, 4, n)
+	}
+}
+
+// TestShardedSyncBytesMatchRing pins the byte-parity claim: on a ring
+// (single-supernode) communicator, reduce-scatter + all-gather moves
+// exactly the same bytes as one all-reduce.
+func TestShardedSyncBytesMatchRing(t *testing.T) {
+	const p, n = 4, 4096
+	total := func(f func(c *Comm, data []float32)) int64 {
+		w := NewWorld(p, nil)
+		w.Run(func(c *Comm) {
+			f(c, shardTestData(c.Rank(), n))
+		})
+		var sum int64
+		for l := simnet.SelfLevel; l <= simnet.MachineLevel; l++ {
+			sum += w.Stats().BytesAt(l)
+		}
+		return sum
+	}
+	allReduce := total(func(c *Comm, data []float32) {
+		c.AllReduce(data, OpSum)
+	})
+	sharded := total(func(c *Comm, data []float32) {
+		shard, _ := c.ReduceScatterShard(data, OpSum)
+		c.AllGatherShard(shard, n)
+	})
+	if sharded != allReduce {
+		t.Fatalf("sharded sync moved %d bytes, all-reduce %d", sharded, allReduce)
+	}
+}
+
+// TestShardedSyncBytesHier pins the hierarchical trade-off: bytes at
+// the expensive machine level are identical to AllReduceHier, and the
+// intra-supernode scatter/gather overhead stays bounded.
+func TestShardedSyncBytesHier(t *testing.T) {
+	const p, n = 8, 4096
+	topo := func() *simnet.Topology { return simnet.New(sunway.TestMachine(2, 2), 2) }
+	run := func(f func(c *Comm, data []float32)) (inter, total int64) {
+		w := NewWorld(p, topo())
+		w.Run(func(c *Comm) {
+			f(c, shardTestData(c.Rank(), n))
+		})
+		for l := simnet.SelfLevel; l <= simnet.MachineLevel; l++ {
+			total += w.Stats().BytesAt(l)
+		}
+		return w.Stats().BytesAt(simnet.MachineLevel), total
+	}
+	arInter, arTotal := run(func(c *Comm, data []float32) {
+		c.AllReduce(data, OpSum)
+	})
+	shInter, shTotal := run(func(c *Comm, data []float32) {
+		shard, _ := c.ReduceScatterShard(data, OpSum)
+		c.AllGatherShard(shard, n)
+	})
+	if shInter != arInter {
+		t.Fatalf("sharded inter-supernode bytes %d != all-reduce %d", shInter, arInter)
+	}
+	// The leader scatter/gather adds at most ~2·n/L extra cheap local
+	// bytes; allow 25% headroom over the all-reduce total.
+	if float64(shTotal) > 1.25*float64(arTotal) {
+		t.Fatalf("sharded total bytes %d > 1.25x all-reduce %d", shTotal, arTotal)
+	}
+}

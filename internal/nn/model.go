@@ -89,8 +89,53 @@ type GPT struct {
 	// would re-randomize routing on the recompute pass.
 	Recompute bool
 
+	// RecomputePolicy, when non-nil, selects per block whether that
+	// block recomputes (selective activation recomputation). It
+	// overrides Recompute and must have one entry per block. A nil
+	// policy means Recompute governs every block uniformly.
+	RecomputePolicy []bool
+
 	batch       int
 	blockInputs []*tensor.Tensor
+}
+
+// recomputes reports whether block i runs under activation
+// checkpointing this step.
+func (g *GPT) recomputes(i int) bool {
+	if g.RecomputePolicy != nil {
+		return g.RecomputePolicy[i]
+	}
+	return g.Recompute
+}
+
+// anyRecompute reports whether at least one block recomputes.
+func (g *GPT) anyRecompute() bool {
+	if g.RecomputePolicy != nil {
+		for _, r := range g.RecomputePolicy {
+			if r {
+				return true
+			}
+		}
+		return false
+	}
+	return g.Recompute
+}
+
+// RecomputedFraction returns the fraction of blocks running under
+// activation checkpointing — the share of forward FLOPs replayed
+// during backward, which the parallel engine charges to the virtual
+// clock.
+func (g *GPT) RecomputedFraction() float64 {
+	if len(g.Blocks) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range g.Blocks {
+		if g.recomputes(i) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(g.Blocks))
 }
 
 // NewGPT constructs the model. ffn may be nil for dense FFN blocks.
@@ -133,12 +178,18 @@ func (g *GPT) Forward(ids []int) *tensor.Tensor {
 			row[j] += p[j]
 		}
 	}
-	if g.Recompute {
+	if g.anyRecompute() {
 		g.blockInputs = g.blockInputs[:0]
 	}
-	for _, b := range g.Blocks {
-		if g.Recompute {
-			g.blockInputs = append(g.blockInputs, x)
+	for i, b := range g.Blocks {
+		if g.anyRecompute() {
+			// Indexed per block; nil marks blocks that keep their
+			// activation caches and need no replay.
+			in := x
+			if !g.recomputes(i) {
+				in = nil
+			}
+			g.blockInputs = append(g.blockInputs, in)
 		}
 		x = b.Forward(x)
 	}
@@ -150,7 +201,7 @@ func (g *GPT) Forward(ids []int) *tensor.Tensor {
 func (g *GPT) Backward(dlogits *tensor.Tensor) {
 	dx := g.FinalLN.Backward(g.Head.Backward(dlogits))
 	for i := len(g.Blocks) - 1; i >= 0; i-- {
-		if g.Recompute {
+		if g.anyRecompute() && g.blockInputs[i] != nil {
 			// Re-run the block on its stored input to regenerate the
 			// activation caches its backward needs.
 			g.Blocks[i].Forward(g.blockInputs[i])

@@ -17,10 +17,32 @@ import (
 )
 
 // Param is one trainable tensor with its gradient accumulator.
+//
+// A Param may be a shard view of a larger logical tensor (a ZeRO
+// optimizer-state range): FullShape then records the logical shape and
+// ShardLo the flat offset of W within it, so checkpoint records can be
+// reassembled across shard layouts. For ordinary full tensors both
+// are zero values (FullShape nil means W covers the whole tensor).
 type Param struct {
-	Name string
-	W    *tensor.Tensor
-	G    *tensor.Tensor
+	Name      string
+	W         *tensor.Tensor
+	G         *tensor.Tensor
+	FullShape []int
+	ShardLo   int
+}
+
+// FullLen returns the element count of the logical tensor this param
+// belongs to: the product of FullShape when it is a shard view, or
+// len(W.Data) for a full tensor.
+func (p *Param) FullLen() int {
+	if p.FullShape == nil {
+		return p.W.Len()
+	}
+	n := 1
+	for _, d := range p.FullShape {
+		n *= d
+	}
+	return n
 }
 
 // NewParam allocates a parameter with a zeroed gradient.

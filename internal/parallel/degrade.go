@@ -77,6 +77,13 @@ func (e *Engine) Mitigate(degradedSlots []bool, capacityMult float32) error {
 	if flagged == 0 || flagged == len(degradedSlots) {
 		return nil
 	}
+	if e.zero != nil {
+		// ShardedAdam deliberately is not an OptStateCarrier: its moment
+		// ranges are scattered across the data-parallel group, so a drain
+		// migration cannot ship them. Tiered policies must fall back to
+		// rollback under ZeRO.
+		return fmt.Errorf("parallel: expert mitigation is unavailable under the ZeRO-sharded optimizer; use rollback escalation")
+	}
 	carrier, _ := e.Trainer.Opt.(moe.OptStateCarrier)
 	for _, m := range e.moeLayers {
 		// Counts gathered over the WORLD communicator: every EP group

@@ -163,6 +163,10 @@ func (e *Engine) Reform(newComm *mpi.Comm, strat Strategy, opt train.Optimizer) 
 	e.Trainer.Corpus = corpus
 	e.Trainer.Opt = opt
 	e.Trainer.RefreshParams()
+	// Re-bind the sync path: under ZeRO the fresh optimizer's moment
+	// shards re-partition over the NEW communicators, and the
+	// checkpoint restore fills them through range-record coverage.
+	e.installSync(opt)
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"bagualu/internal/trace"
 
 	"bagualu/internal/data"
+	"bagualu/internal/metrics"
 	"bagualu/internal/moe"
 	"bagualu/internal/mpi"
 	"bagualu/internal/nn"
@@ -89,6 +90,13 @@ type ModelConfig struct {
 	// MoE all-to-alls re-run during backward, doubling dispatch
 	// traffic — the real memory/communication trade at scale.
 	Recompute bool
+
+	// RecomputeEvery, when positive, enables *selective* activation
+	// recomputation: only every n-th block discards its activations
+	// and replays forward during backward (1 = all blocks, equivalent
+	// to Recompute). It overrides Recompute with a per-layer policy so
+	// the memory/compute trade is tunable per layer.
+	RecomputeEvery int
 }
 
 // Validate checks the model configuration.
@@ -140,6 +148,17 @@ type StepStats struct {
 	RetransmitSim float64
 	MitigationSim float64
 	Degraded      int
+
+	// Memory-capacity phase time for this step, in virtual seconds
+	// (see metrics.PhaseGradSync etc.): gradient sync (reduce-scatter
+	// or all-reduce), the local shard update under ZeRO, the parameter
+	// all-gather, the recomputation forward replay, and optimizer-state
+	// offload traffic.
+	GradSync       float64
+	OptimizerShard float64
+	ParamGather    float64
+	RecomputeSim   float64
+	OffloadSim     float64
 }
 
 // Engine is the per-rank training engine. Construct one inside
@@ -160,6 +179,17 @@ type Engine struct {
 	clipNorm     float32
 	lastGradNorm float32
 	computeRate  float64 // virtual FLOP/s per rank; 0 = don't charge compute
+
+	// zero is non-nil when the trainer's optimizer is the ZeRO-sharded
+	// Adam; gradient sync then runs reduce-scatter → shard update →
+	// all-gather instead of full-tensor all-reduce, and expert
+	// migration (rebalance/mitigate) is rejected because moment ranges
+	// span ranks.
+	zero      *train.ShardedAdam
+	offloadBW float64 // host-memory bytes/s for optimizer-state offload; 0 = resident
+
+	phases    *metrics.PhaseMeter
+	phasePrev map[string]float64 // last snapshot, for per-step deltas
 
 	// Trace, when non-nil, receives a per-rank timeline of step and
 	// MoE phase spans (export with trace.WriteChromeTrace).
@@ -220,6 +250,13 @@ func NewEngine(c *mpi.Comm, strat Strategy, mc ModelConfig, corpusCfg data.Corpu
 	}
 	e.Model = nn.NewGPT(mc.GPT, r, ffn)
 	e.Model.Recompute = mc.Recompute
+	if mc.RecomputeEvery > 0 {
+		pol := make([]bool, mc.GPT.Layers)
+		for i := range pol {
+			pol[i] = i%mc.RecomputeEvery == 0
+		}
+		e.Model.RecomputePolicy = pol
+	}
 
 	// Partition parameters into expert-sharded and dense/replicated.
 	sharded := map[*nn.Param]bool{}
@@ -253,16 +290,92 @@ func NewEngine(c *mpi.Comm, strat Strategy, mc ModelConfig, corpusCfg data.Corpu
 	// at the barrierless tail of its step, or early when a wire fault
 	// aborts the step — would recycle tensors its peers still hold).
 	tr.Unpooled = c.Size() > 1
-	tr.PostBackward = e.syncGradients
 	e.Trainer = tr
+	e.phases = metrics.NewPhaseMeter(
+		metrics.PhaseGradSync, metrics.PhaseOptimizerShard,
+		metrics.PhaseParamGather, metrics.PhaseRecompute,
+		metrics.PhaseOffload)
+	e.phasePrev = map[string]float64{}
+	e.installSync(opt)
 	return e, nil
 }
+
+// installSync binds the gradient-synchronization path matching the
+// optimizer. A *train.ShardedAdam gets the ZeRO path: its moment
+// shards are (re)partitioned over the dense (world) and expert
+// (data-parallel) groups and PostBackward reduce-scatters instead of
+// all-reducing. Reform calls this again after a shrink so the shards
+// re-partition over the surviving layout.
+func (e *Engine) installSync(opt train.Optimizer) {
+	if z, ok := opt.(*train.ShardedAdam); ok {
+		z.Bind(
+			train.ShardGroup{Comm: e.Comm, Params: e.denseParams},
+			train.ShardGroup{Comm: e.DP, Params: e.expertParams},
+		)
+		z.Observer = e.phases.Observe
+		if e.computeRate > 0 {
+			z.UpdateRate = e.computeRate / adamFlopsPerElem
+		}
+		e.zero = z
+		e.Trainer.PostBackward = e.syncGradientsZeRO
+		return
+	}
+	e.zero = nil
+	e.Trainer.PostBackward = e.syncGradients
+}
+
+// adamFlopsPerElem is the analytic cost of one Adam element update
+// (two moment EMAs, bias corrections, rsqrt, weight-decay, axpy) used
+// to price the shard update when a compute rate is set.
+const adamFlopsPerElem = 12
 
 // SetComputeRate makes Step charge simulated compute time (the
 // step's analytic FLOPs divided by rate) to the rank's virtual clock,
 // so virtual-time throughput reflects compute as well as
 // communication. rate is sustained FLOP/s per rank; 0 disables.
-func (e *Engine) SetComputeRate(rate float64) { e.computeRate = rate }
+func (e *Engine) SetComputeRate(rate float64) {
+	e.computeRate = rate
+	if e.zero != nil {
+		e.zero.UpdateRate = 0
+		if rate > 0 {
+			e.zero.UpdateRate = rate / adamFlopsPerElem
+		}
+	}
+}
+
+// EnableOffload prices optimizer-state offload to a host-memory tier:
+// every step the resident moment state streams out and back at bwGiBs
+// (GiB/s), charged to the rank's virtual clock as the "offload" phase.
+// 0 disables (state stays resident). Capacity itself is modeled in
+// perfmodel; here only the bandwidth cost is simulated.
+func (e *Engine) EnableOffload(bwGiBs float64) {
+	e.offloadBW = 0
+	if bwGiBs > 0 {
+		e.offloadBW = bwGiBs * (1 << 30)
+	}
+}
+
+// OptStateBytes returns this rank's resident optimizer-state bytes:
+// the owned moment shards under ZeRO, or the full Adam moments (8
+// bytes per parameter element) on the unsharded path.
+func (e *Engine) OptStateBytes() int64 {
+	if e.zero != nil {
+		return e.zero.StateBytes()
+	}
+	return 8 * int64(nn.NumParams(e.denseParams)+nn.NumParams(e.expertParams))
+}
+
+// Phases returns the engine's cumulative memory-capacity phase meter
+// (grad-sync, optimizer-shard, param-gather, recompute, offload).
+func (e *Engine) Phases() *metrics.PhaseMeter { return e.phases }
+
+// phaseDelta returns the phase's accumulation since the last call.
+func (e *Engine) phaseDelta(name string) float64 {
+	cur := e.phases.Seconds(name)
+	d := cur - e.phasePrev[name]
+	e.phasePrev[name] = cur
+	return d
+}
 
 // stepFlops estimates forward+backward FLOPs for one local batch:
 // 6 FLOPs per active parameter per token plus the attention
@@ -288,10 +401,15 @@ func (e *Engine) DenseParams() []*nn.Param { return e.denseParams }
 // ExpertParams returns this rank's expert shard parameters.
 func (e *Engine) ExpertParams() []*nn.Param { return e.expertParams }
 
-// syncGradients is the two-tier gradient synchronization followed by
-// distributed gradient-norm clipping.
+// syncGradients is the legacy two-tier gradient synchronization
+// (full-tensor all-reduce) followed by distributed gradient-norm
+// clipping. The norm uses the same canonical shard-ordered float64
+// partial sums as the ZeRO path (train.ShardedNormSq /
+// train.CombineF64Sum), so both modes see bitwise-identical norms and
+// make identical clip decisions.
 func (e *Engine) syncGradients([]*nn.Param) {
 	world := float32(e.Comm.Size())
+	t0 := e.Comm.Now()
 	// Dense parameters: bucketed all-reduce over the world.
 	allReduceBucketed(e.Comm, e.denseParams, 1/world)
 	// Expert parameters: all-reduce over the data-parallel group;
@@ -300,18 +418,18 @@ func (e *Engine) syncGradients([]*nn.Param) {
 	if e.DP.Size() > 1 || world > 1 {
 		allReduceBucketed(e.DP, e.expertParams, 1/world)
 	}
+	e.phases.Observe(metrics.PhaseGradSync, e.Comm.Now()-t0)
 
 	// Distributed global gradient norm: the dense part is identical
 	// on every rank; the expert shards are distinct within an
 	// expert-parallel group (and replicated across data-parallel
 	// peers), so summing shard norms over the EP communicator yields
 	// the true global norm, identically on every rank.
-	denseSq := sumSquares(e.denseParams)
-	expertSq := sumSquares(e.expertParams)
+	denseSq := train.ShardedNormSq(e.Comm, e.denseParams)
+	expertSq := train.ShardedNormSq(e.DP, e.expertParams)
 	totalSq := denseSq
 	if e.EP.Size() > 1 {
-		red := e.EP.AllReduce([]float32{float32(expertSq)}, mpi.OpSum)
-		totalSq += float64(red[0])
+		totalSq += train.CombineF64Sum(e.EP, expertSq)
 	} else {
 		totalSq += expertSq
 	}
@@ -328,14 +446,31 @@ func (e *Engine) syncGradients([]*nn.Param) {
 	}
 }
 
-func sumSquares(params []*nn.Param) float64 {
-	var sum float64
-	for _, p := range params {
-		for _, g := range p.G.Data {
-			sum += float64(g) * float64(g)
-		}
+// syncGradientsZeRO replaces the full-tensor all-reduce with the
+// sharded path: reduce-scatter leaves each rank holding only its owned
+// range of the reduced gradients (the same bytes on the wire as a ring
+// all-reduce); the optimizer later updates that shard and all-gathers
+// the parameters. Norm and clip use the identical canonical partial
+// sums as the legacy path, applied to the shards.
+func (e *Engine) syncGradientsZeRO([]*nn.Param) {
+	world := float32(e.Comm.Size())
+	t0 := e.Comm.Now()
+	e.zero.SyncGradients(1 / world)
+	e.phases.Observe(metrics.PhaseGradSync, e.Comm.Now()-t0)
+
+	denseSq := e.zero.GroupNormSq(0)
+	expertSq := e.zero.GroupNormSq(1)
+	totalSq := denseSq
+	if e.EP.Size() > 1 {
+		totalSq += train.CombineF64Sum(e.EP, expertSq)
+	} else {
+		totalSq += expertSq
 	}
-	return sum
+	norm := float32(math.Sqrt(totalSq))
+	e.lastGradNorm = norm
+	if e.clipNorm > 0 && norm > e.clipNorm {
+		e.zero.ScaleGradShards(e.clipNorm / norm)
+	}
 }
 
 // allReduceBucketed concatenates gradients into one buffer, reduces
@@ -382,6 +517,21 @@ func (e *Engine) Step() StepStats {
 	wallStep := time.Since(t0).Seconds()
 	if e.computeRate > 0 {
 		e.Comm.Compute(e.stepFlops() / e.computeRate)
+		// Recomputation replays the forward pass of the checkpointed
+		// blocks during backward: charge that fraction of the step's
+		// forward FLOPs (one third of fwd+bwd) on top.
+		if frac := e.Model.RecomputedFraction(); frac > 0 {
+			secs := frac * e.stepFlops() / 3 / e.computeRate
+			e.Comm.Compute(secs)
+			e.phases.Observe(metrics.PhaseRecompute, secs)
+		}
+	}
+	if e.offloadBW > 0 {
+		// Offloaded optimizer state streams host→device and back once
+		// per step (read moments, write updated moments).
+		secs := 2 * float64(e.OptStateBytes()) / e.offloadBW
+		e.Comm.Compute(secs)
+		e.phases.Observe(metrics.PhaseOffload, secs)
 	}
 	if e.Trace != nil {
 		start := t0.Sub(e.wallBase).Seconds()
@@ -406,6 +556,11 @@ func (e *Engine) Step() StepStats {
 	}
 
 	st := StepStats{Step: local.Step, GradNorm: e.lastGradNorm}
+	st.GradSync = e.phaseDelta(metrics.PhaseGradSync)
+	st.OptimizerShard = e.phaseDelta(metrics.PhaseOptimizerShard)
+	st.ParamGather = e.phaseDelta(metrics.PhaseParamGather)
+	st.RecomputeSim = e.phaseDelta(metrics.PhaseRecompute)
+	st.OffloadSim = e.phaseDelta(metrics.PhaseOffload)
 	// Aggregate loss/aux/overflow across the world.
 	agg := e.Comm.AllReduce([]float32{local.Loss, local.AuxLoss, float32(local.Overflow)}, mpi.OpSum)
 	world := float32(e.Comm.Size())

@@ -17,6 +17,9 @@ import (
 // every rank must call it at the same point. Returns the total number
 // of experts that moved.
 func (e *Engine) RebalanceExperts() (int, error) {
+	if e.zero != nil {
+		return 0, fmt.Errorf("parallel: expert rebalancing is unavailable under the ZeRO-sharded optimizer (moment ranges span data-parallel peers); escalate to rollback instead")
+	}
 	moves := 0
 	for _, m := range e.moeLayers {
 		counts := m.GatherExpertCounts(e.Comm)

@@ -59,6 +59,19 @@ type Deployment struct {
 	// the backward pass (standard in synchronous pretraining): up to
 	// two-thirds of compute time (the backward share) hides sync.
 	OverlapSync bool
+
+	// RecomputeFraction is the share of blocks under selective
+	// activation recomputation, in [0,1]: a recomputed block keeps
+	// only its input alive (1·d per token instead of ~6·d) and replays
+	// its forward during backward, which Project prices as extra
+	// compute.
+	RecomputeFraction float64
+
+	// OffloadOptState parks the (post-ZeRO) optimizer state in the
+	// host-memory tier: it stops counting against NodeMemGiB and
+	// instead streams out and back every step at HostMemBWGiBs,
+	// which Project adds to the step time.
+	OffloadOptState bool
 }
 
 // Ranks returns the total rank count.
@@ -88,10 +101,12 @@ type Report struct {
 	Ranks int
 	Eff   float64
 
-	ComputeTime float64 // seconds
-	A2ATime     float64
-	SyncTime    float64
-	StepTime    float64
+	ComputeTime   float64 // seconds
+	A2ATime       float64
+	SyncTime      float64
+	RecomputeTime float64 // forward replay of recomputed blocks
+	OffloadTime   float64 // optimizer-state traffic to/from the host tier
+	StepTime      float64
 
 	TokensPerStep  float64
 	TokensPerSec   float64
@@ -100,6 +115,7 @@ type Report struct {
 
 	MemPerNodeGiB float64
 	Fits          bool
+	Mem           MemBreakdown // full per-node memory accounting
 }
 
 // bytesPerElem is the wire size of an activation element in the given
@@ -158,35 +174,37 @@ func (d Deployment) Project(spec ModelSpec) (Report, error) {
 		r.SyncTime += d.allReduceCost(topo, d.DataParallel, gradBytes(shard))
 	}
 
+	// Selective recomputation replays the forward pass of the
+	// recomputed blocks during backward: that fraction of the forward
+	// share (one third of fwd+bwd) is extra compute.
+	r.RecomputeTime = d.RecomputeFraction * r.ComputeTime / 3
+
+	// Memory: the full per-node breakdown (ZeRO sharding, recompute
+	// policy, host offload) lives in Memory().
+	mb, err := d.Memory(spec)
+	if err != nil {
+		return Report{}, err
+	}
+	r.Mem = mb
+	r.MemPerNodeGiB = mb.TotalGiB
+	r.Fits = mb.Fits
+
+	// Offloaded optimizer state streams host→device and back once per
+	// step over the node's host-memory bandwidth, shared by its ranks.
+	if d.OffloadOptState && mb.HostOptState > 0 && d.Machine.HostMemBWGiBs > 0 {
+		r.OffloadTime = 2 * mb.HostOptState / d.Machine.HostMemBWGiBs
+	}
+
 	visibleSync := r.SyncTime
 	if d.OverlapSync {
 		// The backward pass (≈ 2/3 of compute) can hide sync.
 		hidden := math.Min(r.SyncTime, 2.0/3.0*r.ComputeTime)
 		visibleSync -= hidden
 	}
-	r.StepTime = r.ComputeTime + r.A2ATime + visibleSync
+	r.StepTime = r.ComputeTime + r.RecomputeTime + r.A2ATime + visibleSync + r.OffloadTime
 	r.TokensPerSec = r.TokensPerStep / r.StepTime
 	r.SustainedFlops = r.TokensPerStep * spec.FlopsPerToken() / r.StepTime
 	r.PeakFraction = r.SustainedFlops / (d.Machine.NodeFlops(d.Precision) * float64(d.Machine.Nodes()))
-
-	// Memory: per-rank model state (dense replicated + expert shard)
-	// plus activations for the local batch.
-	bpp := d.Precision.BytesPerParam()
-	denseBpp := bpp
-	if d.ZeRO {
-		// FP16 working copy replicated; FP32 master + Adam m/v
-		// sharded 1/P across the machine.
-		denseBpp = bytesPerElem(d.Precision) + (bpp-bytesPerElem(d.Precision))/float64(ranks)
-	}
-	stateBytes := float64(spec.DenseParams())*denseBpp +
-		float64(spec.ExpertParamsTotal())/float64(d.ExpertParallel)*bpp
-	// Activations: ~(attention + FFN intermediates) per token per
-	// layer; 12·d·L elements is the standard rough count with
-	// recomputation disabled, halved assuming activation
-	// checkpointing (which BaGuaLu requires at these scales).
-	actBytes := tokensPerRank * 6 * float64(spec.Dim) * float64(spec.Layers) * bytesPerElem(d.Precision)
-	r.MemPerNodeGiB = (stateBytes + actBytes) * float64(d.RanksPerNode) / (1 << 30)
-	r.Fits = r.MemPerNodeGiB <= d.Machine.NodeMemGiB
 	return r, nil
 }
 

@@ -1,0 +1,143 @@
+package perfmodel
+
+// Memory-capacity model: the per-node accounting that decides whether
+// a parameter count fits at all, and how far each of the three
+// memory-wall levers (ZeRO-sharded optimizer state, selective
+// activation recomputation, host-memory offload) pushes the wall.
+
+import "fmt"
+
+// MemBreakdown is the per-node memory model, in GiB. Params and
+// OptState are per-rank model state scaled to the node; Activations
+// covers the local batch; HostOptState is optimizer state parked in
+// the host tier (zero unless OffloadOptState).
+type MemBreakdown struct {
+	Params       float64 // working weights: dense replicated + expert shard
+	OptState     float64 // device-resident masters + Adam moments
+	Activations  float64 // live activations under the recompute policy
+	HostOptState float64 // optimizer state offloaded to the host tier
+
+	TotalGiB float64 // device-resident total (Params+OptState+Activations)
+	Fits     bool    // TotalGiB within NodeMemGiB and HostOptState within HostMemGiB
+}
+
+// Memory computes the per-node memory breakdown of spec under this
+// deployment:
+//
+//   - working weights stay resident at wire precision: dense (and
+//     gate) replicated on every rank, experts sharded 1/EP;
+//   - optimizer state (FP32 master + Adam m/v) is the ZeRO lever:
+//     dense state shards 1/world, expert state 1/DataParallel (each
+//     data-parallel peer of an expert shard owns a moment range);
+//   - activations are the recompute lever: a block that recomputes
+//     keeps only its input (1·d per token) instead of its ~6·d of
+//     intermediates, so RecomputeFraction f scales the standard count
+//     by (1-f) + f/6;
+//   - OffloadOptState parks whatever optimizer state remains after
+//     ZeRO in the host tier, trading NodeMemGiB capacity for
+//     HostMemBWGiBs-priced traffic every step (priced in Project).
+func (d Deployment) Memory(spec ModelSpec) (MemBreakdown, error) {
+	var mb MemBreakdown
+	if err := d.Validate(); err != nil {
+		return mb, err
+	}
+	if err := spec.Validate(); err != nil {
+		return mb, err
+	}
+	if d.RecomputeFraction < 0 || d.RecomputeFraction > 1 {
+		return mb, fmt.Errorf("perfmodel: recompute fraction %v out of [0,1]", d.RecomputeFraction)
+	}
+	ranks := float64(d.Ranks())
+	weightB := bytesPerElem(d.Precision)
+	optB := d.Precision.BytesPerParam() - weightB
+
+	dense := float64(spec.DenseParams())
+	expertShard := float64(spec.ExpertParamsTotal()) / float64(d.ExpertParallel)
+
+	params := dense*weightB + expertShard*weightB
+	denseOpt := dense * optB
+	expertOpt := expertShard * optB
+	if d.ZeRO {
+		denseOpt /= ranks
+		expertOpt /= float64(d.DataParallel)
+	}
+	opt := denseOpt + expertOpt
+
+	// Live activation elements per token per layer: ~6·d with full
+	// caching, 1·d (the block input) for a recomputed block.
+	f := d.RecomputeFraction
+	tokensPerRank := float64(d.BatchPerRank * spec.SeqLen)
+	act := tokensPerRank * float64(spec.Dim) * float64(spec.Layers) * weightB * (6*(1-f) + 1*f)
+
+	var hostOpt float64
+	if d.OffloadOptState {
+		hostOpt, opt = opt, 0
+	}
+
+	perNode := float64(d.RanksPerNode) / (1 << 30)
+	mb.Params = params * perNode
+	mb.OptState = opt * perNode
+	mb.Activations = act * perNode
+	mb.HostOptState = hostOpt * perNode
+	mb.TotalGiB = mb.Params + mb.OptState + mb.Activations
+	mb.Fits = mb.TotalGiB <= d.Machine.NodeMemGiB && mb.HostOptState <= d.Machine.HostMemGiB
+	return mb, nil
+}
+
+// MaxTrainableParams bisects the largest model (scaling the width of
+// spec: Dim, FFNHidden, MoEHidden) whose memory breakdown fits this
+// deployment, and returns its total parameter count with the scaled
+// spec. It is the quantity the R15 experiment tabulates: baseline vs
+// +ZeRO vs +recompute vs +offload per-node capacity.
+func (d Deployment) MaxTrainableParams(spec ModelSpec) (int64, ModelSpec, error) {
+	fits := func(k float64) (bool, ModelSpec) {
+		s := scaleWidth(spec, k)
+		mb, err := d.Memory(s)
+		return err == nil && mb.Fits, s
+	}
+	if ok, _ := fits(1.0 / float64(spec.Dim)); !ok {
+		return 0, spec, fmt.Errorf("perfmodel: even a width-1 model does not fit")
+	}
+	// Exponential search for an upper bound, then bisect.
+	lo, hi := 1.0/float64(spec.Dim), 2.0
+	for {
+		ok, _ := fits(hi)
+		if !ok {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if hi > 1e9 {
+			break
+		}
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if ok, _ := fits(mid); ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	_, best := fits(lo)
+	return best.TotalParams(), best, nil
+}
+
+// scaleWidth multiplies the width dimensions of spec by k (≥ 1/Dim),
+// keeping depth, vocabulary, and the expert pool shape fixed.
+func scaleWidth(spec ModelSpec, k float64) ModelSpec {
+	s := spec
+	s.Dim = maxInt(1, int(float64(spec.Dim)*k))
+	s.FFNHidden = maxInt(1, int(float64(spec.FFNHidden)*k))
+	if s.MoEEvery > 0 {
+		s.MoEHidden = maxInt(1, int(float64(spec.MoEHidden)*k))
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -35,6 +35,15 @@ type Machine struct {
 	NodeMemGiB  float64
 	CGMemBWGiBs float64
 
+	// Host-memory offload tier: slower, larger memory reachable from a
+	// node (on Sunway-like systems, the MPE-attached DDR pool behind
+	// the accelerator-visible HBM/LDM hierarchy; on the I/O forwarding
+	// path, burst-buffer staging RAM). Optimizer state parked there
+	// costs HostMemBWGiBs-priced traffic every step instead of
+	// NodeMemGiB capacity. Estimates, like every other figure here.
+	HostMemGiB    float64
+	HostMemBWGiBs float64
+
 	// Network: latency (seconds) and per-link bandwidth (GiB/s) at
 	// each hierarchy level.
 	IntraNodeLatency float64
@@ -60,6 +69,8 @@ func NewGenerationSunway() *Machine {
 		CGGflopsFP16:      9200, // 4x vector width at half precision
 		NodeMemGiB:        96,
 		CGMemBWGiBs:       51.2,
+		HostMemGiB:        192,  // DDR pool per node behind the fast tier
+		HostMemBWGiBs:     12.8, // one DDR channel's worth, shared per node
 		IntraNodeLatency:  0.3e-6,
 		IntraSNLatency:    2.0e-6,
 		InterSNLatency:    4.5e-6,

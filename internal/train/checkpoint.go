@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"bagualu/internal/nn"
 )
@@ -25,11 +26,20 @@ import (
 // RNG position, while the tensor list includes optimizer moments and
 // FP32 masters (see Trainer.CheckpointParams). Every tensor record
 // ends with a CRC32 of its payload so silent corruption is detected
-// at load time and attributed to a specific tensor. Version 1 streams
-// (weights only, no checksums) remain readable.
+// at load time and attributed to a specific tensor.
+//
+// Version 3 makes every record a *range* of a logical tensor: after
+// the full shape it carries [lo, hi) flat offsets and only hi-lo
+// payload floats. Full tensors write lo=0, hi=N. This is what lets a
+// ZeRO-sharded optimizer checkpoint restore across layouts — each
+// rank writes its moment shard as a range record under the same name
+// the unsharded optimizer uses, and restore assembles whatever ranges
+// the streams provide into whatever views the reader owns (Coverage
+// tracks completeness). Version 1 (weights only, no checksums) and
+// version 2 streams remain readable.
 const (
 	ckptMagic   = 0xBA60A1 // "BaGuaLu"
-	ckptVersion = 2
+	ckptVersion = 3
 )
 
 // Header carries run metadata stored alongside the weights.
@@ -59,7 +69,10 @@ func (e *CorruptError) Error() string {
 	return fmt.Sprintf("train: checkpoint tensor %q corrupted (crc %08x, want %08x)", e.Tensor, e.Got, e.Want)
 }
 
-// Save writes a version-2 checkpoint of params to w.
+// Save writes a version-3 checkpoint of params to w. A param whose
+// FullShape is set is written as a range record [ShardLo,
+// ShardLo+len) of the logical tensor; ordinary params cover their
+// whole tensor.
 func Save(w io.Writer, hdr Header, params []*nn.Param) error {
 	bw := bufio.NewWriter(w)
 	for _, v := range []any{
@@ -73,14 +86,28 @@ func Save(w io.Writer, hdr Header, params []*nn.Param) error {
 		}
 	}
 	for _, p := range params {
+		shape := p.W.Shape
+		if p.FullShape != nil {
+			shape = p.FullShape
+		}
+		lo := p.ShardLo
+		hi := lo + len(p.W.Data)
+		if lo < 0 || hi > p.FullLen() {
+			return fmt.Errorf("train: param %q shard [%d,%d) exceeds full length %d", p.Name, lo, hi, p.FullLen())
+		}
 		if err := writeString(bw, p.Name); err != nil {
 			return err
 		}
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.W.Shape))); err != nil {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
 			return err
 		}
-		for _, d := range p.W.Shape {
+		for _, d := range shape {
 			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range []uint64{uint64(lo), uint64(hi)} {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 				return err
 			}
 		}
@@ -106,28 +133,72 @@ func tensorCRC(data []float32) uint32 {
 	return h.Sum32()
 }
 
-// LoadInto restores a checkpoint stream into the given name-indexed
-// parameter set. Tensors present in the stream but absent from byName
-// are skipped (their checksums are still verified); parameters absent
-// from the stream are left untouched. It returns the header and the
-// names that were actually restored — callers decide which absences
-// are errors (a sharded restore unions several streams before
-// checking completeness; see internal/ckpt).
-func LoadInto(r io.Reader, byName map[string]*nn.Param) (Header, []string, error) {
+// Coverage accumulates which flat ranges of each named logical tensor
+// have been restored, across one or more checkpoint streams. A
+// sharded restore unions several shard files' range records into one
+// Coverage, then asks whether each local parameter view is fully
+// covered.
+type Coverage struct {
+	spans map[string][]ckptSpan
+}
+
+type ckptSpan struct{ lo, hi int }
+
+// NewCoverage returns an empty coverage set.
+func NewCoverage() *Coverage { return &Coverage{spans: map[string][]ckptSpan{}} }
+
+func (cv *Coverage) add(name string, lo, hi int) {
+	if hi > lo {
+		cv.spans[name] = append(cv.spans[name], ckptSpan{lo, hi})
+	}
+}
+
+// Covers reports whether [lo, hi) of the named tensor has been fully
+// restored (hi <= lo trivially holds).
+func (cv *Coverage) Covers(name string, lo, hi int) bool {
+	if hi <= lo {
+		return true
+	}
+	spans := append([]ckptSpan(nil), cv.spans[name]...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	at := lo
+	for _, s := range spans {
+		if s.lo > at {
+			break
+		}
+		if s.hi > at {
+			at = s.hi
+		}
+		if at >= hi {
+			return true
+		}
+	}
+	return at >= hi
+}
+
+// LoadIntoCov restores a checkpoint stream into the given name-indexed
+// parameter set, recording every restored range in cov. Each record
+// covers a flat range [lo, hi) of its logical tensor (full tensors in
+// v1/v2 streams cover everything); the overlap of that range with each
+// destination param's own view ([ShardLo, ShardLo+len)) is copied, so
+// sharded streams restore into unsharded params and vice versa.
+// Tensors absent from byName are skipped (checksums still verified);
+// params absent from the stream are left untouched.
+func LoadIntoCov(r io.Reader, byName map[string]*nn.Param, cov *Coverage) (Header, error) {
 	br := bufio.NewReader(r)
 	var hdr Header
 	var magic, version uint32
 	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return hdr, nil, err
+		return hdr, err
 	}
 	if magic != ckptMagic {
-		return hdr, nil, fmt.Errorf("train: bad checkpoint magic %#x", magic)
+		return hdr, fmt.Errorf("train: bad checkpoint magic %#x", magic)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return hdr, nil, err
+		return hdr, err
 	}
-	if version != 1 && version != ckptVersion {
-		return hdr, nil, fmt.Errorf("train: unsupported checkpoint version %d", version)
+	if version < 1 || version > ckptVersion {
+		return hdr, fmt.Errorf("train: unsupported checkpoint version %d", version)
 	}
 	hdr.Version = int(version)
 	fields := []any{&hdr.Step, &hdr.LossScale}
@@ -136,77 +207,113 @@ func LoadInto(r io.Reader, byName map[string]*nn.Param) (Header, []string, error
 	}
 	for _, f := range fields {
 		if err := binary.Read(br, binary.LittleEndian, f); err != nil {
-			return hdr, nil, err
+			return hdr, err
 		}
 	}
 	var count uint32
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return hdr, nil, err
+		return hdr, err
 	}
-	var loaded []string
 	for i := uint32(0); i < count; i++ {
 		name, err := readString(br)
 		if err != nil {
-			return hdr, nil, err
+			return hdr, err
 		}
 		var rank uint32
 		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
-			return hdr, nil, err
+			return hdr, err
 		}
 		shape := make([]int, rank)
-		n := 1
+		full := 1
 		for j := range shape {
 			var d uint32
 			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
-				return hdr, nil, err
+				return hdr, err
 			}
 			shape[j] = int(d)
-			n *= int(d)
+			full *= int(d)
 		}
-		buf := make([]float32, n)
+		lo, hi := 0, full
+		if version >= 3 {
+			var l, h uint64
+			for _, f := range []*uint64{&l, &h} {
+				if err := binary.Read(br, binary.LittleEndian, f); err != nil {
+					return hdr, err
+				}
+			}
+			lo, hi = int(l), int(h)
+			if lo < 0 || hi < lo || hi > full {
+				return hdr, fmt.Errorf("train: checkpoint tensor %q has range [%d,%d) of %d", name, lo, hi, full)
+			}
+		}
+		buf := make([]float32, hi-lo)
 		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
-			return hdr, nil, err
+			return hdr, err
 		}
 		if version >= 2 {
 			var want uint32
 			if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
-				return hdr, nil, err
+				return hdr, err
 			}
 			if got := tensorCRC(buf); got != want {
-				return hdr, nil, &CorruptError{Tensor: name, Want: want, Got: got}
+				return hdr, &CorruptError{Tensor: name, Want: want, Got: got}
 			}
 		}
 		p := byName[name]
 		if p == nil {
 			continue // tensor not owned by this rank
 		}
-		if len(p.W.Data) != n {
-			return hdr, nil, fmt.Errorf("train: checkpoint tensor %q has %d elements, param has %d", name, n, len(p.W.Data))
+		if p.FullLen() != full {
+			return hdr, fmt.Errorf("train: checkpoint tensor %q has %d elements, param has %d", name, full, p.FullLen())
 		}
-		copy(p.W.Data, buf)
-		loaded = append(loaded, name)
+		// Copy the overlap of the record range with this param's view.
+		vLo, vHi := p.ShardLo, p.ShardLo+len(p.W.Data)
+		oLo, oHi := max(lo, vLo), min(hi, vHi)
+		if oLo < oHi {
+			copy(p.W.Data[oLo-vLo:oHi-vLo], buf[oLo-lo:oHi-lo])
+		}
+		if cov != nil {
+			cov.add(name, lo, hi)
+		}
+	}
+	return hdr, nil
+}
+
+// LoadInto restores a checkpoint stream into the given name-indexed
+// parameter set. It returns the header and the names whose local view
+// was fully covered by this stream alone — callers decide which
+// absences are errors (a sharded restore unions several streams via
+// LoadIntoCov before checking completeness; see internal/ckpt).
+func LoadInto(r io.Reader, byName map[string]*nn.Param) (Header, []string, error) {
+	cov := NewCoverage()
+	hdr, err := LoadIntoCov(r, byName, cov)
+	if err != nil {
+		return hdr, nil, err
+	}
+	var loaded []string
+	for name, p := range byName {
+		if cov.Covers(name, p.ShardLo, p.ShardLo+len(p.W.Data)) {
+			loaded = append(loaded, name)
+		}
 	}
 	return hdr, loaded, nil
 }
 
 // Load restores a checkpoint into params, matching tensors by name.
-// Every parameter in params must be present in the stream with an
-// identical shape; extra tensors in the stream are ignored.
+// Every parameter's view must be fully covered by the stream; extra
+// tensors in the stream are ignored.
 func Load(r io.Reader, params []*nn.Param) (Header, error) {
 	byName := make(map[string]*nn.Param, len(params))
 	for _, p := range params {
 		byName[p.Name] = p
 	}
-	hdr, loaded, err := LoadInto(r, byName)
+	cov := NewCoverage()
+	hdr, err := LoadIntoCov(r, byName, cov)
 	if err != nil {
 		return hdr, err
 	}
-	seen := make(map[string]bool, len(loaded))
-	for _, n := range loaded {
-		seen[n] = true
-	}
 	for _, p := range params {
-		if !seen[p.Name] {
+		if !cov.Covers(p.Name, p.ShardLo, p.ShardLo+len(p.W.Data)) {
 			return hdr, fmt.Errorf("train: checkpoint missing tensor %q", p.Name)
 		}
 	}

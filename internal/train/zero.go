@@ -1,0 +1,325 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"bagualu/internal/metrics"
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/tensor"
+)
+
+// ShardGroup names one set of parameters whose gradients are reduced
+// over one communicator: the parallel engine binds dense params over
+// the world communicator and expert params over the data-parallel
+// communicator, so expert gradients ride the same sharded path.
+type ShardGroup struct {
+	Comm   *mpi.Comm
+	Params []*nn.Param
+}
+
+// ShardedAdam is a ZeRO-1 style Adam: the first and second moments of
+// each ShardGroup are partitioned by flat-offset ranges across the
+// group's ranks (mpi.ShardBounds), and gradient sync becomes
+// reduce-scatter → local shard update → all-gather of updated
+// parameters, moving the same bytes as a ring all-reduce while each
+// rank stores only 1/P of the optimizer state.
+//
+// The trajectory is bit-exact versus the unsharded Adam: the sharded
+// reduce-scatter produces bitwise the all-reduce values on the owned
+// range, and the per-element update arithmetic is identical, so the
+// gathered parameters match the unsharded run's to the last bit.
+//
+// ShardedAdam deliberately does not implement moe.OptStateCarrier:
+// expert migration would need to ship moment ranges scattered across
+// the group, so the engine rejects rebalance/mitigate under ZeRO and
+// fault recovery uses rollback (cross-layout checkpoint restore
+// re-partitions the shards).
+type ShardedAdam struct {
+	Beta1, Beta2 float32
+	Eps          float32
+	WeightDecay  float32
+
+	// UpdateRate, when positive, charges the local shard update to the
+	// group communicator's virtual clock at this rate (elements per
+	// second) — under ZeRO each rank updates n/P elements instead of n,
+	// and the saved optimizer compute should show in simulated time.
+	UpdateRate float64
+	// Observer, when non-nil, receives virtual-seconds phase samples
+	// from the sharded path under the canonical metrics phase names
+	// (metrics.PhaseOptimizerShard, metrics.PhaseParamGather).
+	Observer func(phase string, seconds float64)
+
+	step   int
+	groups []*shardGroup
+}
+
+func (z *ShardedAdam) observe(phase string, secs float64) {
+	if z.Observer != nil {
+		z.Observer(phase, secs)
+	}
+}
+
+type shardGroup struct {
+	comm   *mpi.Comm
+	params []*nn.Param
+	offs   []int // flat offset of each param in the group's concat
+	n      int   // total flat elements
+	my     mpi.Shard
+	m, v   []float32 // owned moment shards
+	grad   []float32 // owned shard of this step's reduced gradients
+	synced bool
+}
+
+// NewShardedAdam constructs the sharded optimizer with the
+// conventional Adam defaults (0.9, 0.999, 1e-8). Bind must be called
+// before the first step.
+func NewShardedAdam(weightDecay float32) *ShardedAdam {
+	return &ShardedAdam{Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay}
+}
+
+// Bind (re)partitions the optimizer over the given groups: each
+// group's flat layout is the concatenation of its params in order, and
+// this rank owns its communicator's ShardBounds range. Moments are
+// allocated zeroed; a checkpoint restore fills them through the
+// StateTensors views, which is how Reform/shrink re-partitions shards
+// across layouts.
+func (z *ShardedAdam) Bind(groups ...ShardGroup) {
+	z.groups = z.groups[:0]
+	for _, sg := range groups {
+		g := &shardGroup{comm: sg.Comm, params: sg.Params}
+		g.offs = make([]int, len(sg.Params))
+		for i, p := range sg.Params {
+			g.offs[i] = g.n
+			g.n += len(p.W.Data)
+		}
+		g.my = sg.Comm.MyShard(g.n)
+		g.m = make([]float32, g.my.Len())
+		g.v = make([]float32, g.my.Len())
+		g.grad = make([]float32, g.my.Len())
+		z.groups = append(z.groups, g)
+	}
+}
+
+// Groups returns the number of bound shard groups.
+func (z *ShardedAdam) Groups() int { return len(z.groups) }
+
+// GroupShard returns this rank's owned flat range of group i.
+func (z *ShardedAdam) GroupShard(i int) mpi.Shard { return z.groups[i].my }
+
+// StateBytes returns the bytes of optimizer state (moment shards)
+// this rank holds — the quantity ZeRO divides by the group size.
+func (z *ShardedAdam) StateBytes() int64 {
+	var b int64
+	for _, g := range z.groups {
+		b += int64(len(g.m)+len(g.v)) * 4
+	}
+	return b
+}
+
+// SyncGradients reduce-scatters each group's gradients and stores this
+// rank's reduced, scale-multiplied shard (scale is the data-parallel
+// averaging factor). It replaces the full-tensor all-reduce of the
+// unsharded path; parameters' G tensors are left untouched (they hold
+// local, unreduced gradients afterwards).
+func (z *ShardedAdam) SyncGradients(scale float32) {
+	if z.groups == nil {
+		panic("train: ShardedAdam.SyncGradients before Bind")
+	}
+	for _, g := range z.groups {
+		flat := tensor.GetSlice(g.n)
+		for i, p := range g.params {
+			copy(flat[g.offs[i]:], p.G.Data)
+		}
+		if g.comm.Size() > 1 {
+			shard, s := g.comm.ReduceScatterShard(flat[:g.n], mpi.OpSum)
+			if s != g.my {
+				panic(fmt.Sprintf("train: shard %+v != bound %+v", s, g.my))
+			}
+			copy(g.grad, shard)
+		} else {
+			copy(g.grad, flat[g.my.Lo:g.my.Hi])
+		}
+		tensor.PutSlice(flat)
+		if scale != 1 {
+			for i := range g.grad {
+				g.grad[i] *= scale
+			}
+		}
+		g.synced = true
+	}
+}
+
+// GroupNormSq returns the global gradient-norm² of group i, combined
+// over the group communicator: each rank contributes the float64 sum
+// of squares of its owned shard, and partials are summed in rank
+// order — the canonical order ShardedNormSq reproduces locally in the
+// unsharded path, keeping clip decisions mode-independent and
+// bit-exact.
+func (z *ShardedAdam) GroupNormSq(i int) float64 {
+	g := z.groups[i]
+	var local float64
+	for _, v := range g.grad {
+		local += float64(v) * float64(v)
+	}
+	return CombineF64Sum(g.comm, local)
+}
+
+// ScaleGradShards multiplies every reduced gradient shard by s (the
+// clip factor).
+func (z *ShardedAdam) ScaleGradShards(s float32) {
+	for _, g := range z.groups {
+		for i := range g.grad {
+			g.grad[i] *= s
+		}
+	}
+}
+
+// Step applies one Adam update to the owned shard of every group and
+// all-gathers the updated parameters. The params argument is ignored
+// (the bound groups partition the same underlying parameters); under
+// Mixed precision the policy has swapped FP32 masters into p.W, so the
+// shard update reads and writes master values transparently.
+func (z *ShardedAdam) Step(_ []*nn.Param, lr float32) {
+	z.step++
+	bc1 := 1 - float32(math.Pow(float64(z.Beta1), float64(z.step)))
+	bc2 := 1 - float32(math.Pow(float64(z.Beta2), float64(z.step)))
+	b1, b2, eps, wd := z.Beta1, z.Beta2, z.Eps, z.WeightDecay
+	for _, g := range z.groups {
+		if !g.synced {
+			panic("train: ShardedAdam.Step before SyncGradients")
+		}
+		g.synced = false
+		upd := tensor.GetSlice(g.my.Len())
+		for j, p := range g.params {
+			off := g.offs[j]
+			oLo := max(g.my.Lo, off)
+			oHi := min(g.my.Hi, off+len(p.W.Data))
+			if oLo >= oHi {
+				continue
+			}
+			w := p.W.Data
+			for i := oLo; i < oHi; i++ {
+				k := i - g.my.Lo
+				gi := g.grad[k]
+				g.m[k] = b1*g.m[k] + (1-b1)*gi
+				g.v[k] = b2*g.v[k] + (1-b2)*gi*gi
+				mh := g.m[k] / bc1
+				vh := g.v[k] / bc2
+				u := mh / (float32(math.Sqrt(float64(vh))) + eps)
+				if wd > 0 {
+					u += wd * w[i-off]
+				}
+				upd[k] = w[i-off] - lr*u
+			}
+		}
+		if z.UpdateRate > 0 {
+			secs := float64(g.my.Len()) / z.UpdateRate
+			g.comm.Compute(secs)
+			z.observe(metrics.PhaseOptimizerShard, secs)
+		}
+		full := upd[:g.my.Len()]
+		if g.comm.Size() > 1 {
+			t0 := g.comm.Now()
+			full = g.comm.AllGatherShard(upd[:g.my.Len()], g.n)
+			z.observe(metrics.PhaseParamGather, g.comm.Now()-t0)
+		}
+		for j, p := range g.params {
+			copy(p.W.Data, full[g.offs[j]:g.offs[j]+len(p.W.Data)])
+		}
+		tensor.PutSlice(upd)
+	}
+}
+
+// StepCount returns updates applied so far.
+func (z *ShardedAdam) StepCount() int { return z.step }
+
+// SetStepCount restores the bias-correction counter.
+func (z *ShardedAdam) SetStepCount(n int) { z.step = n }
+
+// StateTensors exposes this rank's moment shards as range-record
+// pseudo-parameters under the same names the unsharded Adam uses
+// ("<param>.adam.m" / ".adam.v"), each carrying the full logical shape
+// and its flat offset. Checkpoints therefore restore across layouts:
+// shard files union into full tensors (or differently-cut shards) via
+// coverage, and an unsharded checkpoint restores into shard views by
+// overlap. The params argument is ignored.
+func (z *ShardedAdam) StateTensors(_ []*nn.Param) []*nn.Param {
+	var out []*nn.Param
+	for _, g := range z.groups {
+		for j, p := range g.params {
+			off := g.offs[j]
+			oLo := max(g.my.Lo, off)
+			oHi := min(g.my.Hi, off+len(p.W.Data))
+			if oLo >= oHi {
+				continue
+			}
+			view := func(slot string, data []float32) *nn.Param {
+				return &nn.Param{
+					Name:      p.Name + slot,
+					W:         &tensor.Tensor{Data: data[oLo-g.my.Lo : oHi-g.my.Lo], Shape: []int{oHi - oLo}},
+					FullShape: append([]int(nil), p.W.Shape...),
+					ShardLo:   oLo - off,
+				}
+			}
+			out = append(out, view(".adam.m", g.m), view(".adam.v", g.v))
+		}
+	}
+	return out
+}
+
+// CombineF64Sum sums one float64 per rank of c, in rank order, with
+// full float64 fidelity: values travel as raw bit patterns through
+// AllGatherInts, so every rank computes the bitwise-identical total.
+// Both gradient-sync modes use it to combine norm partials, which is
+// what keeps clip decisions — and therefore whole trajectories —
+// identical between the sharded and unsharded optimizers.
+func CombineF64Sum(c *mpi.Comm, x float64) float64 {
+	if c.Size() == 1 {
+		return x
+	}
+	bits := c.AllGatherInts([]int{int(math.Float64bits(x))})
+	var sum float64
+	for _, b := range bits {
+		sum += math.Float64frombits(uint64(b))
+	}
+	return sum
+}
+
+// ShardedNormSq computes the canonical distributed gradient-norm² of
+// params over c's shard layout from fully reduced gradients held
+// locally: float64 partial sums per shard range, added in rank order.
+// It returns bitwise the value ShardedAdam.GroupNormSq computes by
+// exchanging partials, so the unsharded engine path reports (and
+// clips on) identical norms.
+func ShardedNormSq(c *mpi.Comm, params []*nn.Param) float64 {
+	n := 0
+	for _, p := range params {
+		n += len(p.W.Data)
+	}
+	shards := c.ShardBounds(n)
+	var sum float64
+	for _, s := range shards {
+		sum += flatNormSqRange(params, s)
+	}
+	return sum
+}
+
+// flatNormSqRange sums g² in float64 over one flat range of the
+// params' concatenated gradients.
+func flatNormSqRange(params []*nn.Param, s mpi.Shard) float64 {
+	var sum float64
+	off := 0
+	for _, p := range params {
+		g := p.G.Data
+		oLo := max(s.Lo, off)
+		oHi := min(s.Hi, off+len(g))
+		for i := oLo; i < oHi; i++ {
+			v := float64(g[i-off])
+			sum += v * v
+		}
+		off += len(g)
+	}
+	return sum
+}

@@ -38,3 +38,12 @@ go test -count=2 -run 'TestServeDeterministicReplay' ./internal/serve/
 # bitwise under the same seed, run after run.
 go test -race -run 'Dropless|ExpertChoice|Grouped|ExpertGroup|TestInferRouteMatchesForward' ./internal/moe/ ./internal/nn/ ./internal/tensor/
 go test -count=2 -run 'TestGroupedKernelDeterministicReplay' ./internal/tensor/
+# Memory-capacity gates (R15/R16): the ZeRO-sharded optimizer and its
+# shard collectives must survive the race detector, the sharded run
+# must replay bitwise (same losses, same grad norms) run after run,
+# and the capacity acceptance bounds must hold (>= 2x max trainable
+# params under ZeRO, sync bytes no worse than the all-reduce).
+go test -race -run 'Shard|ReduceScatter|AllGatherShard' ./internal/mpi/
+go test -race -run 'ZeRO|SelectiveRecompute|Sharded' ./internal/parallel/ ./internal/train/
+go test -count=2 -run 'TestZeROBitExactVsUnsharded|TestZeRODeterministicReplay' ./internal/parallel/
+go test -run 'TestZeROAtLeastDoublesMaxParams|TestMemoryLeversMonotone' ./internal/perfmodel/
