@@ -36,6 +36,7 @@ package bagualu
 import (
 	"io"
 
+	"bagualu/internal/autotune"
 	"bagualu/internal/ckpt"
 	"bagualu/internal/data"
 	"bagualu/internal/fault"
@@ -518,3 +519,54 @@ func NewLatencyHistogram() *Histogram { return metrics.NewLatencyHistogram() }
 func LoadForInference(dir string, params []*Param) (ckpt.Manifest, train.Header, error) {
 	return ckpt.LoadForInference(dir, params)
 }
+
+// Deployment autotuning (internal/autotune): enumerate the feasible
+// deployment space, rank it with the unified analytic cost model,
+// validate the top candidates on the virtual clock, and project the
+// winner to the full 96,000-node machine (see cmd/bagualu-plan).
+type (
+	// StepPrediction is the analytic projection of one training step
+	// (component times, wire bytes, goodput under the fault model).
+	StepPrediction = perfmodel.StepPrediction
+	// FaultModel parameterizes the failure process and checkpoint
+	// policy the goodput projection prices.
+	FaultModel = perfmodel.FaultModel
+	// ConfigError is the typed rejection of an inconsistent
+	// deployment (grid mismatch, EP not dividing the experts, ZeRO
+	// with expert migration, ...).
+	ConfigError = perfmodel.ConfigError
+	// AutotuneConfig parameterizes one autotuning run.
+	AutotuneConfig = autotune.Config
+	// AutotuneCandidate is one point of the deployment search space.
+	AutotuneCandidate = autotune.Candidate
+	// AutotunePlan is the full outcome: ranking, validation,
+	// agreement, and the full-scale projection (R17 tables).
+	AutotunePlan = autotune.Plan
+	// AutotuneProjection is the winner extrapolated to full scale.
+	AutotuneProjection = autotune.Projection
+	// ShortRunConfig drives one headless measurement run of a
+	// candidate deployment on the virtual clock.
+	ShortRunConfig = parallel.ShortRunConfig
+	// ShortRunResult is the measured outcome of a short run.
+	ShortRunResult = parallel.ShortRunResult
+)
+
+// Autotune runs the enumerate → score → validate → extrapolate
+// pipeline and returns the plan; deterministic per seed.
+func Autotune(cfg AutotuneConfig) (*AutotunePlan, error) { return autotune.Run(cfg) }
+
+// ShortRun measures a candidate deployment for a few simulated
+// training steps and returns the virtual-clock measurement.
+func ShortRun(cfg ShortRunConfig) (ShortRunResult, error) { return parallel.ShortRun(cfg) }
+
+// OptimizerFactory builds one optimizer per rank: ZeRO-sharded Adam
+// when zero is set, replicated Adam otherwise. Sharing one optimizer
+// instance across ranks races; every rank needs its own.
+func OptimizerFactory(zero bool, weightDecay float32) func() train.Optimizer {
+	return train.OptimizerFactory(zero, weightDecay)
+}
+
+// KendallTau computes the Kendall rank correlation between paired
+// samples — the agreement statistic the autotuner reports between
+// analytic and measured orderings.
+func KendallTau(a, b []float64) float64 { return autotune.KendallTau(a, b) }

@@ -1,0 +1,101 @@
+// Command bagualu-plan runs the simulation-driven deployment
+// autotuner (internal/autotune) and emits the R17 experiment tables:
+// the analytic candidate ranking over the feasible deployment space,
+// the analytic-vs-measured validation of its top candidates on the
+// virtual clock, and the winning configuration projected to the
+// full-scale machine budget (nodes, memory per node, MTBF, target
+// parameter count) with its expected EFLOPS and goodput.
+//
+// Output is a pure function of the flags: two runs with the same seed
+// emit byte-identical plans (the verify.sh gate double-runs this).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"bagualu/internal/autotune"
+	"bagualu/internal/moe"
+	"bagualu/internal/perfmodel"
+	"bagualu/internal/sunway"
+)
+
+func main() {
+	var (
+		// Target budget.
+		nodes   = flag.Int("nodes", 96000, "target machine size in nodes")
+		nodeMem = flag.Float64("node-mem", 0, "memory per node in GiB (0 = machine default)")
+		mtbf    = flag.Float64("mtbf", 400, "expected steps between failures (search and target)")
+		params  = flag.Float64("params", 174e12, "target parameter count; nearest brain-scale spec is used")
+
+		// Search scale.
+		ranks   = flag.Int("ranks", 8, "simulated ranks for the search")
+		rpn     = flag.Int("ranks-per-node", 2, "ranks per simulated node")
+		perSN   = flag.Int("nodes-per-sn", 2, "nodes per simulated supernode")
+		eff     = flag.Float64("efficiency", 0.3, "sustained fraction of node peak for GEMM kernels")
+		routes  = flag.String("routes", "token-choice", "comma-separated route modes to search")
+		topk    = flag.Int("topk", 5, "candidates to validate with simulated runs")
+		steps   = flag.Int("steps", 4, "measured steps per validation run")
+		maxCand = flag.Int("max-candidates", 2048, "cap on scored candidates (larger spaces are sampled)")
+		seed    = flag.Uint64("seed", 1, "seed for candidate sampling and validation runs")
+		csv     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	target := sunway.NewGenerationSunway()
+	nps := target.NodesPerSupernode
+	if *nodes < nps {
+		nps = *nodes
+	}
+	if *nodes <= 0 || *nodes%nps != 0 {
+		fmt.Fprintf(os.Stderr, "bagualu-plan: -nodes %d must be a positive multiple of %d\n", *nodes, nps)
+		os.Exit(1)
+	}
+	target.NodesPerSupernode = nps
+	target.Supernodes = *nodes / nps
+	if *nodeMem > 0 {
+		target.NodeMemGiB = *nodeMem
+	}
+
+	// Pick the brain-scale spec whose total parameter count is nearest
+	// the requested budget.
+	specs := perfmodel.BrainScaleSpecs()
+	spec := specs[0]
+	for _, s := range specs[1:] {
+		if math.Abs(float64(s.TotalParams())-*params) < math.Abs(float64(spec.TotalParams())-*params) {
+			spec = s
+		}
+	}
+
+	var modes []moe.RouteMode
+	for _, name := range strings.Split(*routes, ",") {
+		m, err := moe.ParseRouteMode(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bagualu-plan: %v\n", err)
+			os.Exit(1)
+		}
+		modes = append(modes, m)
+	}
+
+	plan, err := autotune.Run(autotune.Config{
+		Ranks: *ranks, RanksPerNode: *rpn, NodesPerSN: *perSN,
+		Target: target, TargetSpec: spec,
+		Efficiency: *eff,
+		Routes:     modes,
+		MTBFSteps:  *mtbf, TargetMTBFSteps: *mtbf,
+		TopK: *topk, ValidateSteps: *steps,
+		MaxCandidates: *maxCand,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bagualu-plan: %v\n", err)
+		os.Exit(1)
+	}
+	if err := plan.Render(os.Stdout, *csv); err != nil {
+		fmt.Fprintf(os.Stderr, "bagualu-plan: %v\n", err)
+		os.Exit(1)
+	}
+}

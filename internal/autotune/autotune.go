@@ -1,0 +1,359 @@
+// Package autotune is the simulation-driven deployment autotuner: it
+// searches the feasible deployment space of a (scaled-down) BaGuaLu
+// training configuration, ranks the survivors with the analytic
+// perfmodel.PredictStep cost model, validates the ranking by actually
+// running the top candidates through the simulated stack on the
+// virtual clock, and extrapolates the winner to the full New
+// Generation Sunway machine (96,000 nodes / 37M cores).
+//
+// The pipeline is deliberately staged from cheap to expensive:
+//
+//  1. EnumerateSpace walks every DP×EP layout, wire codec, overlap
+//     setting, route mode, batch size, memory lever (ZeRO, selective
+//     recompute, host offload) and checkpoint interval, pruning
+//     points the typed perfmodel validation or the per-node memory
+//     budget rejects.
+//  2. Score prices each survivor analytically (projected step time,
+//     sync bytes, goodput under the fault model) and sorts by
+//     effective step time.
+//  3. Validate runs the top-k distinct candidates for a few simulated
+//     steps (parallel.ShortRun) and measures virtual seconds per
+//     step — ground truth the analytic ranking is checked against
+//     (Kendall tau).
+//  4. Extrapolate projects the measured winner to the full-scale
+//     machine and model, escalating memory levers until the target
+//     fits and re-optimizing the checkpoint interval for goodput.
+//
+// Everything is deterministic: one seeded RNG (tensor.RNG) threads
+// through candidate sampling and validation-run seeding, and no
+// wall-clock value enters any output, so two runs with the same seed
+// emit byte-identical plans.
+package autotune
+
+import (
+	"fmt"
+	"sort"
+
+	"bagualu/internal/moe"
+	"bagualu/internal/mpi"
+	"bagualu/internal/perfmodel"
+	"bagualu/internal/sunway"
+	"bagualu/internal/tensor"
+)
+
+// Config parameterizes one autotuning run. The zero value is not
+// runnable; Run applies the defaults documented per field.
+type Config struct {
+	// Search-scale world. When Machine is nil, Run shapes a
+	// TestMachine from Ranks, RanksPerNode and NodesPerSN (Ranks must
+	// then divide evenly into nodes and supernodes).
+	Machine      *sunway.Machine
+	Ranks        int // default 8
+	RanksPerNode int // default 2
+	NodesPerSN   int // default 2
+
+	// Spec is the scaled-down model the search measures. TargetSpec
+	// is the full-scale model the winner is extrapolated to (default
+	// BrainScaleSpecs' 174T entry) on Target (default the full New
+	// Generation Sunway machine).
+	Spec       perfmodel.ModelSpec
+	TargetSpec perfmodel.ModelSpec
+	Target     *sunway.Machine
+
+	TargetRanksPerNode int              // default 1 (one expert host per node)
+	TargetPrecision    sunway.Precision // default sunway.Mixed
+
+	Precision  sunway.Precision // search-scale training precision; default FP32
+	Efficiency float64          // sustained fraction of peak; default 0.3
+
+	// Search axes. Zero-valued slices get defaults; layouts (DP×EP),
+	// codecs, overlap and memory levers are always enumerated in
+	// full.
+	Batches       []int           // default {2, 4}
+	CkptIntervals []int           // default {8, 32}
+	Routes        []moe.RouteMode // default {TokenChoice}
+
+	// Fault model: expected steps between failures at search scale
+	// and at the target (defaults 200 and the search value).
+	MTBFSteps       float64
+	TargetMTBFSteps float64
+
+	// Validation: how many analytically-ranked candidates to measure
+	// and how long each measurement runs.
+	TopK          int // default 5
+	ValidateSteps int // default 4
+	Warmup        int // default 1
+
+	// MaxCandidates caps the scored set; larger spaces are sampled
+	// without replacement using the run's seeded RNG. Default 2048.
+	MaxCandidates int
+
+	Seed uint64 // default 1; drives sampling and validation runs
+}
+
+// withDefaults fills unset fields and shapes the search machine.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Ranks == 0 {
+		cfg.Ranks = 8
+	}
+	if cfg.RanksPerNode == 0 {
+		cfg.RanksPerNode = 2
+	}
+	if cfg.NodesPerSN == 0 {
+		cfg.NodesPerSN = 2
+	}
+	if cfg.Machine == nil {
+		if cfg.Ranks%cfg.RanksPerNode != 0 {
+			return cfg, fmt.Errorf("autotune: ranks %d not divisible by ranks/node %d", cfg.Ranks, cfg.RanksPerNode)
+		}
+		nodes := cfg.Ranks / cfg.RanksPerNode
+		if nodes%cfg.NodesPerSN != 0 {
+			return cfg, fmt.Errorf("autotune: nodes %d not divisible by nodes/supernode %d", nodes, cfg.NodesPerSN)
+		}
+		cfg.Machine = sunway.TestMachine(nodes/cfg.NodesPerSN, cfg.NodesPerSN)
+	}
+	if got := cfg.Machine.Nodes() * cfg.RanksPerNode; got != cfg.Ranks {
+		return cfg, fmt.Errorf("autotune: machine carries %d ranks, config says %d", got, cfg.Ranks)
+	}
+	if cfg.Spec.Vocab == 0 {
+		cfg.Spec = SearchSpec()
+	}
+	if cfg.TargetSpec.Vocab == 0 {
+		specs := perfmodel.BrainScaleSpecs()
+		cfg.TargetSpec = specs[len(specs)-1] // 174T
+	}
+	if cfg.Target == nil {
+		cfg.Target = sunway.NewGenerationSunway()
+	}
+	if cfg.TargetRanksPerNode == 0 {
+		cfg.TargetRanksPerNode = 1
+	}
+	if cfg.TargetPrecision == 0 {
+		cfg.TargetPrecision = sunway.Mixed
+	}
+	if cfg.Precision == 0 {
+		cfg.Precision = sunway.FP32
+	}
+	if cfg.Efficiency == 0 {
+		cfg.Efficiency = 0.3
+	}
+	if len(cfg.Batches) == 0 {
+		cfg.Batches = []int{2, 4}
+	}
+	if len(cfg.CkptIntervals) == 0 {
+		cfg.CkptIntervals = []int{8, 32}
+	}
+	if len(cfg.Routes) == 0 {
+		cfg.Routes = []moe.RouteMode{moe.TokenChoice}
+	}
+	if cfg.MTBFSteps == 0 {
+		cfg.MTBFSteps = 200
+	}
+	if cfg.TargetMTBFSteps == 0 {
+		cfg.TargetMTBFSteps = cfg.MTBFSteps
+	}
+	if cfg.TopK == 0 {
+		cfg.TopK = 5
+	}
+	if cfg.ValidateSteps == 0 {
+		cfg.ValidateSteps = 4
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 1
+	}
+	if cfg.MaxCandidates == 0 {
+		cfg.MaxCandidates = 2048
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg, nil
+}
+
+// SearchSpec is the default scaled-down MoE model the search measures:
+// small enough that a ShortRun takes milliseconds, MoE-shaped enough
+// that every deployment lever (a2a, codec, overlap, recompute) has a
+// measurable effect.
+func SearchSpec() perfmodel.ModelSpec {
+	return perfmodel.ModelSpec{
+		Name: "search-tiny", Vocab: 128, Dim: 32, Heads: 2,
+		Layers: 2, SeqLen: 16, FFNHidden: 64,
+		NumExperts: 8, MoEHidden: 64, MoEEvery: 1, TopK: 2,
+	}
+}
+
+// Candidate is one point of the deployment search space.
+type Candidate struct {
+	DP, EP int
+	Batch  int // sequences per rank per step
+
+	Codec   mpi.Codec // MoE wire codec (fp32 / fp16 inter-supernode)
+	Overlap bool      // two-phase comm/compute overlap
+	Route   moe.RouteMode
+
+	// Memory levers.
+	ZeRO           bool
+	RecomputeEvery int // 0 = off; n = every n-th block replays forward
+	Offload        bool
+
+	CkptEvery int // checkpoint interval in steps
+}
+
+// String is the stable label candidates are reported under.
+func (c Candidate) String() string {
+	s := fmt.Sprintf("dp%dxep%d b%d %s", c.DP, c.EP, c.Batch, c.Codec)
+	if c.Overlap {
+		s += "+ov"
+	}
+	if c.Route != moe.TokenChoice {
+		s += " " + c.Route.String()
+	}
+	if c.ZeRO {
+		s += " zero"
+	}
+	if c.RecomputeEvery > 0 {
+		s += fmt.Sprintf(" rc%d", c.RecomputeEvery)
+	}
+	if c.Offload {
+		s += " offload"
+	}
+	return s + fmt.Sprintf(" ck%d", c.CkptEvery)
+}
+
+// recomputeFraction maps the runtime's every-n-th-block selective
+// recompute policy (block b replays iff b%n == 0) onto the analytic
+// model's fraction-of-blocks knob.
+func recomputeFraction(every, layers int) float64 {
+	if every <= 0 || layers <= 0 {
+		return 0
+	}
+	n := 0
+	for b := 0; b < layers; b++ {
+		if b%every == 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(layers)
+}
+
+// deployment maps a candidate onto the analytic model at search scale.
+func (cfg Config) deployment(c Candidate) perfmodel.Deployment {
+	return perfmodel.Deployment{
+		Machine: cfg.Machine, RanksPerNode: cfg.RanksPerNode,
+		DataParallel: c.DP, ExpertParallel: c.EP,
+		BatchPerRank: c.Batch, Precision: cfg.Precision,
+		Efficiency:        cfg.Efficiency,
+		A2A:               perfmodel.A2AHierarchical,
+		ZeRO:              c.ZeRO,
+		RecomputeFraction: recomputeFraction(c.RecomputeEvery, cfg.Spec.Layers),
+		OffloadOptState:   c.Offload,
+		WireFP16:          c.Codec == mpi.FP16Wire,
+		OverlapA2A:        c.Overlap,
+	}
+}
+
+// memoryLevers are the ZeRO / selective-recompute / offload
+// combinations the search enumerates — the escalation ladder the R15
+// capacity study measured, cheapest first.
+var memoryLevers = []struct {
+	zero    bool
+	rcEvery int
+	offload bool
+}{
+	{false, 0, false},
+	{true, 0, false},
+	{true, 1, false},
+	{true, 1, true},
+}
+
+// EnumerateSpace walks the full candidate grid and prunes points the
+// typed deployment validation or the per-node memory budget rejects.
+// It returns the feasible candidates in deterministic enumeration
+// order, the total grid size, and how many points were pruned.
+func EnumerateSpace(cfg Config) (feasible []Candidate, total, pruned int) {
+	codecs := []mpi.Codec{mpi.FP32Wire, mpi.FP16Wire}
+	for ep := 1; ep <= cfg.Ranks; ep++ {
+		if cfg.Ranks%ep != 0 {
+			continue
+		}
+		for _, codec := range codecs {
+			for _, overlap := range []bool{false, true} {
+				for _, route := range cfg.Routes {
+					for _, batch := range cfg.Batches {
+						for _, lv := range memoryLevers {
+							for _, ck := range cfg.CkptIntervals {
+								total++
+								c := Candidate{
+									DP: cfg.Ranks / ep, EP: ep, Batch: batch,
+									Codec: codec, Overlap: overlap, Route: route,
+									ZeRO: lv.zero, RecomputeEvery: lv.rcEvery, Offload: lv.offload,
+									CkptEvery: ck,
+								}
+								d := cfg.deployment(c)
+								mb, err := d.Memory(cfg.Spec)
+								if err != nil || !mb.Fits {
+									pruned++
+									continue
+								}
+								feasible = append(feasible, c)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return feasible, total, pruned
+}
+
+// sampleCandidates draws at most n candidates without replacement
+// using the run's seeded RNG, preserving enumeration order in the
+// result so downstream stages stay deterministic.
+func sampleCandidates(cands []Candidate, n int, rng *tensor.RNG) []Candidate {
+	if len(cands) <= n {
+		return cands
+	}
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ { // partial Fisher–Yates: first n slots
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	keep := append([]int(nil), idx[:n]...)
+	sort.Ints(keep)
+	out := make([]Candidate, n)
+	for i, k := range keep {
+		out[i] = cands[k]
+	}
+	return out
+}
+
+// Scored pairs a candidate with its analytic prediction.
+type Scored struct {
+	Candidate
+	Pred perfmodel.StepPrediction
+}
+
+// Score prices every candidate with perfmodel.PredictStep under the
+// search-scale fault model and returns them sorted by effective step
+// time (checkpoint overhead and expected rework included), best
+// first. The sort is stable, so ties keep enumeration order.
+func Score(cfg Config, cands []Candidate) ([]Scored, error) {
+	scored := make([]Scored, 0, len(cands))
+	for _, c := range cands {
+		fm := perfmodel.FaultModel{
+			MTBFSteps: cfg.MTBFSteps, CkptEverySteps: c.CkptEvery, Async: true,
+		}
+		p, err := cfg.deployment(c).PredictStep(cfg.Spec, fm)
+		if err != nil {
+			return nil, fmt.Errorf("autotune: scoring %s: %w", c, err)
+		}
+		scored = append(scored, Scored{Candidate: c, Pred: p})
+	}
+	sort.SliceStable(scored, func(i, j int) bool {
+		return scored[i].Pred.EffStepTime < scored[j].Pred.EffStepTime
+	})
+	return scored, nil
+}

@@ -1,0 +1,260 @@
+package autotune
+
+// Plan orchestration: enumerate → score → validate → extrapolate,
+// plus the R17 report tables. Every figure in a plan derives from the
+// seeded RNG and the virtual clock — no wall time — so rendering the
+// same config twice produces byte-identical output (pinned by
+// TestPlanDeterministicReplay and the verify.sh double-run gate).
+
+import (
+	"fmt"
+	"io"
+
+	"bagualu/internal/metrics"
+	"bagualu/internal/mpi"
+	"bagualu/internal/perfmodel"
+	"bagualu/internal/sunway"
+	"bagualu/internal/tensor"
+)
+
+// Projection is the winner extrapolated to the full-scale machine.
+type Projection struct {
+	Machine *sunway.Machine
+	Spec    perfmodel.ModelSpec
+	Dep     perfmodel.Deployment
+
+	// Escalated reports whether memory levers beyond the winner's own
+	// had to be switched on to fit the target model.
+	Escalated bool
+
+	CkptEvery int // goodput-optimal checkpoint interval at target MTBF
+	Pred      perfmodel.StepPrediction
+
+	MaxParams int64 // largest trainable scale of this deployment (expert scaling)
+}
+
+// EFLOPS is the projected sustained performance in exaflop/s.
+func (p Projection) EFLOPS() float64 { return p.Pred.SustainedFlops / 1e18 }
+
+// Plan is the full outcome of one autotuning run.
+type Plan struct {
+	Cfg Config // post-defaults
+
+	SpaceSize int // full candidate grid
+	Pruned    int // rejected by validation or memory budget
+	Sampled   int // scored after seeded sampling
+
+	Scored    []Scored    // analytic ranking, best first
+	Validated []Validated // measured top-k, analytic order
+
+	Tau      float64 // Kendall tau: predicted step time vs measured simsec
+	TopMatch bool    // analytic best == measured best
+
+	Winner Candidate // measured-best candidate
+	Proj   Projection
+}
+
+// Run executes the full pipeline and returns the plan.
+func Run(cfg Config) (*Plan, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	feasible, total, pruned := EnumerateSpace(cfg)
+	if len(feasible) == 0 {
+		return nil, fmt.Errorf("autotune: no feasible candidate in a space of %d (all %d pruned)", total, pruned)
+	}
+	feasible = sampleCandidates(feasible, cfg.MaxCandidates, rng)
+	scored, err := Score(cfg, feasible)
+	if err != nil {
+		return nil, err
+	}
+	validated, err := Validate(cfg, scored, rng)
+	if err != nil {
+		return nil, err
+	}
+	tau, topMatch := agreement(validated)
+	winner := validated[0]
+	for _, v := range validated[1:] {
+		if v.Measured.SimPerStep < winner.Measured.SimPerStep {
+			winner = v
+		}
+	}
+	proj, err := Extrapolate(cfg, winner.Candidate)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Cfg:       cfg,
+		SpaceSize: total, Pruned: pruned, Sampled: len(scored),
+		Scored: scored, Validated: validated,
+		Tau: tau, TopMatch: topMatch,
+		Winner: winner.Candidate, Proj: proj,
+	}, nil
+}
+
+// gcd of two positive ints.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Extrapolate projects a winning candidate to the target machine and
+// model: the expert-parallel width becomes the largest divisor of the
+// per-layer expert count the rank count admits, memory levers
+// escalate (ZeRO → full recompute → host offload) until the target
+// fits the node budget, and the checkpoint interval is re-optimized
+// for goodput under the target MTBF.
+func Extrapolate(cfg Config, winner Candidate) (Projection, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Projection{}, err
+	}
+	m, spec := cfg.Target, cfg.TargetSpec
+	ranks := m.Nodes() * cfg.TargetRanksPerNode
+	ep := gcd(ranks, spec.NumExperts)
+	dep := perfmodel.Deployment{
+		Machine: m, RanksPerNode: cfg.TargetRanksPerNode,
+		DataParallel: ranks / ep, ExpertParallel: ep,
+		BatchPerRank: winner.Batch, Precision: cfg.TargetPrecision,
+		Efficiency:        cfg.Efficiency,
+		A2A:               perfmodel.A2AHierarchical,
+		ZeRO:              winner.ZeRO,
+		OverlapSync:       true, // backward/sync overlap is standard at scale
+		RecomputeFraction: recomputeFraction(winner.RecomputeEvery, spec.Layers),
+		OffloadOptState:   winner.Offload,
+		WireFP16:          winner.Codec == mpi.FP16Wire,
+		OverlapA2A:        winner.Overlap,
+	}
+	// Escalate memory levers until the target model fits per node.
+	escalated := false
+	for {
+		mb, err := dep.Memory(spec)
+		if err != nil {
+			return Projection{}, err
+		}
+		if mb.Fits {
+			break
+		}
+		switch {
+		case !dep.ZeRO:
+			dep.ZeRO = true
+		case dep.RecomputeFraction < 1:
+			dep.RecomputeFraction = 1
+		case !dep.OffloadOptState:
+			dep.OffloadOptState = true
+		default:
+			return Projection{}, fmt.Errorf(
+				"autotune: %s does not fit %d×%.0f GiB nodes even with every memory lever (needs %.1f GiB/node)",
+				spec, m.Nodes(), m.NodeMemGiB, mb.TotalGiB)
+		}
+		escalated = true
+	}
+	// Re-optimize the checkpoint interval for goodput at target MTBF.
+	proj := Projection{Machine: m, Spec: spec, Dep: dep, Escalated: escalated}
+	for iv := 1; iv <= 1<<16; iv *= 2 {
+		p, err := dep.PredictStep(spec, perfmodel.FaultModel{
+			MTBFSteps: cfg.TargetMTBFSteps, CkptEverySteps: iv, Async: true,
+		})
+		if err != nil {
+			return Projection{}, err
+		}
+		if proj.CkptEvery == 0 || p.Goodput > proj.Pred.Goodput {
+			proj.CkptEvery, proj.Pred = iv, p
+		}
+	}
+	maxP, _, err := dep.MaxTrainableParams(spec)
+	if err != nil {
+		return Projection{}, err
+	}
+	proj.MaxParams = maxP
+	return proj, nil
+}
+
+// rankingRows caps how many analytic candidates the report tabulates.
+const rankingRows = 16
+
+// Tables renders the plan as the R17 experiment tables: the analytic
+// candidate ranking, the analytic-vs-measured validation, and the
+// full-scale projection.
+func (p *Plan) Tables() []*metrics.Table {
+	t1 := metrics.NewTable(
+		fmt.Sprintf("R17a: analytic candidate ranking (top %d of %d scored; space %d, pruned %d)",
+			min(rankingRows, len(p.Scored)), p.Sampled, p.SpaceSize, p.Pruned),
+		"rank", "candidate", "pred-step(s)", "goodput", "eff-step(s)", "sync(MiB)", "a2a(MiB)", "mem(GiB)")
+	for i, s := range p.Scored {
+		if i >= rankingRows {
+			break
+		}
+		t1.AddRow(i+1, s.Candidate.String(), s.Pred.StepTime, s.Pred.Goodput,
+			s.Pred.EffStepTime, s.Pred.SyncBytes/(1<<20), s.Pred.A2ABytes/(1<<20),
+			s.Pred.Mem.TotalGiB)
+	}
+
+	t2 := metrics.NewTable(
+		fmt.Sprintf("R17b: analytic vs measured (top-%d short runs, %d steps each; kendall-tau %.3f, top-1 match %v)",
+			len(p.Validated), p.Cfg.ValidateSteps, p.Tau, p.TopMatch),
+		"pred-rank", "candidate", "pred-step(s)", "sim/step(s)", "meas-rank", "tokens/simsec", "xsn(MiB)")
+	measRank := make([]int, len(p.Validated))
+	for i := range p.Validated {
+		r := 1
+		for j := range p.Validated {
+			if p.Validated[j].Measured.SimPerStep < p.Validated[i].Measured.SimPerStep {
+				r++
+			}
+		}
+		measRank[i] = r
+	}
+	for i, v := range p.Validated {
+		t2.AddRow(i+1, v.Candidate.String(), v.Pred.StepTime, v.Measured.SimPerStep,
+			measRank[i], v.Measured.TokensPerSimSec, float64(v.Measured.InterSNBytes)/(1<<20))
+	}
+
+	pr := p.Proj
+	t3 := metrics.NewTable("R17c: winner projected to full scale", "field", "value")
+	t3.AddRow("machine", fmt.Sprintf("%d nodes / %d cores", pr.Machine.Nodes(), pr.Machine.Cores()))
+	t3.AddRow("model", pr.Spec.String())
+	t3.AddRow("winner (search scale)", p.Winner.String())
+	t3.AddRow("grid", fmt.Sprintf("dp%d x ep%d", pr.Dep.DataParallel, pr.Dep.ExpertParallel))
+	t3.AddRow("precision", pr.Dep.Precision.String())
+	t3.AddRow("wire codec", map[bool]string{true: "fp16", false: "fp32"}[pr.Dep.WireFP16])
+	t3.AddRow("a2a overlap", pr.Dep.OverlapA2A)
+	t3.AddRow("zero / recompute / offload", fmt.Sprintf("%v / %.2f / %v (escalated %v)",
+		pr.Dep.ZeRO, pr.Dep.RecomputeFraction, pr.Dep.OffloadOptState, pr.Escalated))
+	t3.AddRow("ckpt interval (steps)", pr.CkptEvery)
+	t3.AddRow("step time (s)", pr.Pred.StepTime)
+	t3.AddRow("goodput", pr.Pred.Goodput)
+	t3.AddRow("effective step (s)", pr.Pred.EffStepTime)
+	t3.AddRow("tokens/s", pr.Pred.TokensPerSec)
+	t3.AddRow("sustained EFLOPS", pr.EFLOPS())
+	t3.AddRow("peak fraction", pr.Pred.PeakFraction)
+	t3.AddRow("mem/node (GiB)", pr.Pred.Mem.TotalGiB)
+	t3.AddRow("fits node budget", pr.Pred.Mem.Fits)
+	t3.AddRow("max trainable params", fmt.Sprintf("%.3gT", float64(pr.MaxParams)/1e12))
+	return []*metrics.Table{t1, t2, t3}
+}
+
+// Render writes the plan's tables as text or CSV. Output is a pure
+// function of the config (seed included): no wall-clock value ever
+// enters it, so identical runs are byte-identical.
+func (p *Plan) Render(w io.Writer, csv bool) error {
+	for _, t := range p.Tables() {
+		var err error
+		if csv {
+			_, _ = fmt.Fprintf(w, "# %s\n", t.Title)
+			err = t.WriteCSV(w)
+		} else {
+			err = t.WriteText(w)
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

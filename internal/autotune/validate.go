@@ -1,0 +1,146 @@
+package autotune
+
+// Validation: the analytic ranking is only trustworthy if it tracks
+// what the simulated stack actually does. This file bridges the
+// autotuner to parallel.ShortRun — a few real training steps on the
+// virtual clock per candidate — and measures rank agreement between
+// predicted step time and measured virtual seconds per step.
+
+import (
+	"fmt"
+
+	"bagualu/internal/data"
+	"bagualu/internal/moe"
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/parallel"
+	"bagualu/internal/tensor"
+	"bagualu/internal/train"
+)
+
+// Validated pairs a scored candidate with its measured short run.
+type Validated struct {
+	Scored
+	Measured parallel.ShortRunResult
+}
+
+// measuredKey erases the candidate knobs the virtual clock cannot
+// distinguish, so validation spends its top-k runs on configurations
+// that can actually measure differently: the checkpoint interval
+// (ShortRun never checkpoints), and — when the expert-parallel group
+// fits inside one supernode — the wire codec and overlap flags, which
+// only touch cross-supernode payloads.
+func (cfg Config) measuredKey(c Candidate) Candidate {
+	c.CkptEvery = 0
+	if c.EP <= cfg.RanksPerNode*cfg.Machine.NodesPerSupernode {
+		c.Codec, c.Overlap = mpi.FP32Wire, false
+	}
+	return c
+}
+
+// shortRunConfig maps a candidate onto the measurement harness.
+func (cfg Config) shortRunConfig(c Candidate, seed uint64) parallel.ShortRunConfig {
+	s := cfg.Spec
+	return parallel.ShortRunConfig{
+		Machine:      cfg.Machine,
+		RanksPerNode: cfg.RanksPerNode,
+		Strategy:     parallel.Strategy{DataParallel: c.DP, ExpertParallel: c.EP},
+		Model: parallel.ModelConfig{
+			GPT: nn.GPTConfig{
+				Vocab: s.Vocab, Dim: s.Dim, Heads: s.Heads,
+				Layers: s.Layers, SeqLen: s.SeqLen, FFNHidden: s.FFNHidden,
+			},
+			NumExperts: s.NumExperts, TopK: s.TopK,
+			MoEHidden: s.MoEHidden, MoEEvery: s.MoEEvery,
+			CapacityFactor: 1.25, AuxLossWeight: 0.01,
+			RouteMode:      c.Route,
+			Comm:           moe.CommConfig{Codec: c.Codec, Overlap: c.Overlap},
+			RecomputeEvery: c.RecomputeEvery,
+		},
+		Corpus: data.CorpusConfig{
+			Vocab: s.Vocab, SeqLen: s.SeqLen, Zipf: 1, Determinism: 0.8,
+		},
+		Train:           train.Config{Batch: c.Batch, Precision: cfg.Precision},
+		OptFor:          train.OptimizerFactory(c.ZeRO, 0),
+		Steps:           cfg.ValidateSteps,
+		Warmup:          cfg.Warmup,
+		Seed:            seed,
+		Efficiency:      cfg.Efficiency,
+		OffloadOptState: c.Offload,
+	}
+}
+
+// Validate measures the top-k analytically distinct candidates (two
+// candidates differing only in checkpoint interval share one
+// measurement) with short simulated runs. One seed, drawn from rng,
+// is shared by every run: candidates then see identical token
+// streams, so measured differences are configuration effects rather
+// than sampling noise — and the same config and seed reproduce the
+// same measurements exactly.
+func Validate(cfg Config, scored []Scored, rng *tensor.RNG) ([]Validated, error) {
+	seen := make(map[Candidate]bool)
+	out := make([]Validated, 0, cfg.TopK)
+	seed := rng.Uint64()
+	for _, s := range scored {
+		if len(out) >= cfg.TopK {
+			break
+		}
+		key := cfg.measuredKey(s.Candidate)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		res, err := parallel.ShortRun(cfg.shortRunConfig(s.Candidate, seed))
+		if err != nil {
+			return nil, fmt.Errorf("autotune: validating %s: %w", s.Candidate, err)
+		}
+		out = append(out, Validated{Scored: s, Measured: res})
+	}
+	return out, nil
+}
+
+// KendallTau computes the Kendall rank correlation between two paired
+// samples: +1 for identical orderings, -1 for reversed, 0 for
+// independence. Tied pairs in either sample count as neither
+// concordant nor discordant (tau-a).
+func KendallTau(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	var concordant, discordant int
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			da, db := a[i]-a[j], b[i]-b[j]
+			switch {
+			case da*db > 0:
+				concordant++
+			case da*db < 0:
+				discordant++
+			}
+		}
+	}
+	pairs := len(a) * (len(a) - 1) / 2
+	return float64(concordant-discordant) / float64(pairs)
+}
+
+// agreement summarizes how well the analytic ranking tracked the
+// measurement: Kendall tau over (predicted fault-free step time,
+// measured sim seconds per step), and whether the analytic best was
+// also the measured best.
+func agreement(v []Validated) (tau float64, topMatch bool) {
+	if len(v) == 0 {
+		return 0, false
+	}
+	pred := make([]float64, len(v))
+	meas := make([]float64, len(v))
+	best := 0
+	for i, x := range v {
+		pred[i] = x.Pred.StepTime
+		meas[i] = x.Measured.SimPerStep
+		if meas[i] < meas[best] {
+			best = i
+		}
+	}
+	// v is in analytic ranking order, so index 0 is the analytic best.
+	return KendallTau(pred, meas), best == 0
+}

@@ -81,9 +81,11 @@ type ModelConfig struct {
 	// MoESimFLOPS, when positive, makes the MoE layers charge expert
 	// compute to the virtual clock at this rate (FLOP/s per rank), so
 	// overlap shows up in simulated step time. It charges expert GEMMs
-	// inline inside the exchange window; SetComputeRate charges the
-	// whole step's FLOPs after the fact — enable one or the other, not
-	// both, or expert compute is double-priced.
+	// inline inside the exchange window. It composes with
+	// SetComputeRate: when both are set, Step subtracts the analytic
+	// expert share from the step's FLOPs before charging, so dense
+	// compute is priced after the fact and expert compute inline,
+	// without double-pricing either.
 	MoESimFLOPS float64
 
 	// Recompute enables activation checkpointing (see nn.GPT). The
@@ -392,6 +394,30 @@ func (e *Engine) stepFlops() float64 {
 	return tokens * (6*active + quad)
 }
 
+// expertFlops estimates the expert share of stepFlops — the FLOPs the
+// MoE layers charge inline (per routed row) when their SimRate is set.
+// In dropless routing every token keeps exactly TopK assignments, so
+// the analytic count matches the inline charge in expectation.
+func (e *Engine) expertFlops() float64 {
+	tokens := float64(e.batch * e.Model.Cfg.SeqLen)
+	var per float64
+	for _, m := range e.moeLayers {
+		per += float64(m.Cfg.TopK) * float64(m.PerExpertParams())
+	}
+	return tokens * 6 * per
+}
+
+// moeSelfCharges reports whether the MoE layers price their expert
+// GEMMs inline on the virtual clock.
+func (e *Engine) moeSelfCharges() bool {
+	for _, m := range e.moeLayers {
+		if m.SimRate > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // MoELayers returns this rank's distributed MoE layers.
 func (e *Engine) MoELayers() []*moe.DistMoE { return e.moeLayers }
 
@@ -516,12 +542,21 @@ func (e *Engine) Step() StepStats {
 	local := e.Trainer.Step()
 	wallStep := time.Since(t0).Seconds()
 	if e.computeRate > 0 {
-		e.Comm.Compute(e.stepFlops() / e.computeRate)
+		flops := e.stepFlops()
+		if e.moeSelfCharges() {
+			// The MoE layers already charged the expert GEMMs inline
+			// (inside the exchange window, where overlap can hide
+			// them); charge only the dense remainder here.
+			flops -= e.expertFlops()
+		}
+		e.Comm.Compute(flops / e.computeRate)
 		// Recomputation replays the forward pass of the checkpointed
 		// blocks during backward: charge that fraction of the step's
-		// forward FLOPs (one third of fwd+bwd) on top.
+		// forward FLOPs (one third of fwd+bwd) on top. Self-charging
+		// MoE layers price their own replayed GEMMs inline, so the
+		// already-adjusted flops excludes them here too.
 		if frac := e.Model.RecomputedFraction(); frac > 0 {
-			secs := frac * e.stepFlops() / 3 / e.computeRate
+			secs := frac * flops / 3 / e.computeRate
 			e.Comm.Compute(secs)
 			e.phases.Observe(metrics.PhaseRecompute, secs)
 		}

@@ -1,7 +1,6 @@
 package perfmodel
 
 import (
-	"fmt"
 	"math"
 
 	"bagualu/internal/simnet"
@@ -72,28 +71,28 @@ type Deployment struct {
 	// instead streams out and back every step at HostMemBWGiBs,
 	// which Project adds to the step time.
 	OffloadOptState bool
+
+	// WireFP16 models the FP16 on-the-wire codec of the MoE exchange:
+	// inter-supernode all-to-all payloads travel as 2-byte elements
+	// while intra-supernode legs stay at the training wire width —
+	// the analytic twin of mpi.FP16Wire.
+	WireFP16 bool
+
+	// OverlapA2A models the two-phase exchange (moe.CommConfig.Overlap):
+	// expert compute runs while cross-supernode tokens are in flight,
+	// so the visible MoE phase is max(a2a, expert compute) instead of
+	// their sum.
+	OverlapA2A bool
+
+	// ExpertMigration marks load-aware expert migration as enabled.
+	// It has no analytic cost here, but validation rejects it under
+	// ZeRO — the runtime refuses that combination (moment ranges span
+	// ranks), so the model must refuse to price it.
+	ExpertMigration bool
 }
 
 // Ranks returns the total rank count.
 func (d Deployment) Ranks() int { return d.Machine.Nodes() * d.RanksPerNode }
-
-// Validate checks grid consistency.
-func (d Deployment) Validate() error {
-	if err := d.Machine.Validate(); err != nil {
-		return err
-	}
-	if d.RanksPerNode <= 0 || d.BatchPerRank <= 0 {
-		return fmt.Errorf("perfmodel: non-positive deployment %+v", d)
-	}
-	if d.DataParallel*d.ExpertParallel != d.Ranks() {
-		return fmt.Errorf("perfmodel: grid %dx%d != %d ranks",
-			d.DataParallel, d.ExpertParallel, d.Ranks())
-	}
-	if d.Efficiency <= 0 || d.Efficiency > 1 {
-		return fmt.Errorf("perfmodel: efficiency %v out of (0,1]", d.Efficiency)
-	}
-	return nil
-}
 
 // Report is the projected behaviour of one training step.
 type Report struct {
@@ -132,90 +131,44 @@ func bytesPerElem(p sunway.Precision) float64 {
 }
 
 // Project computes the analytic report for one synchronous training
-// step of spec under this deployment.
+// step of spec under this deployment. It is a view over PredictStep —
+// the unified cost model — kept for the R7-era callers that tabulate
+// component times.
 func (d Deployment) Project(spec ModelSpec) (Report, error) {
-	if err := d.Validate(); err != nil {
-		return Report{}, err
-	}
-	if err := spec.Validate(); err != nil {
-		return Report{}, err
-	}
-	if spec.MoEEvery > 0 && spec.NumExperts%d.ExpertParallel != 0 {
-		return Report{}, fmt.Errorf("perfmodel: %d experts not divisible by EP=%d", spec.NumExperts, d.ExpertParallel)
-	}
-	topo := simnet.New(d.Machine, d.RanksPerNode)
-	ranks := d.Ranks()
-	tokensPerRank := float64(d.BatchPerRank * spec.SeqLen)
-	r := Report{Spec: spec, Ranks: ranks, Eff: d.Efficiency}
-	r.TokensPerStep = tokensPerRank * float64(ranks)
-
-	// Compute: forward+backward FLOPs per rank against node peak.
-	nodeFlops := d.Machine.NodeFlops(d.Precision) * d.Efficiency
-	rankFlops := nodeFlops / float64(d.RanksPerNode)
-	r.ComputeTime = tokensPerRank * spec.FlopsPerToken() / rankFlops
-
-	// Communication: 4 all-to-alls per MoE layer per step (dispatch
-	// and combine, forward and backward), each moving
-	// tokensPerRank·TopK·Dim elements per rank.
-	if spec.MoEEvery > 0 && d.ExpertParallel > 1 {
-		perA2ABytes := tokensPerRank * float64(spec.TopK) * float64(spec.Dim) * bytesPerElem(d.Precision)
-		one := d.a2aCost(topo, d.ExpertParallel, perA2ABytes)
-		r.A2ATime = float64(4*spec.MoELayers()) * one
-	}
-
-	// Gradient sync: dense params all-reduced over the world (ring:
-	// 2·(P-1)/P·bytes at the worst link), expert params over the
-	// data-parallel group. Gradients travel at wire precision (the
-	// paper communicates half-precision gradients in mixed mode).
-	gradBytes := func(n int64) float64 { return float64(n) * bytesPerElem(d.Precision) }
-	r.SyncTime = d.allReduceCost(topo, ranks, gradBytes(spec.DenseParams()))
-	if d.DataParallel > 1 && spec.MoEEvery > 0 {
-		shard := spec.ExpertParamsTotal() / int64(d.ExpertParallel)
-		r.SyncTime += d.allReduceCost(topo, d.DataParallel, gradBytes(shard))
-	}
-
-	// Selective recomputation replays the forward pass of the
-	// recomputed blocks during backward: that fraction of the forward
-	// share (one third of fwd+bwd) is extra compute.
-	r.RecomputeTime = d.RecomputeFraction * r.ComputeTime / 3
-
-	// Memory: the full per-node breakdown (ZeRO sharding, recompute
-	// policy, host offload) lives in Memory().
-	mb, err := d.Memory(spec)
+	p, err := d.PredictStep(spec, FaultModel{})
 	if err != nil {
 		return Report{}, err
 	}
-	r.Mem = mb
-	r.MemPerNodeGiB = mb.TotalGiB
-	r.Fits = mb.Fits
-
-	// Offloaded optimizer state streams host→device and back once per
-	// step over the node's host-memory bandwidth, shared by its ranks.
-	if d.OffloadOptState && mb.HostOptState > 0 && d.Machine.HostMemBWGiBs > 0 {
-		r.OffloadTime = 2 * mb.HostOptState / d.Machine.HostMemBWGiBs
+	r := Report{
+		Spec: spec, Ranks: d.Ranks(), Eff: d.Efficiency,
+		ComputeTime:    p.DenseCompute + p.ExpertCompute,
+		A2ATime:        p.A2A,
+		SyncTime:       p.Sync,
+		RecomputeTime:  p.Recompute,
+		OffloadTime:    p.Offload,
+		StepTime:       p.StepTime,
+		TokensPerStep:  p.TokensPerStep,
+		TokensPerSec:   p.TokensPerSec,
+		SustainedFlops: p.SustainedFlops,
+		PeakFraction:   p.PeakFraction,
+		MemPerNodeGiB:  p.Mem.TotalGiB,
+		Fits:           p.Mem.Fits,
+		Mem:            p.Mem,
 	}
-
-	visibleSync := r.SyncTime
-	if d.OverlapSync {
-		// The backward pass (≈ 2/3 of compute) can hide sync.
-		hidden := math.Min(r.SyncTime, 2.0/3.0*r.ComputeTime)
-		visibleSync -= hidden
-	}
-	r.StepTime = r.ComputeTime + r.RecomputeTime + r.A2ATime + visibleSync + r.OffloadTime
-	r.TokensPerSec = r.TokensPerStep / r.StepTime
-	r.SustainedFlops = r.TokensPerStep * spec.FlopsPerToken() / r.StepTime
-	r.PeakFraction = r.SustainedFlops / (d.Machine.NodeFlops(d.Precision) * float64(d.Machine.Nodes()))
 	return r, nil
 }
 
 // a2aCost prices one all-to-all over an expert-parallel group of p
-// ranks, each contributing bytes of traffic split evenly across
-// destinations.
-func (d Deployment) a2aCost(t *simnet.Topology, p int, bytes float64) float64 {
+// ranks. intraBytes is the rank's total contribution at the training
+// wire width; machineBytes is the same element volume at the
+// inter-supernode wire width (smaller under the FP16 codec). It
+// returns the cost in seconds and the rank's post-codec wire bytes.
+func (d Deployment) a2aCost(t *simnet.Topology, p int, intraBytes, machineBytes float64) (float64, float64) {
 	if p <= 1 {
-		return 0
+		return 0, 0
 	}
-	perPeer := bytes / float64(p-1)
+	perPeer := intraBytes / float64(p-1)
+	perPeerMachine := machineBytes / float64(p-1)
 	// Count peers of rank 0 at each level within a contiguous group.
 	nodePeers := float64(min(p-1, t.RanksPerNode-1))
 	snPeers := float64(min(p-1, t.RanksPerSupernode()-1)) - nodePeers
@@ -223,10 +176,11 @@ func (d Deployment) a2aCost(t *simnet.Topology, p int, bytes float64) float64 {
 	if machinePeers < 0 {
 		machinePeers = 0
 	}
+	wireBytes := (nodePeers+snPeers)*perPeer + machinePeers*perPeerMachine
 	switch d.A2A {
 	case A2AHierarchical:
 		if machinePeers == 0 {
-			return d.flatCost(t, nodePeers, snPeers, 0, perPeer)
+			return d.flatCost(t, nodePeers, snPeers, 0, perPeer, perPeerMachine), wireBytes
 		}
 		// The paper's topology-aware exchange with balanced leader
 		// sharding: ranks first combine their traffic at node level,
@@ -239,7 +193,10 @@ func (d Deployment) a2aCost(t *simnet.Topology, p int, bytes float64) float64 {
 		// supernodes-1.
 		rsn := float64(t.RanksPerSupernode())
 		supernodes := math.Ceil(float64(p) / rsn)
-		machineBytes := machinePeers * perPeer
+		// Staging inside a supernode moves pre-codec (full-width)
+		// payloads; only the bisection crossing travels at the
+		// (possibly FP16) inter-supernode wire width.
+		xsnBytes := machinePeers * perPeerMachine
 		crossNodeBytes := (snPeers + machinePeers) * perPeer
 
 		// Gather to node level and final scatter from node level.
@@ -248,27 +205,95 @@ func (d Deployment) a2aCost(t *simnet.Topology, p int, bytes float64) float64 {
 		// staging of the cross-SN aggregate through supernode links.
 		local := nodePeers*t.CostAtLevel(simnet.NodeLevel, int(perPeer)) +
 			snPeers*t.CostAtLevel(simnet.SupernodeLevel, int(perPeer))
-		stage += 2 * t.CostAtLevel(simnet.SupernodeLevel, int(machineBytes))
+		stage += 2 * t.CostAtLevel(simnet.SupernodeLevel, int(machinePeers*perPeer))
 		// Inter-supernode: supernodes-1 aggregated messages carrying
 		// this rank's share of the machine-level bytes, over the
 		// oversubscribed bisection.
 		xchg := (supernodes-1)*t.Alpha[simnet.MachineLevel] +
-			machineBytes*t.Beta[simnet.MachineLevel]*d.Machine.BisectionOversub
-		return stage + local + xchg
+			xsnBytes*t.Beta[simnet.MachineLevel]*d.Machine.BisectionOversub
+		return stage + local + xchg, wireBytes
 	default:
-		return d.flatCost(t, nodePeers, snPeers, machinePeers, perPeer)
+		return d.flatCost(t, nodePeers, snPeers, machinePeers, perPeer, perPeerMachine), wireBytes
 	}
 }
 
 // flatCost prices direct pairwise exchange given peer counts per
-// level.
-func (d Deployment) flatCost(t *simnet.Topology, nodePeers, snPeers, machinePeers, perPeer float64) float64 {
+// level; machine-level peers carry perPeerMachine (post-codec) bytes.
+func (d Deployment) flatCost(t *simnet.Topology, nodePeers, snPeers, machinePeers, perPeer, perPeerMachine float64) float64 {
 	c := nodePeers * t.CostAtLevel(simnet.NodeLevel, int(perPeer))
 	c += snPeers * t.CostAtLevel(simnet.SupernodeLevel, int(perPeer))
-	mc := machinePeers * t.CostAtLevel(simnet.MachineLevel, int(perPeer))
+	mc := machinePeers * t.CostAtLevel(simnet.MachineLevel, int(perPeerMachine))
 	// Cross-supernode pairwise traffic all crosses the bisection.
 	c += mc * d.Machine.BisectionOversub
 	return c
+}
+
+// levelOfDistance maps a rank distance onto the network tier a
+// message between those ranks travels.
+func levelOfDistance(t *simnet.Topology, dist int) simnet.Level {
+	switch {
+	case dist <= 0:
+		return simnet.SelfLevel
+	case dist < t.RanksPerNode:
+		return simnet.NodeLevel
+	case dist < t.RanksPerSupernode():
+		return simnet.SupernodeLevel
+	default:
+		return simnet.MachineLevel
+	}
+}
+
+// allReduceStridedCost prices a ring all-reduce over a strided group
+// (data-parallel peers of an expert shard sit stride = ExpertParallel
+// ranks apart). A strided group spans (p-1)·stride ranks, so its ring
+// hops travel at the tier that distance reaches — for any non-trivial
+// EP that is the inter-supernode fabric, which contiguous-group
+// pricing would miss entirely.
+func (d Deployment) allReduceStridedCost(t *simnet.Topology, p, stride int, bytes float64) float64 {
+	if p <= 1 || bytes == 0 {
+		return 0
+	}
+	if stride <= 1 {
+		return d.allReduceCost(t, p, bytes)
+	}
+	lvl := levelOfDistance(t, (p-1)*stride)
+	c := 2 * float64(p-1) / float64(p) * t.CostAtLevel(lvl, int(bytes))
+	if lvl == simnet.MachineLevel {
+		c *= d.Machine.BisectionOversub
+	}
+	return c
+}
+
+// allReduceLatency is the phase-startup (α-only) share of one
+// hierarchical all-reduce over p ranks — what an extra collective
+// costs regardless of payload. ZeRO replaces each fused all-reduce
+// with a reduce-scatter + all-gather pair: identical bytes, twice the
+// collective phases, so PredictStep charges one extra latency per
+// sharded group.
+func (d Deployment) allReduceLatency(t *simnet.Topology, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	rsn := t.RanksPerSupernode()
+	if p <= rsn {
+		return 2 * float64(p-1) / float64(p) * t.Alpha[simnet.SupernodeLevel]
+	}
+	supernodes := (p + rsn - 1) / rsn
+	return 2*t.Alpha[simnet.SupernodeLevel] +
+		2*float64(supernodes-1)/float64(supernodes)*t.Alpha[simnet.MachineLevel]
+}
+
+// allReduceStridedLatency is the α-only share of a strided-group ring
+// (see allReduceStridedCost).
+func (d Deployment) allReduceStridedLatency(t *simnet.Topology, p, stride int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	if stride <= 1 {
+		return d.allReduceLatency(t, p)
+	}
+	lvl := levelOfDistance(t, (p-1)*stride)
+	return 2 * float64(p-1) / float64(p) * t.Alpha[lvl]
 }
 
 // allReduceCost prices a hierarchical ring all-reduce of n bytes over

@@ -38,14 +38,8 @@ type MemBreakdown struct {
 //     HostMemBWGiBs-priced traffic every step (priced in Project).
 func (d Deployment) Memory(spec ModelSpec) (MemBreakdown, error) {
 	var mb MemBreakdown
-	if err := d.Validate(); err != nil {
+	if err := d.ValidateFor(spec); err != nil {
 		return mb, err
-	}
-	if err := spec.Validate(); err != nil {
-		return mb, err
-	}
-	if d.RecomputeFraction < 0 || d.RecomputeFraction > 1 {
-		return mb, fmt.Errorf("perfmodel: recompute fraction %v out of [0,1]", d.RecomputeFraction)
 	}
 	ranks := float64(d.Ranks())
 	weightB := bytesPerElem(d.Precision)

@@ -1,0 +1,246 @@
+package perfmodel
+
+// PredictStep is the unified analytic cost model of one synchronous
+// training step. It is the single place the component formulas live:
+// Project (the R7 full-machine reports) and the deployment autotuner
+// (internal/autotune) both consume it, so the scores the autotuner
+// ranks by and the projections the experiment tables print cannot
+// drift apart.
+
+import (
+	"math"
+
+	"bagualu/internal/simnet"
+)
+
+// StepPrediction is the analytic projection of one training step.
+// Component times are "full" (pre-overlap) costs; StepTime composes
+// them along the visible critical path under the deployment's overlap
+// knobs. With a non-zero FaultModel the prediction also carries the
+// checkpoint overhead and the goodput — the fraction of wall time that
+// produces retained training progress under the failure process.
+type StepPrediction struct {
+	DenseCompute  float64 // dense fwd+bwd seconds (attention, FFN, gate, head)
+	ExpertCompute float64 // expert fwd+bwd seconds (overlappable with the a2a)
+	Recompute     float64 // forward replay of recomputed blocks
+	A2A           float64 // all 4·MoELayers all-to-alls, unhidden
+	Sync          float64 // gradient sync, unhidden
+	Offload       float64 // optimizer-state traffic to/from the host tier
+
+	MoEPhase    float64 // visible dispatch+expert+combine time (OverlapA2A applied)
+	VisibleSync float64 // Sync minus the share hidden behind backward (OverlapSync)
+	StepTime    float64 // fault-free visible step time
+
+	SyncBytes float64 // per-rank gradient-sync wire bytes
+	A2ABytes  float64 // per-rank MoE exchange wire bytes, post-codec
+
+	TokensPerStep  float64
+	TokensPerSec   float64 // fault-free
+	SustainedFlops float64 // fault-free
+	PeakFraction   float64
+
+	CkptOverhead float64 // amortized per-step checkpoint cost, seconds
+	Goodput      float64 // useful fraction under the fault model; 1 when fault-free
+	EffStepTime  float64 // StepTime incl. checkpoints and expected rework: StepTime/Goodput
+
+	Mem MemBreakdown
+}
+
+// FaultModel parameterizes the failure process and checkpoint policy
+// the goodput projection prices. The zero value is fault-free (and
+// checkpoint-free): Goodput = 1.
+type FaultModel struct {
+	// MTBFSteps is the expected number of steps between failures
+	// across the whole machine; 0 disables the failure process.
+	MTBFSteps float64
+	// CkptEverySteps is the checkpoint interval in steps; 0 = never.
+	CkptEverySteps int
+	// Async models the background writer: the step pays only the
+	// memcpy snapshot unless the previous flush is still in flight.
+	// Sync charges the full disk write to the step.
+	Async bool
+}
+
+// PredictStep computes the analytic prediction for one training step
+// of spec under this deployment and fault model.
+func (d Deployment) PredictStep(spec ModelSpec, fm FaultModel) (StepPrediction, error) {
+	var p StepPrediction
+	if err := d.ValidateFor(spec); err != nil {
+		return p, err
+	}
+	topo := simnet.New(d.Machine, d.RanksPerNode)
+	ranks := d.Ranks()
+	tokensPerRank := float64(d.BatchPerRank * spec.SeqLen)
+	p.TokensPerStep = tokensPerRank * float64(ranks)
+
+	// Compute: forward+backward FLOPs per rank against node peak,
+	// split into the dense share and the expert share (the part the
+	// two-phase exchange can hide inside the a2a window).
+	nodeFlops := d.Machine.NodeFlops(d.Precision) * d.Efficiency
+	rankFlops := nodeFlops / float64(d.RanksPerNode)
+	totalCompute := tokensPerRank * spec.FlopsPerToken() / rankFlops
+	if spec.MoEEvery > 0 {
+		expertFlopsPerToken := 6 * float64(spec.MoELayers()) * float64(spec.TopK) * float64(spec.expertParams())
+		p.ExpertCompute = tokensPerRank * expertFlopsPerToken / rankFlops
+	}
+	p.DenseCompute = totalCompute - p.ExpertCompute
+
+	// Communication: 4 all-to-alls per MoE layer per step (dispatch
+	// and combine, forward and backward), each moving
+	// tokensPerRank·TopK·Dim elements per rank. The FP16 wire codec
+	// shrinks only the elements that cross supernodes.
+	if spec.MoEEvery > 0 && d.ExpertParallel > 1 {
+		elems := tokensPerRank * float64(spec.TopK) * float64(spec.Dim)
+		intraBytes := elems * bytesPerElem(d.Precision)
+		machineBytes := elems * d.wireBytesPerElem()
+		one, oneBytes := d.a2aCost(topo, d.ExpertParallel, intraBytes, machineBytes)
+		p.A2A = float64(4*spec.MoELayers()) * one
+		p.A2ABytes = float64(4*spec.MoELayers()) * oneBytes
+		// Recomputed blocks replay their forward pass during backward,
+		// dispatch/combine exchanges included: the forward half of the
+		// a2a bill (2 of the 4 exchanges) repeats for that fraction.
+		p.A2A *= 1 + d.RecomputeFraction/2
+		p.A2ABytes *= 1 + d.RecomputeFraction/2
+	}
+
+	// Gradient sync: dense params all-reduced over the world (ring:
+	// 2·(P-1)/P·bytes at the worst link), expert params over the
+	// data-parallel group. Gradients travel at wire precision (the
+	// paper communicates half-precision gradients in mixed mode).
+	// ZeRO's reduce-scatter + all-gather moves the same bytes as the
+	// ring all-reduce (pinned by TestZeROSyncBytesNoWorse), so sync
+	// cost does not depend on the ZeRO lever.
+	gradBytes := func(n int64) float64 { return float64(n) * bytesPerElem(d.Precision) }
+	denseB := gradBytes(spec.DenseParams())
+	p.Sync = d.allReduceCost(topo, ranks, denseB)
+	p.SyncBytes = ringBytes(ranks, denseB)
+	if d.DataParallel > 1 && spec.MoEEvery > 0 {
+		// Data-parallel peers of an expert shard sit ExpertParallel
+		// ranks apart (contiguous EP groups, strided DP groups), so
+		// their ring runs over the tier that stride reaches.
+		shardB := gradBytes(spec.ExpertParamsTotal() / int64(d.ExpertParallel))
+		p.Sync += d.allReduceStridedCost(topo, d.DataParallel, d.ExpertParallel, shardB)
+		p.SyncBytes += ringBytes(d.DataParallel, shardB)
+	}
+	if d.ZeRO {
+		// The sharded optimizer turns each fused all-reduce into a
+		// reduce-scatter + all-gather pair (train.ShardedAdam): the
+		// bytes are pinned equal, but every sharded group pays one
+		// extra collective's worth of phase startups.
+		p.Sync += d.allReduceLatency(topo, ranks)
+		if d.DataParallel > 1 && spec.MoEEvery > 0 {
+			p.Sync += d.allReduceStridedLatency(topo, d.DataParallel, d.ExpertParallel)
+		}
+	}
+
+	// Selective recomputation replays the forward pass of the
+	// recomputed blocks during backward: that fraction of the forward
+	// share (one third of fwd+bwd) is extra compute.
+	p.Recompute = d.RecomputeFraction * totalCompute / 3
+
+	// Memory: the full per-node breakdown (ZeRO sharding, recompute
+	// policy, host offload).
+	mb, err := d.Memory(spec)
+	if err != nil {
+		return p, err
+	}
+	p.Mem = mb
+
+	// Offloaded optimizer state streams host→device and back once per
+	// step over the node's host-memory bandwidth, shared by its ranks.
+	if d.OffloadOptState && mb.HostOptState > 0 && d.Machine.HostMemBWGiBs > 0 {
+		p.Offload = 2 * mb.HostOptState / d.Machine.HostMemBWGiBs
+	}
+
+	// Visible critical path. The two-phase exchange runs expert
+	// compute inside the in-flight window, so the MoE phase collapses
+	// to the longer of the two; blocking pays both.
+	if d.OverlapA2A {
+		p.MoEPhase = math.Max(p.A2A, p.ExpertCompute)
+	} else {
+		p.MoEPhase = p.A2A + p.ExpertCompute
+	}
+	p.VisibleSync = p.Sync
+	if d.OverlapSync {
+		// The backward pass (≈ 2/3 of compute) can hide sync.
+		p.VisibleSync -= math.Min(p.Sync, 2.0/3.0*totalCompute)
+	}
+	p.StepTime = p.DenseCompute + p.MoEPhase + p.Recompute + p.VisibleSync + p.Offload
+	p.TokensPerSec = p.TokensPerStep / p.StepTime
+	p.SustainedFlops = p.TokensPerStep * spec.FlopsPerToken() / p.StepTime
+	p.PeakFraction = p.SustainedFlops / (d.Machine.NodeFlops(d.Precision) * float64(d.Machine.Nodes()))
+
+	p.Goodput, p.CkptOverhead = d.goodput(p.StepTime, mb, fm)
+	p.EffStepTime = p.StepTime / p.Goodput
+	return p, nil
+}
+
+// wireBytesPerElem is the inter-supernode wire size of one activation
+// element: the codec's 2 bytes under WireFP16, otherwise the training
+// wire width.
+func (d Deployment) wireBytesPerElem() float64 {
+	if d.WireFP16 {
+		return 2
+	}
+	return bytesPerElem(d.Precision)
+}
+
+// ringBytes is the per-rank send volume of a ring all-reduce (or the
+// byte-identical reduce-scatter + all-gather pair) of n bytes over p
+// ranks.
+func ringBytes(p int, n float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return 2 * float64(p-1) / float64(p) * n
+}
+
+// goodput projects the useful-work fraction under the fault model:
+// a checkpoint cycle of I steps pays the writer overhead once, and
+// each expected failure (exponential arrivals at 1/MTBF per step)
+// loses half an interval of work plus the restore read. The returned
+// overhead is the amortized per-step checkpoint cost.
+func (d Deployment) goodput(stepTime float64, mb MemBreakdown, fm FaultModel) (float64, float64) {
+	if fm.CkptEverySteps <= 0 {
+		if fm.MTBFSteps <= 0 {
+			return 1, 0
+		}
+		// Failures with no checkpoints: every failure loses the whole
+		// run so far; model the run as one MTBF long — goodput
+		// collapses toward zero as MTBF shrinks. Approximate with a
+		// half-MTBF expected loss per failure.
+		lost := 0.5 * fm.MTBFSteps * stepTime
+		return stepTime * fm.MTBFSteps / (stepTime*fm.MTBFSteps + lost), 0
+	}
+	// Per-rank state on disk: weights + optimizer state (device or
+	// host tier), at the node granularity the memory model accounts.
+	const gib = float64(1 << 30)
+	stateBytesPerRank := (mb.Params + mb.OptState + mb.HostOptState) * gib / float64(d.RanksPerNode)
+	diskBW := d.Machine.DiskBWGiBs * gib
+	if diskBW <= 0 {
+		diskBW = gib // writer default: 1 GiB/s
+	}
+	flush := stateBytesPerRank / diskBW
+	snapshot := stateBytesPerRank / (d.Machine.CGMemBWGiBs * gib)
+
+	interval := float64(fm.CkptEverySteps)
+	cycleWork := interval * stepTime
+	var cycleOverhead float64
+	if fm.Async {
+		// The flush hides behind the next interval's compute; only the
+		// excess stalls. The snapshot memcpy is always paid.
+		cycleOverhead = snapshot + math.Max(0, flush-cycleWork)
+	} else {
+		cycleOverhead = snapshot + flush
+	}
+	ckptPerStep := cycleOverhead / interval
+	if fm.MTBFSteps <= 0 {
+		return cycleWork / (cycleWork + cycleOverhead), ckptPerStep
+	}
+	// Expected failures per cycle, each losing half an interval of
+	// (re)work plus the restore read of the checkpoint.
+	failuresPerCycle := interval / fm.MTBFSteps
+	restore := flush // read the shards back at disk bandwidth
+	expectedLoss := failuresPerCycle * (0.5*cycleWork + restore)
+	return cycleWork / (cycleWork + cycleOverhead + expectedLoss), ckptPerStep
+}

@@ -1,0 +1,80 @@
+package perfmodel
+
+// Layout validation: every inconsistent deployment is rejected with a
+// typed *ConfigError naming the offending knob, instead of being
+// silently mispriced. The autotuner's pruning stage depends on this —
+// a layout the runtime would refuse (parallel.NewEngine, the ZeRO
+// migration guard) must be refused here too, or the analytic ranking
+// would score configurations the machine cannot run.
+
+import (
+	"fmt"
+
+	"bagualu/internal/sunway"
+)
+
+// ConfigError is the typed rejection of an inconsistent deployment or
+// deployment/spec pairing. Field names the knob at fault (stable
+// strings, matchable in tests): "deployment", "grid", "efficiency",
+// "expert-parallel", "zero", "recompute", "wire".
+type ConfigError struct {
+	Field  string
+	Detail string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("perfmodel: invalid %s: %s", e.Field, e.Detail)
+}
+
+// badConfig builds a *ConfigError with a formatted detail.
+func badConfig(field, format string, args ...any) *ConfigError {
+	return &ConfigError{Field: field, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks spec-independent grid consistency.
+func (d Deployment) Validate() error {
+	if err := d.Machine.Validate(); err != nil {
+		return err
+	}
+	if d.RanksPerNode <= 0 || d.BatchPerRank <= 0 {
+		return badConfig("deployment", "non-positive ranks/node=%d or batch/rank=%d",
+			d.RanksPerNode, d.BatchPerRank)
+	}
+	if d.DataParallel*d.ExpertParallel != d.Ranks() {
+		return badConfig("grid", "DP=%d x EP=%d != %d ranks",
+			d.DataParallel, d.ExpertParallel, d.Ranks())
+	}
+	if d.Efficiency <= 0 || d.Efficiency > 1 {
+		return badConfig("efficiency", "%v out of (0,1]", d.Efficiency)
+	}
+	if d.RecomputeFraction < 0 || d.RecomputeFraction > 1 {
+		return badConfig("recompute", "fraction %v out of [0,1]", d.RecomputeFraction)
+	}
+	if d.ZeRO && d.ExpertMigration {
+		// The runtime rejects expert migration under ZeRO (moment
+		// ranges span ranks); pricing the combination would project a
+		// machine state that cannot exist.
+		return badConfig("zero", "expert migration cannot run under ZeRO sharding")
+	}
+	if d.WireFP16 && d.Precision == sunway.FP64 {
+		return badConfig("wire", "FP16 wire codec under FP64 training would misprice every inter-supernode byte")
+	}
+	return nil
+}
+
+// ValidateFor checks d against a concrete model spec: everything
+// Validate covers plus the spec-dependent constraints.
+func (d Deployment) ValidateFor(spec ModelSpec) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if spec.MoEEvery > 0 && spec.NumExperts%d.ExpertParallel != 0 {
+		return badConfig("expert-parallel",
+			"%d experts not divisible by EP=%d", spec.NumExperts, d.ExpertParallel)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package perfmodel
+
+import (
+	"errors"
+	"testing"
+
+	"bagualu/internal/sunway"
+)
+
+func validDeployment() Deployment {
+	return Deployment{
+		Machine: sunway.TestMachine(2, 8), RanksPerNode: 1,
+		DataParallel: 4, ExpertParallel: 4,
+		BatchPerRank: 2, Precision: sunway.FP32, Efficiency: 0.4,
+	}
+}
+
+// wantConfigError asserts err is a *ConfigError naming field.
+func wantConfigError(t *testing.T, err error, field string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("inconsistent config accepted (wanted %q rejection)", field)
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a *ConfigError", err)
+	}
+	if ce.Field != field {
+		t.Fatalf("rejection field %q, want %q (%v)", ce.Field, field, err)
+	}
+}
+
+func TestValidateRejectsGridMismatch(t *testing.T) {
+	d := validDeployment()
+	d.DataParallel = 7
+	wantConfigError(t, d.Validate(), "grid")
+}
+
+func TestValidateRejectsNonPositiveDeployment(t *testing.T) {
+	d := validDeployment()
+	d.BatchPerRank = 0
+	wantConfigError(t, d.Validate(), "deployment")
+}
+
+func TestValidateRejectsEfficiencyOutOfRange(t *testing.T) {
+	d := validDeployment()
+	d.Efficiency = 1.5
+	wantConfigError(t, d.Validate(), "efficiency")
+}
+
+func TestValidateRejectsRecomputeFractionOutOfRange(t *testing.T) {
+	d := validDeployment()
+	d.RecomputeFraction = 1.5
+	wantConfigError(t, d.Validate(), "recompute")
+	d.RecomputeFraction = -0.1
+	wantConfigError(t, d.Validate(), "recompute")
+}
+
+func TestValidateRejectsZeROWithExpertMigration(t *testing.T) {
+	// The runtime refuses to migrate experts under ZeRO (moment ranges
+	// span ranks); the analytic model must refuse to price it too.
+	d := validDeployment()
+	d.ZeRO = true
+	d.ExpertMigration = true
+	wantConfigError(t, d.Validate(), "zero")
+	d.ZeRO = false
+	if err := d.Validate(); err != nil {
+		t.Fatalf("migration without ZeRO rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsFP16WireUnderFP64(t *testing.T) {
+	d := validDeployment()
+	d.WireFP16 = true
+	d.Precision = sunway.FP64
+	wantConfigError(t, d.Validate(), "wire")
+}
+
+func TestValidateForRejectsIndivisibleExperts(t *testing.T) {
+	d := validDeployment()
+	spec := tinySpec()
+	spec.NumExperts = 7 // EP = 4 does not divide 7
+	wantConfigError(t, d.ValidateFor(spec), "expert-parallel")
+	// The same rejection must surface through every pricing entry
+	// point, not just the validator.
+	if _, err := d.Project(spec); err == nil {
+		t.Fatal("Project accepted an indivisible expert layout")
+	}
+	if _, err := d.Memory(spec); err == nil {
+		t.Fatal("Memory accepted an indivisible expert layout")
+	}
+	if _, err := d.PredictStep(spec, FaultModel{}); err == nil {
+		t.Fatal("PredictStep accepted an indivisible expert layout")
+	}
+}

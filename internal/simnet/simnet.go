@@ -72,14 +72,15 @@ func New(m *sunway.Machine, ranksPerNode int) *Topology {
 		RanksPerNode:      ranksPerNode,
 		NodesPerSupernode: m.NodesPerSupernode,
 	}
-	t.Alpha[SelfLevel] = 50e-9
-	t.Beta[SelfLevel] = 1 / (m.CGMemBWGiBs * gib)
-	t.Alpha[NodeLevel] = m.IntraNodeLatency
-	t.Beta[NodeLevel] = 1 / (m.IntraNodeBWGiBs * gib)
-	t.Alpha[SupernodeLevel] = m.IntraSNLatency
-	t.Beta[SupernodeLevel] = 1 / (m.IntraSNBWGiBs * gib)
-	t.Alpha[MachineLevel] = m.InterSNLatency
-	t.Beta[MachineLevel] = 1 / (m.InterSNBWGiBs * gib)
+	// Both α and β come from the machine description's shared link
+	// tables — the same tables perfmodel prices against — so the
+	// simulated runtime and the analytic model cannot silently drift.
+	// sunway.LinkLevel order matches Level order (pinned by test).
+	alphas, bws := m.LinkAlphas(), m.LinkBWGiBs()
+	for l := SelfLevel; l <= MachineLevel; l++ {
+		t.Alpha[l] = alphas[l]
+		t.Beta[l] = 1 / (bws[l] * gib)
+	}
 	return t
 }
 

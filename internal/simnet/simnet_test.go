@@ -116,3 +116,30 @@ func TestDefaultRanksPerNode(t *testing.T) {
 		t.Fatalf("RanksPerNode = %d", tp.RanksPerNode)
 	}
 }
+
+// TestTopologyDerivedFromMachineTables pins that New consumes the
+// machine description's shared link tables — the dedup that keeps the
+// analytic model (perfmodel) and the simulated runtime from drifting —
+// and that sunway's LinkLevel order matches simnet's Level order.
+func TestTopologyDerivedFromMachineTables(t *testing.T) {
+	m := sunway.TestMachine(2, 4)
+	m.SelfLatency = 123e-9
+	tp := New(m, 2)
+	const gib = 1024 * 1024 * 1024
+	alphas, bws := m.LinkAlphas(), m.LinkBWGiBs()
+	if int(sunway.LinkSelf) != int(SelfLevel) || int(sunway.LinkNode) != int(NodeLevel) ||
+		int(sunway.LinkSupernode) != int(SupernodeLevel) || int(sunway.LinkMachine) != int(MachineLevel) {
+		t.Fatal("sunway.LinkLevel order diverged from simnet.Level order")
+	}
+	for l := SelfLevel; l <= MachineLevel; l++ {
+		if tp.Alpha[l] != alphas[l] {
+			t.Fatalf("level %v alpha %v != machine table %v", l, tp.Alpha[l], alphas[l])
+		}
+		if want := 1 / (bws[l] * gib); tp.Beta[l] != want {
+			t.Fatalf("level %v beta %v != machine table %v", l, tp.Beta[l], want)
+		}
+	}
+	if tp.Alpha[SelfLevel] != 123e-9 {
+		t.Fatal("self latency not taken from the machine description")
+	}
+}

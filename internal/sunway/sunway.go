@@ -45,7 +45,9 @@ type Machine struct {
 	HostMemBWGiBs float64
 
 	// Network: latency (seconds) and per-link bandwidth (GiB/s) at
-	// each hierarchy level.
+	// each hierarchy level. SelfLatency is the startup cost of a
+	// rank-local memcpy "transfer" (self bandwidth is CGMemBWGiBs).
+	SelfLatency      float64
 	IntraNodeLatency float64
 	IntraSNLatency   float64
 	InterSNLatency   float64
@@ -53,6 +55,40 @@ type Machine struct {
 	IntraSNBWGiBs    float64
 	InterSNBWGiBs    float64
 	BisectionOversub float64 // inter-supernode oversubscription factor (>1 = thinner)
+
+	// DiskBWGiBs is the per-rank checkpoint/burst-buffer bandwidth.
+	// ckpt.Config and the autotuner's checkpoint-interval pricing both
+	// read it so the simulated writer and the analytic goodput model
+	// cannot drift.
+	DiskBWGiBs float64
+}
+
+// LinkLevel indexes the four network tiers of LinkAlphas/LinkBWGiBs.
+// The order matches simnet's Level vocabulary (self, intra-node,
+// intra-supernode, inter-supernode); simnet pins the correspondence
+// with a test so the two cannot drift.
+type LinkLevel int
+
+const (
+	LinkSelf LinkLevel = iota
+	LinkNode
+	LinkSupernode
+	LinkMachine
+)
+
+// LinkAlphas returns the startup latency (seconds) of each network
+// tier. This table — not per-field reads scattered across packages —
+// is the single source the simulated runtime (simnet) and the
+// analytic model (perfmodel) derive their α constants from.
+func (m *Machine) LinkAlphas() [4]float64 {
+	return [4]float64{m.SelfLatency, m.IntraNodeLatency, m.IntraSNLatency, m.InterSNLatency}
+}
+
+// LinkBWGiBs returns the per-link bandwidth (GiB/s) of each network
+// tier; the self tier moves at core-group memory-copy speed. Like
+// LinkAlphas, it is the shared β source for simnet and perfmodel.
+func (m *Machine) LinkBWGiBs() [4]float64 {
+	return [4]float64{m.CGMemBWGiBs, m.IntraNodeBWGiBs, m.IntraSNBWGiBs, m.InterSNBWGiBs}
 }
 
 // NewGenerationSunway returns the full-scale machine description used
@@ -69,8 +105,10 @@ func NewGenerationSunway() *Machine {
 		CGGflopsFP16:      9200, // 4x vector width at half precision
 		NodeMemGiB:        96,
 		CGMemBWGiBs:       51.2,
-		HostMemGiB:        192,  // DDR pool per node behind the fast tier
-		HostMemBWGiBs:     12.8, // one DDR channel's worth, shared per node
+		HostMemGiB:        192,   // DDR pool per node behind the fast tier
+		HostMemBWGiBs:     12.8,  // one DDR channel's worth, shared per node
+		DiskBWGiBs:        2,     // burst-buffer share per rank
+		SelfLatency:       50e-9, // memcpy startup
 		IntraNodeLatency:  0.3e-6,
 		IntraSNLatency:    2.0e-6,
 		InterSNLatency:    4.5e-6,
@@ -155,6 +193,8 @@ func (m *Machine) Validate() error {
 		return fmt.Errorf("sunway: non-positive node memory")
 	case m.IntraNodeBWGiBs <= 0 || m.IntraSNBWGiBs <= 0 || m.InterSNBWGiBs <= 0:
 		return fmt.Errorf("sunway: non-positive bandwidth")
+	case m.SelfLatency < 0 || m.DiskBWGiBs < 0:
+		return fmt.Errorf("sunway: negative self latency or disk bandwidth")
 	case m.BisectionOversub < 1:
 		return fmt.Errorf("sunway: bisection oversubscription %v < 1", m.BisectionOversub)
 	}

@@ -110,3 +110,35 @@ func TestTotalMem(t *testing.T) {
 		t.Fatalf("TotalMemGiB = %v", m.TotalMemGiB())
 	}
 }
+
+func TestLinkTablesMatchFields(t *testing.T) {
+	// The link tables are the single α–β source for simnet and
+	// perfmodel; they must expose exactly the per-field description.
+	m := NewGenerationSunway()
+	alphas, bws := m.LinkAlphas(), m.LinkBWGiBs()
+	wantA := [4]float64{m.SelfLatency, m.IntraNodeLatency, m.IntraSNLatency, m.InterSNLatency}
+	wantB := [4]float64{m.CGMemBWGiBs, m.IntraNodeBWGiBs, m.IntraSNBWGiBs, m.InterSNBWGiBs}
+	if alphas != wantA {
+		t.Fatalf("LinkAlphas %v != fields %v", alphas, wantA)
+	}
+	if bws != wantB {
+		t.Fatalf("LinkBWGiBs %v != fields %v", bws, wantB)
+	}
+	if m.SelfLatency <= 0 || m.DiskBWGiBs <= 0 {
+		t.Fatalf("default machine missing self latency (%v) or disk bandwidth (%v)",
+			m.SelfLatency, m.DiskBWGiBs)
+	}
+}
+
+func TestValidateRejectsNegativeLinkExtras(t *testing.T) {
+	m := NewGenerationSunway()
+	m.SelfLatency = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative self latency accepted")
+	}
+	m = NewGenerationSunway()
+	m.DiskBWGiBs = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative disk bandwidth accepted")
+	}
+}

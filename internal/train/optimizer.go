@@ -238,3 +238,15 @@ func ScaleGrads(params []*nn.Param, s float32) {
 func (s WarmupCosine) String() string {
 	return fmt.Sprintf("warmup-cosine(peak=%g, floor=%g, warmup=%d, total=%d)", s.Peak, s.Floor, s.Warmup, s.Total)
 }
+
+// OptimizerFactory returns a constructor for per-rank optimizer
+// instances: ZeRO-sharded Adam when zero is set, replicated Adam
+// otherwise. Every multi-rank driver needs one optimizer *per rank*
+// (a shared instance races across rank goroutines), so harnesses take
+// a factory rather than an Optimizer.
+func OptimizerFactory(zero bool, weightDecay float32) func() Optimizer {
+	if zero {
+		return func() Optimizer { return NewShardedAdam(weightDecay) }
+	}
+	return func() Optimizer { return NewAdam(weightDecay) }
+}

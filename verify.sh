@@ -47,3 +47,15 @@ go test -race -run 'Shard|ReduceScatter|AllGatherShard' ./internal/mpi/
 go test -race -run 'ZeRO|SelectiveRecompute|Sharded' ./internal/parallel/ ./internal/train/
 go test -count=2 -run 'TestZeROBitExactVsUnsharded|TestZeRODeterministicReplay' ./internal/parallel/
 go test -run 'TestZeROAtLeastDoublesMaxParams|TestMemoryLeversMonotone' ./internal/perfmodel/
+# Deployment-autotuner gates (R17): the autotune pipeline must survive
+# the race detector, the analytic-vs-measured agreement and the plan
+# replay must be deterministic run after run (-count=2), and two
+# bagualu-plan invocations with the same seed must emit byte-identical
+# plans.
+go test -race ./internal/autotune/...
+go test -count=2 -run 'TestPlanDeterministicReplay|TestPredictStepTracksMeasuredSimsec' ./internal/autotune/
+go build -o /tmp/bagualu-plan ./cmd/bagualu-plan
+/tmp/bagualu-plan -seed 7 -csv > /tmp/bagualu-plan-a.csv
+/tmp/bagualu-plan -seed 7 -csv > /tmp/bagualu-plan-b.csv
+cmp /tmp/bagualu-plan-a.csv /tmp/bagualu-plan-b.csv
+rm -f /tmp/bagualu-plan /tmp/bagualu-plan-a.csv /tmp/bagualu-plan-b.csv
