@@ -48,6 +48,7 @@ import (
 	"bagualu/internal/parallel"
 	"bagualu/internal/perfmodel"
 	"bagualu/internal/serve"
+	"bagualu/internal/serve/fleet"
 	"bagualu/internal/simnet"
 	"bagualu/internal/sunway"
 	"bagualu/internal/tensor"
@@ -502,6 +503,38 @@ func Serve(model *GPT, c *Comm, cfg ServeConfig, reqs []ServeRequest) ServeResul
 // PartitionRequests deals a request stream round-robin across ranks.
 func PartitionRequests(reqs []ServeRequest, rank, size int) []ServeRequest {
 	return serve.Partition(reqs, rank, size)
+}
+
+// Fault-tolerant serving fleet: a front-end router over N model
+// replicas with health-routed admission, crash failover from
+// inference checkpoints, hedged retries, and degraded-mode SLO
+// shedding (see internal/serve/fleet).
+type (
+	// FleetConfig assembles one fleet run.
+	FleetConfig = fleet.Config
+	// FleetResult is the fleet-level outcome; its counters partition
+	// the request stream exactly.
+	FleetResult = fleet.Result
+	// FleetPolicy selects how much of the robustness stack is active.
+	FleetPolicy = fleet.Policy
+)
+
+// Fleet failover policies for FleetConfig.Policy.
+const (
+	FleetNoFailover    = fleet.NoFailover
+	FleetFailover      = fleet.Failover
+	FleetFailoverHedge = fleet.FailoverHedge
+)
+
+// RunFleet serves cfg.Requests through a replicated fleet on the
+// shared virtual timeline. Same seed, same Result — and every served
+// token is bit-exact with the fault-free single-replica decode.
+func RunFleet(cfg FleetConfig) (FleetResult, error) { return fleet.Run(cfg) }
+
+// SaveForInference writes a weights-only single-shard checkpoint — the
+// artifact fleet replicas restore from after a crash.
+func SaveForInference(dir string, step int64, params []*Param) error {
+	return ckpt.SaveForInference(dir, step, params)
 }
 
 // NewHistogram builds a log-bucket histogram: bucket i spans

@@ -1,9 +1,12 @@
-// Command bagualu-serve regenerates experiment R13: distributed MoE
-// serving throughput versus offered load, comparing continuous
-// batching against static batches and one-request-at-a-time serving,
-// and the FP16 versus FP32 wire codec, with p50/p99 TTFT, TPOT, and
-// end-to-end latency on the virtual clock. Optionally restores model
-// weights from a sharded training checkpoint before serving.
+// Command bagualu-serve regenerates experiments R13 and R18. R13:
+// distributed MoE serving throughput versus offered load, comparing
+// continuous batching against static batches and one-request-at-a-time
+// serving, and the FP16 versus FP32 wire codec, with p50/p99 TTFT,
+// TPOT, and end-to-end latency on the virtual clock. R18: goodput and
+// tail latency of a fault-tolerant serving fleet (health-routed
+// replicas, checkpoint restore, hedged retries) under replica crashes,
+// sweeping MTBF x failover policy. Optionally restores model weights
+// from a sharded training checkpoint before serving.
 package main
 
 import (
@@ -12,11 +15,13 @@ import (
 	"os"
 
 	"bagualu/internal/ckpt"
+	"bagualu/internal/fault"
 	"bagualu/internal/metrics"
 	"bagualu/internal/moe"
 	"bagualu/internal/mpi"
 	"bagualu/internal/nn"
 	"bagualu/internal/serve"
+	"bagualu/internal/serve/fleet"
 	"bagualu/internal/simnet"
 	"bagualu/internal/sunway"
 	"bagualu/internal/tensor"
@@ -50,6 +55,14 @@ func main() {
 
 		ckptDir = flag.String("ckpt", "", "restore weights from this sharded checkpoint dir")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+
+		replicas   = flag.Int("replicas", 4, "R18: model replicas behind the fleet router")
+		fleetRanks = flag.Int("fleet-ranks", 2, "R18: expert-parallel ranks per replica")
+		mtbf       = flag.Int("mtbf", 30, "R18: tightest replica-crash MTBF in steps (sweeps x1, x2, x4)")
+		stragglers = flag.Int("stragglers", 1, "R18: straggling replicas (4x delay)")
+		hedgeP99   = flag.Float64("hedge-p99", 1.5, "R18: hedge once age exceeds this x online p99")
+		fleetRate  = flag.Float64("fleet-rate", 4, "R18: offered load (requests/s); keep near fleet capacity so the run is arrival-dominated")
+		fleetOnly  = flag.Bool("fleet-only", false, "emit only the R18 fleet table")
 	)
 	flag.Parse()
 	if *experts%*ranks != 0 {
@@ -120,21 +133,119 @@ func main() {
 		"ttft-p50", "ttft-p99", "tpot-p50", "tpot-p99", "e2e-p50", "e2e-p99",
 		"completed", "rejected", "interSN-MB"}
 
-	// R13a: throughput vs offered load, per batching policy.
-	r13 := metrics.NewTable("R13: serving throughput vs offered load (fp16 wire)", cols...)
-	for _, load := range []float64{0.5, 1, 2, 4} {
-		for _, b := range []serve.Batching{serve.Serial, serve.Static, serve.Continuous} {
-			r, mb := measure(b, mpi.FP16Wire, load**baseRate)
-			addRow(r13, load, b.String(), mpi.FP16Wire.String(), r, mb)
+	if !*fleetOnly {
+		// R13a: throughput vs offered load, per batching policy.
+		r13 := metrics.NewTable("R13: serving throughput vs offered load (fp16 wire)", cols...)
+		for _, load := range []float64{0.5, 1, 2, 4} {
+			for _, b := range []serve.Batching{serve.Serial, serve.Static, serve.Continuous} {
+				r, mb := measure(b, mpi.FP16Wire, load**baseRate)
+				addRow(r13, load, b.String(), mpi.FP16Wire.String(), r, mb)
+			}
+		}
+		emit(r13)
+
+		// R13b: wire codec under continuous batching at saturation.
+		r13b := metrics.NewTable("R13b: wire codec at load factor 2 (continuous batching)", cols...)
+		for _, codec := range []mpi.Codec{mpi.FP32Wire, mpi.FP16Wire} {
+			r, mb := measure(serve.Continuous, codec, 2**baseRate)
+			addRow(r13b, 2, serve.Continuous.String(), codec.String(), r, mb)
+		}
+		emit(r13b)
+	}
+
+	// R18: fleet goodput and tail latency under replica faults,
+	// MTBF x failover policy. Replicas use the FP32 wire codec so the
+	// bit-exactness contract (every served token equals the fault-free
+	// reference decode) holds independent of the codec comparison above.
+	if *experts%*fleetRanks != 0 {
+		fmt.Fprintf(os.Stderr, "experts (%d) must divide by fleet-ranks (%d)\n", *experts, *fleetRanks)
+		os.Exit(2)
+	}
+	factory := func(c *mpi.Comm) *nn.GPT {
+		return nn.NewGPT(mcfg, tensor.NewRNG(*seed), func(_ int, name string, r *tensor.RNG) nn.Layer {
+			if c.Size() == 1 {
+				return moe.NewLocalMoE(name, r, gcfg, *hidden)
+			}
+			m := moe.NewDistMoEComm(name, r, gcfg, *hidden, c, moe.Hierarchical,
+				moe.CommConfig{Codec: mpi.FP32Wire, Overlap: true})
+			m.SimRate = *flops
+			return m
+		})
+	}
+	fleetCkpt := *ckptDir
+	if fleetCkpt == "" {
+		// No training checkpoint given: snapshot the seeded init so
+		// restored replicas have weights to reload.
+		dir, err := os.MkdirTemp("", "bagualu-fleet-ckpt")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		var werr error
+		mpi.NewWorld(1, nil).Run(func(c *mpi.Comm) {
+			werr = ckpt.SaveForInference(dir, 0, factory(c).Params())
+		})
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fleetCkpt = dir
+	}
+	// Bounded batches for the fleet: crash/hedge/health decisions all
+	// live at step boundaries, so an unlimited batch (the R13 default)
+	// would collapse each replica's run into a handful of giant steps.
+	fleetBatch, fleetKV := *maxBatch, *kvBudget
+	if fleetBatch <= 0 {
+		fleetBatch = 4
+	}
+	if fleetKV <= 0 {
+		fleetKV = 64
+	}
+	fleetReqs := serve.WorkloadConfig{
+		Seed: *seed, Requests: *requests, RatePerSec: *fleetRate, Vocab: *vocab,
+		PromptMin: 4, PromptMax: *seqLen / 3, NewMin: 4, NewMax: *seqLen / 3,
+		Tiers: []float64{1, 2, 1}, // latency-sensitive / standard / batch
+	}.Generate()
+	r18 := metrics.NewTable("R18: fleet goodput under replica faults (MTBF x policy, fp32 wire)",
+		"mtbf-steps", "policy", "goodput", "tok/s",
+		"completed", "shed", "dropped", "rejected",
+		"retries", "hedges", "hedge-wins", "crashes", "restores", "min-live",
+		"ttft-p99", "tpot-p99", "probe-mismatch")
+	for _, m := range []int{*mtbf, *mtbf * 2, *mtbf * 4} {
+		for _, pol := range []fleet.Policy{fleet.NoFailover, fleet.Failover, fleet.FailoverHedge} {
+			res, err := fleet.Run(fleet.Config{
+				Replicas: *replicas,
+				Ranks:    *fleetRanks,
+				Topo:     topo,
+				NewModel: factory,
+				Engine: serve.Config{
+					Batching: serve.Continuous, MaxBatch: fleetBatch, KVBudget: fleetKV,
+					Temperature: 0.8, SampleSeed: *seed,
+					FLOPS: *flops, MemBWGiBs: *memBW,
+				},
+				Requests:      fleetReqs,
+				Policy:        pol,
+				CkptDir:       fleetCkpt,
+				RestoreBWGiBs: *memBW,
+				TierSLO:       []float64{5, 10, 20},
+				HedgeP99:      *hedgeP99,
+				WindowPerRank: 2 * fleetBatch, // excess waits at the router, where SLO shedding applies
+				Faults: fault.Config{
+					Seed: *seed, MTBFSteps: float64(m), MaxCrashes: *replicas - 1,
+					Stragglers: *stragglers, StragglerMult: 4,
+				},
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			r18.AddRow(m, pol.String(), res.Goodput(), res.TokensPerSec(),
+				res.Completed, res.Shed, res.Dropped, res.Rejected,
+				res.Retries, res.Hedges, res.HedgeWins, res.Crashes, res.Restores, res.MinLive,
+				res.TTFT.Quantile(0.99), res.TPOT.Quantile(0.99),
+				res.ProbeMismatches)
 		}
 	}
-	emit(r13)
-
-	// R13b: wire codec under continuous batching at saturation.
-	r13b := metrics.NewTable("R13b: wire codec at load factor 2 (continuous batching)", cols...)
-	for _, codec := range []mpi.Codec{mpi.FP32Wire, mpi.FP16Wire} {
-		r, mb := measure(serve.Continuous, codec, 2**baseRate)
-		addRow(r13b, 2, serve.Continuous.String(), codec.String(), r, mb)
-	}
-	emit(r13b)
+	emit(r18)
 }

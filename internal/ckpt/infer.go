@@ -2,10 +2,33 @@ package ckpt
 
 import (
 	"fmt"
+	"os"
 
 	"bagualu/internal/nn"
 	"bagualu/internal/train"
 )
+
+// SaveForInference writes a weights-only, single-shard committed
+// checkpoint of params at step — the seed checkpoint a serving fleet
+// restores crashed replicas from. It reuses the sharded commit
+// protocol (shard temp+rename, then manifest temp+rename) so a
+// SaveForInference directory is indistinguishable from a 1-rank
+// training checkpoint to Restore and LoadForInference.
+func SaveForInference(dir string, step int64, params []*nn.Param) error {
+	sd := StepDir(dir, step)
+	if err := os.MkdirAll(sd, 0o755); err != nil {
+		return err
+	}
+	if err := writeShard(sd, 0, train.Header{Step: step, LossScale: 1}, params, 0); err != nil {
+		return err
+	}
+	return writeManifest(dir, Manifest{
+		Step:   step,
+		Shards: 1,
+		Layout: Layout{WorldSize: 1, DataParallel: 1, ExpertParallel: 1},
+		Files:  []string{ShardFile(0)},
+	})
+}
 
 // LoadForInference restores model weights from the latest checkpoint
 // in dir into params, matching tensors by name across layouts: the

@@ -216,6 +216,19 @@ func (inj *Injector) CrashesAt(rank, step int) bool {
 	return inj.crashAt[rank] >= 0 && inj.crashAt[rank] == step
 }
 
+// StragglerOf returns rank's scheduled delay multiplier: its straggler
+// event's Mult, or 1 when the rank runs at full speed. The fleet router
+// uses it to stretch a whole replica's clock domain when the schedule's
+// "ranks" are replicas rather than individual processes.
+func (inj *Injector) StragglerOf(rank int) float64 {
+	for _, e := range inj.events {
+		if e.Kind == EventStraggler && e.Rank == rank {
+			return e.Mult
+		}
+	}
+	return 1
+}
+
 // Crashes counts scheduled crash events.
 func (inj *Injector) Crashes() int {
 	n := 0

@@ -54,6 +54,14 @@ type Config struct {
 	// Window is the number of consecutive evidence steps required
 	// before a state transition (default 3).
 	Window int
+	// MinDwell is the minimum number of observed samples a rank must
+	// spend in a state before it may transition again (default
+	// 2×Window). Without it, delay samples oscillating across the
+	// hysteresis band flap the classification every Window steps —
+	// and every flap is an expensive resharding or routing change
+	// downstream. The dwell bounds transitions to at most one per
+	// MinDwell samples regardless of how adversarial the input is.
+	MinDwell int
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +77,9 @@ func (c Config) withDefaults() Config {
 	if c.Window <= 0 {
 		c.Window = 3
 	}
+	if c.MinDwell <= 0 {
+		c.MinDwell = 2 * c.Window
+	}
 	return c
 }
 
@@ -81,19 +92,27 @@ type Monitor struct {
 	seen  []bool
 	hot   []int // consecutive steps of degradation evidence
 	cool  []int // consecutive steps of recovery evidence
+	since []int // observed samples since the last transition
 	state []State
 }
 
 // NewMonitor creates a monitor over n ranks, all initially Healthy.
 func NewMonitor(n int, cfg Config) *Monitor {
-	return &Monitor{
+	m := &Monitor{
 		cfg:   cfg.withDefaults(),
 		ewma:  make([]float64, n),
 		seen:  make([]bool, n),
 		hot:   make([]int, n),
 		cool:  make([]int, n),
+		since: make([]int, n),
 		state: make([]State, n),
 	}
+	// A fresh rank has no pending transition to damp: start every dwell
+	// counter satisfied so the first classification is not delayed.
+	for r := range m.since {
+		m.since[r] = m.cfg.MinDwell
+	}
+	return m
 }
 
 // Observe folds one round of slowness scores (indexed like the
@@ -111,6 +130,9 @@ func (m *Monitor) Observe(scores []float64) []int {
 		} else {
 			m.ewma[r] += m.cfg.Alpha * (s - m.ewma[r])
 		}
+		if m.since[r] < m.cfg.MinDwell {
+			m.since[r]++
+		}
 		switch e := m.ewma[r]; {
 		case e >= m.cfg.DegradedAt:
 			m.hot[r]++
@@ -121,12 +143,17 @@ func (m *Monitor) Observe(scores []float64) []int {
 		default: // hysteresis band: no evidence either way
 			m.hot[r], m.cool[r] = 0, 0
 		}
+		if m.since[r] < m.cfg.MinDwell {
+			continue // still dwelling: evidence accumulates, no flip yet
+		}
 		switch {
 		case m.state[r] == Healthy && m.hot[r] >= m.cfg.Window:
 			m.state[r] = Degraded
+			m.since[r] = 0
 			changed = append(changed, r)
 		case m.state[r] == Degraded && m.cool[r] >= m.cfg.Window:
 			m.state[r] = Healthy
+			m.since[r] = 0
 			changed = append(changed, r)
 		}
 	}
@@ -134,11 +161,28 @@ func (m *Monitor) Observe(scores []float64) []int {
 }
 
 // MarkFailed pins a rank to Failed (fail-stop observed by the mpi
-// layer). Irreversible.
+// layer). Irreversible — except through Reset, which models the slot
+// being re-occupied by a fresh process.
 func (m *Monitor) MarkFailed(r int) {
 	if r >= 0 && r < len(m.state) {
 		m.state[r] = Failed
 	}
+}
+
+// Reset returns a rank to Healthy with a clean slate — no EWMA
+// history, no evidence counters, dwell satisfied. A serving fleet
+// calls it when a crashed replica's slot is re-occupied by a restored
+// process: the new occupant's speed is independent of the old one's,
+// so carrying the dead process's telemetry over would misclassify it.
+func (m *Monitor) Reset(r int) {
+	if r < 0 || r >= len(m.state) {
+		return
+	}
+	m.state[r] = Healthy
+	m.ewma[r] = 0
+	m.seen[r] = false
+	m.hot[r], m.cool[r] = 0, 0
+	m.since[r] = m.cfg.MinDwell
 }
 
 // State returns a rank's current classification.

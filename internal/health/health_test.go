@@ -148,3 +148,53 @@ func TestCollectScoresEndToEnd(t *testing.T) {
 		t.Fatalf("nondeterministic scores: %v vs %v", again, first)
 	}
 }
+
+// Adversarial oscillation across the hysteresis band must not flap the
+// classification: the dwell time bounds transitions to at most one per
+// MinDwell observed samples, however the input alternates.
+func TestMonitorDwellBoundsFlapping(t *testing.T) {
+	const steps, dwell = 64, 8
+	// Window 1 + alpha 1 is the worst case: every sample is instant
+	// evidence, so without the dwell the state would flip every step.
+	m := NewMonitor(1, Config{Alpha: 1, DegradedAt: 2, RecoverAt: 1.5, Window: 1, MinDwell: dwell})
+	transitions := 0
+	for i := 0; i < steps; i++ {
+		s := 4.0 // degradation evidence
+		if i%2 == 1 {
+			s = 1.0 // recovery evidence
+		}
+		transitions += len(m.Observe([]float64{s}))
+	}
+	if max := steps/dwell + 1; transitions > max {
+		t.Fatalf("oscillating samples caused %d transitions in %d steps (dwell %d allows at most %d)",
+			transitions, steps, dwell, max)
+	}
+	if transitions == 0 {
+		t.Fatal("dwell suppressed classification entirely")
+	}
+}
+
+// Reset returns a rank to a fresh Healthy record: a restored replica
+// is a new process whose old telemetry (including a terminal Failed
+// mark) must not bias its new incarnation, and its first
+// classification is not dwell-delayed.
+func TestMonitorResetClearsHistory(t *testing.T) {
+	m := NewMonitor(2, Config{Alpha: 1, DegradedAt: 2, RecoverAt: 1.5, Window: 2, MinDwell: 2})
+	m.MarkFailed(0)
+	if m.State(0) != Failed {
+		t.Fatal("MarkFailed did not fail the rank")
+	}
+	m.Reset(0)
+	if m.State(0) != Healthy || m.Score(0) != 1 {
+		t.Fatalf("reset rank not fresh (score 1 = nominal): state=%v score=%v", m.State(0), m.Score(0))
+	}
+	// Fresh incarnation degrades after exactly Window evidence steps —
+	// no leftover dwell from the previous life.
+	m.Observe([]float64{4, 1})
+	if ch := m.Observe([]float64{4, 1}); len(ch) != 1 || ch[0] != 0 || m.State(0) != Degraded {
+		t.Fatalf("reset rank did not classify freshly: %v state=%v", ch, m.State(0))
+	}
+	if m.State(1) != Healthy {
+		t.Fatal("bystander disturbed by reset")
+	}
+}

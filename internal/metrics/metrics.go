@@ -212,6 +212,13 @@ const (
 	PhaseMitigation   = "mitigation"    // expert resharding away from degraded ranks
 )
 
+// Canonical phase names for the serving fleet, shared by the fleet
+// router and the CLI tables.
+const (
+	PhaseRestore = "fleet-restore" // re-reading weights into a crashed replica
+	PhaseWarmup  = "fleet-warmup"  // probe decode before a restored replica rejoins
+)
+
 // Canonical phase names for the memory-capacity subsystem (ZeRO-style
 // sharded optimizer, selective recomputation, host-memory offload),
 // shared by the parallel engine and the CLI step report.

@@ -86,6 +86,17 @@ func (c *Comm) Compute(seconds float64) {
 	c.proc.now += seconds * c.proc.w.computeDelay(c.proc.global)
 }
 
+// AdvanceTo moves this rank's virtual clock forward to absolute time t
+// (no-op if the clock is already past it). Unlike Compute, the advance
+// is NOT stretched by a straggler's delay multiplier: waiting for a
+// wall-clock instant — an arrival, a restore deadline — takes the same
+// time on a slow node as on a fast one.
+func (c *Comm) AdvanceTo(t float64) {
+	if t > c.proc.now {
+		c.proc.now = t
+	}
+}
+
 // p2pTag builds the wire tag for a user point-to-point tag.
 func (c *Comm) p2pTag(userTag int) int {
 	if userTag < 0 || userTag >= tagP2PBit>>1 {

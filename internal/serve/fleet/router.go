@@ -1,0 +1,273 @@
+package fleet
+
+import (
+	"sort"
+
+	"bagualu/internal/health"
+	"bagualu/internal/serve"
+)
+
+// flight tracks one request through the router: which replica copies
+// hold it, when it was (last) dispatched, and how often a crash forced
+// a re-dispatch. At most two copies exist at once (primary + hedge).
+type flight struct {
+	req        serve.Request
+	primary    int // replica holding the primary copy (-1 = none)
+	hedge      int // replica holding the hedge copy (-1 = none)
+	dispatched float64
+	attempts   int  // crash re-dispatches
+	hedged     bool // a hedge was launched at some point (one per flight)
+	done       bool
+}
+
+// otherCopy returns the replica holding the copy that is NOT on rep,
+// or -1.
+func (fl *flight) otherCopy(rep int) int {
+	if fl.primary >= 0 && fl.primary != rep {
+		return fl.primary
+	}
+	if fl.hedge >= 0 && fl.hedge != rep {
+		return fl.hedge
+	}
+	return -1
+}
+
+// dropCopy clears the slot pointing at rep, promoting a surviving
+// hedge copy to primary so the primary slot always names the only
+// copy when just one remains.
+func (fl *flight) dropCopy(rep int) {
+	if fl.primary == rep {
+		fl.primary = -1
+	}
+	if fl.hedge == rep {
+		fl.hedge = -1
+	}
+	if fl.primary < 0 && fl.hedge >= 0 {
+		fl.primary, fl.hedge = fl.hedge, -1
+	}
+}
+
+// arrive admits one request into the router at its arrival time.
+func (f *fleet) arrive(r serve.Request) {
+	if r.Tokens() > f.seqLen ||
+		(f.ecfg.KVBudget > 0 && r.Tokens() > f.ecfg.KVBudget) {
+		f.res.Rejected++
+		f.accounted++
+		return
+	}
+	f.flights[r.ID] = &flight{req: r, primary: -1, hedge: -1}
+	f.routerQ = append(f.routerQ, r)
+	f.drainRouter(r.Arrival)
+}
+
+// effSLO returns tier's effective admission deadline at the current
+// capacity: the configured deadline scaled by the live-replica
+// fraction, so a shrunken fleet sheds earlier instead of letting
+// queues grow without bound.
+func (f *fleet) effSLO(tier int) float64 {
+	if len(f.cfg.TierSLO) == 0 {
+		return 0
+	}
+	if tier < 0 {
+		tier = 0
+	}
+	if tier >= len(f.cfg.TierSLO) {
+		tier = len(f.cfg.TierSLO) - 1
+	}
+	return f.cfg.TierSLO[tier] * float64(f.liveReplicas()) / float64(f.cfg.Replicas)
+}
+
+// pickReplica chooses the dispatch target at virtual time now:
+// in-rotation replicas with window room, Healthy preferred over
+// Degraded (the monitor's steering), then least loaded, then lowest
+// id. exclude bars the replica already holding the primary copy.
+func (f *fleet) pickReplica(exclude int) *replica {
+	var best *replica
+	bestState := health.Failed
+	for _, r := range f.reps {
+		if !r.live || !r.inRotation || r.id == exclude {
+			continue
+		}
+		if f.window > 0 && r.inflight >= f.window {
+			continue
+		}
+		st := f.mon.State(r.id)
+		switch {
+		case best == nil,
+			st < bestState,
+			st == bestState && r.inflight < best.inflight,
+			st == bestState && r.inflight == best.inflight && r.id < best.id:
+			best, bestState = r, st
+		}
+	}
+	return best
+}
+
+// dispatch hands a request to a replica: round-robin over its ranks,
+// delivered with the replica's next step command. An idle replica's
+// clock is pulled up to now — it was waiting, not computing.
+func (f *fleet) dispatch(r serve.Request, rep *replica, now float64, asHedge bool) {
+	if rep.inflight == 0 && len(rep.pendingCancel) == 0 && now > rep.clock {
+		rep.clock = now
+	}
+	rank := rep.rr % f.cfg.Ranks
+	rep.rr++
+	rep.pendingAdmit[rank] = append(rep.pendingAdmit[rank], r)
+	rep.assigned[r.ID] = true
+	rep.inflight++
+	fl := f.flights[r.ID]
+	if asHedge {
+		fl.hedge = rep.id
+		return
+	}
+	fl.primary = rep.id
+	fl.dispatched = now
+}
+
+// drainRouter dispatches the router queue in order: shed what has
+// outlived its tier's effective deadline, send the rest to the best
+// available replica, and keep what no replica can take.
+func (f *fleet) drainRouter(now float64) {
+	keep := f.routerQ[:0]
+	for _, r := range f.routerQ {
+		if eff := f.effSLO(r.Tier); eff > 0 && now-r.Arrival > eff {
+			f.flights[r.ID].done = true
+			f.res.Shed++
+			f.accounted++
+			continue
+		}
+		rep := f.pickReplica(-1)
+		if rep == nil {
+			keep = append(keep, r)
+			continue
+		}
+		f.dispatch(r, rep, now, false)
+	}
+	f.routerQ = keep
+}
+
+// processCompletions folds one replica step's retirements into the
+// fleet: record the winner copy's tokens and latencies against the
+// request's ORIGINAL arrival (retries and hedges do not reset the
+// clock the client sees), cancel the losing hedge copy, pass warm-up
+// probes, then put the freed capacity to work.
+func (f *fleet) processCompletions(ev event) {
+	rep := f.reps[ev.replica]
+	for _, comp := range ev.comps {
+		id := comp.Req.ID
+		if rep.assigned[id] {
+			delete(rep.assigned, id)
+			rep.inflight--
+		}
+		fl := f.flights[id]
+		if fl == nil || fl.done {
+			continue // the other copy already won
+		}
+		fl.done = true
+		if id < 0 {
+			f.passProbe(ev.replica, id, comp, ev.t)
+			continue
+		}
+		if other := fl.otherCopy(ev.replica); other >= 0 {
+			// Cancel the losing copy with the loser replica's next
+			// command; its KV is reclaimed there.
+			orep := f.reps[other]
+			if orep.live {
+				orep.pendingCancel = append(orep.pendingCancel, id)
+				if orep.assigned[id] {
+					delete(orep.assigned, id)
+					orep.inflight--
+				}
+			}
+			if fl.hedge == ev.replica {
+				f.res.HedgeWins++
+			}
+		}
+		f.res.Completed++
+		f.accounted++
+		f.res.OutputTokens += len(comp.Tokens)
+		f.res.Tokens[id] = comp.Tokens
+		f.res.TTFT.Add(comp.FirstTok - fl.req.Arrival)
+		e2e := comp.LastTok - fl.req.Arrival
+		f.res.E2E.Add(e2e)
+		if n := len(comp.Tokens); n > 1 {
+			f.res.TPOT.Add((comp.LastTok - comp.FirstTok) / float64(n-1))
+		}
+		f.e2e = insertSorted(f.e2e, e2e)
+	}
+	f.drainRouter(ev.t)
+	f.hedgeScan(ev.t)
+}
+
+// passProbe verifies a restored replica's warm-up decode bit-exactly
+// against the reference model and, on a match, returns the replica to
+// rotation.
+func (f *fleet) passProbe(replicaID, id int, comp serve.Completion, t float64) {
+	ridx := -id - 1
+	want := f.probeExpect[ridx]
+	ok := len(comp.Tokens) == len(want)
+	for i := 0; ok && i < len(want); i++ {
+		ok = comp.Tokens[i] == want[i]
+	}
+	if !ok {
+		f.res.ProbeMismatches++
+	}
+	rep := f.reps[ridx]
+	rep.inRotation = true
+	f.res.Restores++
+	f.res.WarmupSecs += t - rep.rejoinAt
+	f.drainRouter(t)
+}
+
+// hedgeScan launches hedge copies for dispatched requests whose age
+// exceeds HedgeP99 x the online p99 end-to-end latency. One hedge per
+// flight, never on the replica already holding the primary.
+func (f *fleet) hedgeScan(now float64) {
+	if f.cfg.Policy != FailoverHedge || len(f.e2e) < f.cfg.HedgeMinSamples {
+		return
+	}
+	thresh := f.cfg.HedgeP99 * quantileSorted(f.e2e, 0.99)
+	if thresh <= 0 {
+		return
+	}
+	for _, id := range sortedFlightIDs(f.flights) {
+		fl := f.flights[id]
+		if fl.done || id < 0 || fl.hedged || fl.primary < 0 {
+			continue
+		}
+		if now-fl.dispatched <= thresh {
+			continue
+		}
+		rep := f.pickReplica(fl.primary)
+		if rep == nil {
+			continue
+		}
+		fl.hedged = true
+		f.res.Hedges++
+		f.dispatch(fl.req, rep, now, true)
+	}
+}
+
+// insertSorted adds x keeping xs ascending.
+func insertSorted(xs []float64, x float64) []float64 {
+	i := sort.SearchFloat64s(xs, x)
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = x
+	return xs
+}
+
+// quantileSorted reads quantile q from an ascending sample slice.
+func quantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}

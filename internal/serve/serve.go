@@ -127,7 +127,8 @@ type seqState struct {
 	req       Request
 	cache     *nn.KVCache
 	rng       *tensor.RNG
-	next      int // last sampled token, next decode input
+	next      int   // last sampled token, next decode input
+	tokens    []int // every emitted token, for the Completion record
 	emitted   int
 	prefilled bool
 	firstTok  float64
@@ -202,56 +203,24 @@ func (cm costModel) charge(c *mpi.Comm, cfg Config, g *nn.GPT, rows, attnTokens 
 // ranks whose streams drain early keep stepping with empty batches
 // until the whole world is done.
 func Run(model *nn.GPT, c *mpi.Comm, cfg Config, reqs []Request) Result {
-	if cfg.Batching == Serial {
-		cfg.MaxBatch = 1
-	}
-	res := Result{
-		TTFT: metrics.NewLatencyHistogram(),
-		TPOT: metrics.NewLatencyHistogram(),
-		E2E:  metrics.NewLatencyHistogram(),
-	}
-	cm := newCostModel(model)
-	maxCtx := model.Cfg.SeqLen
-
-	var queue []Request
-	var active []*seqState
+	e := NewEngine(model, c, cfg)
 	nextArr := 0
-	kvInUse := 0
 
 	for {
 		now := c.Now()
 		// Drain arrivals. 1ns slack absorbs float rounding from the
 		// idle-advance step below.
 		for nextArr < len(reqs) && reqs[nextArr].Arrival <= now+1e-9 {
-			r := reqs[nextArr]
+			e.Offer(reqs[nextArr])
 			nextArr++
-			switch {
-			case r.Tokens() > maxCtx,
-				cfg.KVBudget > 0 && r.Tokens() > cfg.KVBudget:
-				res.Rejected++ // can never be served
-			case cfg.QueueCap > 0 && len(queue) >= cfg.QueueCap:
-				res.Rejected++ // backpressure
-			default:
-				queue = append(queue, r)
-			}
 		}
 		// SLO admission deadline: drop what has waited too long.
-		if cfg.SLOQueueWait > 0 {
-			keep := queue[:0]
-			for _, r := range queue {
-				if now-r.Arrival > cfg.SLOQueueWait {
-					res.Rejected++
-				} else {
-					keep = append(keep, r)
-				}
-			}
-			queue = keep
-		}
+		e.ShedExpired(now)
 
 		// Lockstep: the world agrees on whether anyone still has
 		// work, and whether anyone can run right now.
-		remaining := (len(reqs) - nextArr) + len(queue) + len(active)
-		runnable := len(queue) + len(active)
+		remaining := (len(reqs) - nextArr) + e.Pending()
+		runnable := e.Pending()
 		sums := c.AllReduce([]float32{float32(remaining), float32(runnable)}, mpi.OpSum)
 		if sums[0] == 0 {
 			break
@@ -270,92 +239,18 @@ func Run(model *nn.GPT, c *mpi.Comm, cfg Config, reqs []Request) Result {
 					min = v
 				}
 			}
-			if delta := float64(min)*1e-9 - c.Now(); delta > 0 {
-				c.Compute(delta)
-			}
+			c.AdvanceTo(float64(min) * 1e-9)
 			continue
 		}
 
 		// Admission. Serial/Static join only an empty engine;
 		// Continuous joins at every step.
-		if len(active) == 0 || cfg.Batching == Continuous {
-			for len(queue) > 0 {
-				if cfg.MaxBatch > 0 && len(active) >= cfg.MaxBatch {
-					break
-				}
-				r := queue[0]
-				if cfg.KVBudget > 0 && kvInUse+r.Tokens() > cfg.KVBudget {
-					break
-				}
-				queue = queue[1:]
-				kvInUse += r.Tokens()
-				s := &seqState{req: r, cache: model.NewKVCache()}
-				if cfg.Temperature > 0 {
-					s.rng = tensor.NewRNG(cfg.SampleSeed ^ (uint64(r.ID)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d))
-				}
-				active = append(active, s)
-			}
+		if e.ActiveCount() == 0 || cfg.Batching == Continuous {
+			e.Admit()
 		}
-		if kvInUse > res.PeakKV {
-			res.PeakKV = kvInUse
-		}
-
-		// One mixed prefill/decode step. attnTokens prices causal
-		// attention: each row attends over its whole prefix.
-		var tokens []int
-		runs := make([]nn.InferRun, 0, len(active))
-		attnTokens := 0
-		for _, s := range active {
-			var rows int
-			if !s.prefilled {
-				rows = len(s.req.Prompt)
-				tokens = append(tokens, s.req.Prompt...)
-			} else {
-				rows = 1
-				tokens = append(tokens, s.next)
-			}
-			for i := 0; i < rows; i++ {
-				attnTokens += s.cache.Len + i + 1
-			}
-			runs = append(runs, nn.InferRun{Cache: s.cache, Rows: rows})
-		}
-		logits := model.InferStep(tokens, runs)
-		res.Steps++
-		cm.charge(c, cfg, model, len(tokens), attnTokens)
-		tNow := c.Now()
-
-		// Sample one token per sequence from its last row; retire
-		// completed requests.
-		row := 0
-		keep := active[:0]
-		for ri, s := range active {
-			row += runs[ri].Rows
-			tok := nn.SampleToken(logits.Row(row-1), cfg.Temperature, s.rng)
-			if !s.prefilled {
-				s.prefilled = true
-				res.PrefillTokens += len(s.req.Prompt)
-				res.TTFT.Add(tNow - s.req.Arrival)
-				s.firstTok = tNow
-			}
-			s.next = tok
-			s.emitted++
-			s.lastTok = tNow
-			res.OutputTokens++
-			if s.emitted >= s.req.MaxNew {
-				res.Completed++
-				kvInUse -= s.req.Tokens()
-				res.E2E.Add(tNow - s.req.Arrival)
-				if s.emitted > 1 {
-					res.TPOT.Add((s.lastTok - s.firstTok) / float64(s.emitted-1))
-				}
-			} else {
-				keep = append(keep, s)
-			}
-		}
-		active = keep
+		e.Step()
 	}
-	res.Makespan = c.Now()
-	return res
+	return e.Result()
 }
 
 // MergeAcross combines per-rank results into the world view every

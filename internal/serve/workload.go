@@ -14,6 +14,10 @@ type Request struct {
 	Arrival float64 // virtual-clock seconds
 	Prompt  []int
 	MaxNew  int
+	// Tier indexes the request's SLO class (0 = strictest). The fleet
+	// router maps it to a per-tier admission deadline that tightens as
+	// replicas die; the single-engine path ignores it.
+	Tier int
 }
 
 // Tokens returns the request's total KV footprint: every prompt and
@@ -33,6 +37,11 @@ type WorkloadConfig struct {
 	PromptMax  int
 	NewMin     int
 	NewMax     int
+	// Tiers, when non-empty, are relative weights of the SLO classes;
+	// each request draws its Tier from them. The draw happens after the
+	// per-request length draws, so streams generated without Tiers are
+	// bit-identical to those generated before tiers existed.
+	Tiers []float64
 }
 
 // Generate draws the request stream. Arrivals are a Poisson process:
@@ -55,7 +64,21 @@ func (w WorkloadConfig) Generate() []Request {
 		for j := range prompt {
 			prompt[j] = r.Intn(w.Vocab)
 		}
-		reqs = append(reqs, Request{ID: i, Arrival: clock, Prompt: prompt, MaxNew: n})
+		req := Request{ID: i, Arrival: clock, Prompt: prompt, MaxNew: n}
+		if len(w.Tiers) > 0 {
+			total := 0.0
+			for _, t := range w.Tiers {
+				total += t
+			}
+			u := r.Float64() * total
+			for ti, t := range w.Tiers {
+				if u -= t; u < 0 {
+					req.Tier = ti
+					break
+				}
+			}
+		}
+		reqs = append(reqs, req)
 	}
 	return reqs
 }

@@ -32,6 +32,21 @@ go test -count=2 -run 'TestEscalationDeterministicReplay' ./internal/parallel/
 # reproduces every counter and latency quantile exactly, run after run.
 go test -race ./internal/serve/...
 go test -count=2 -run 'TestServeDeterministicReplay' ./internal/serve/
+# Serving-fleet gates (R18): the replicated fleet (router, failover,
+# hedging, restore+probe) must survive the race detector; the seeded
+# fleet replay must pin every counter, quantile, and token digest
+# (-count=2 catches cross-run state leaks); the health monitor's dwell
+# time must bound flapping under oscillating samples; every token the
+# faulty fleet serves must equal the fault-free single-replica decode;
+# and two fleet CLI runs must emit byte-identical R18 tables.
+go test -count=2 -run 'TestFleetDeterministicReplay' ./internal/serve/fleet/
+go test -run 'TestFleetBitExactTokensUnderFaults|TestFleetFailoverZeroDrop' ./internal/serve/fleet/
+go test -run 'TestMonitorDwellBoundsFlapping|TestMonitorResetClearsHistory' ./internal/health/
+go build -o /tmp/bagualu-serve ./cmd/bagualu-serve
+/tmp/bagualu-serve -fleet-only -replicas 4 -mtbf 30 -csv > /tmp/bagualu-fleet-a.csv
+/tmp/bagualu-serve -fleet-only -replicas 4 -mtbf 30 -csv > /tmp/bagualu-fleet-b.csv
+cmp /tmp/bagualu-fleet-a.csv /tmp/bagualu-fleet-b.csv
+rm -f /tmp/bagualu-serve /tmp/bagualu-fleet-a.csv /tmp/bagualu-fleet-b.csv
 # Dropless-MoE gates (R14): the race detector must hold over the
 # dropless/expert-choice routing paths and the grouped expert kernel
 # (worker-parallel panel packing), and the grouped kernel must replay
