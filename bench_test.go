@@ -8,6 +8,7 @@ package bagualu_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"bagualu"
@@ -781,8 +782,20 @@ func BenchmarkTrainStep(b *testing.B) {
 	tr.Step() // warm optimizer state and pools before measuring
 	b.ReportAllocs()
 	b.ResetTimer()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	for i := 0; i < b.N; i++ {
 		tr.Step()
+	}
+	runtime.ReadMemStats(&ms1)
+	// Allocation regression gate: the steady-state step must stay
+	// within 5% of the PR 6 zero-allocation baseline (2354 allocs/op).
+	// The pipeline engine's boundary-activation sends ride the pooled
+	// SendBuf/RecvBuf framing, so adding PP must not move this.
+	const baseline, slack = 2354, 1.05
+	if avg := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N); avg > baseline*slack {
+		b.Fatalf("train step allocates %.0f objects/op, above the gate %.0f (baseline %d +5%%)",
+			avg, baseline*slack, baseline)
 	}
 }
 

@@ -37,6 +37,8 @@ func main() {
 		perSN   = flag.Int("nodes-per-sn", 2, "nodes per simulated supernode")
 		eff     = flag.Float64("efficiency", 0.3, "sustained fraction of node peak for GEMM kernels")
 		routes  = flag.String("routes", "token-choice", "comma-separated route modes to search")
+		ppMax   = flag.Int("pp-max", 1, "cap on the pipeline-parallel axis (1 = flat MoDa search)")
+		layers  = flag.Int("layers", 0, "search-model depth (0 = default; deeper stacks give pipelines room)")
 		topk    = flag.Int("topk", 5, "candidates to validate with simulated runs")
 		steps   = flag.Int("steps", 4, "measured steps per validation run")
 		maxCand = flag.Int("max-candidates", 2048, "cap on scored candidates (larger spaces are sampled)")
@@ -80,16 +82,22 @@ func main() {
 		modes = append(modes, m)
 	}
 
-	plan, err := autotune.Run(autotune.Config{
+	cfg := autotune.Config{
 		Ranks: *ranks, RanksPerNode: *rpn, NodesPerSN: *perSN,
 		Target: target, TargetSpec: spec,
 		Efficiency: *eff,
 		Routes:     modes,
+		PPMax:      *ppMax,
 		MTBFSteps:  *mtbf, TargetMTBFSteps: *mtbf,
 		TopK: *topk, ValidateSteps: *steps,
 		MaxCandidates: *maxCand,
 		Seed:          *seed,
-	})
+	}
+	if *layers > 0 {
+		cfg.Spec = autotune.SearchSpec()
+		cfg.Spec.Layers = *layers
+	}
+	plan, err := autotune.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bagualu-plan: %v\n", err)
 		os.Exit(1)

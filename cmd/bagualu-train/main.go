@@ -30,6 +30,8 @@ func main() {
 	var (
 		dp        = flag.Int("dp", 2, "data-parallel degree")
 		ep        = flag.Int("ep", 4, "expert-parallel degree")
+		pp        = flag.Int("pp", 1, "pipeline-parallel stages (folds [pp, dp, ep]; needs accum >= pp)")
+		vpp       = flag.Int("vpp", 1, "virtual stages per pipeline stage (interleaved schedule)")
 		steps     = flag.Int("steps", 30, "training steps")
 		batch     = flag.Int("batch", 4, "sequences per rank per step")
 		vocab     = flag.Int("vocab", 256, "vocabulary size")
@@ -68,7 +70,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	strat := parallel.Strategy{DataParallel: *dp, ExpertParallel: *ep}
+	strat := parallel.Strategy{DataParallel: *dp, ExpertParallel: *ep, Pipeline: *pp, Virtual: *vpp}
 	mc := parallel.ModelConfig{
 		GPT: nn.GPTConfig{
 			Vocab: *vocab, Dim: *dim, Heads: *heads, Layers: *layers,

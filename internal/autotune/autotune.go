@@ -73,6 +73,12 @@ type Config struct {
 	CkptIntervals []int           // default {8, 32}
 	Routes        []moe.RouteMode // default {TokenChoice}
 
+	// PPMax caps the pipeline-parallel axis. Stage counts sweep the
+	// divisors of Ranks up to PPMax that also divide Spec.Layers
+	// (contiguous stages need equal layer chunks); default 1 keeps
+	// the search flat.
+	PPMax int
+
 	// Fault model: expected steps between failures at search scale
 	// and at the target (defaults 200 and the search value).
 	MTBFSteps       float64
@@ -164,6 +170,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.MaxCandidates == 0 {
 		cfg.MaxCandidates = 2048
 	}
+	if cfg.PPMax == 0 {
+		cfg.PPMax = 1
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -185,6 +194,8 @@ func SearchSpec() perfmodel.ModelSpec {
 // Candidate is one point of the deployment search space.
 type Candidate struct {
 	DP, EP int
+	PP     int // pipeline stages (0/1 = flat MoDa layout)
+	VPP    int // interleaving factor (0/1 = plain 1F1B)
 	Batch  int // sequences per rank per step
 
 	Codec   mpi.Codec // MoE wire codec (fp32 / fp16 inter-supernode)
@@ -201,7 +212,14 @@ type Candidate struct {
 
 // String is the stable label candidates are reported under.
 func (c Candidate) String() string {
-	s := fmt.Sprintf("dp%dxep%d b%d %s", c.DP, c.EP, c.Batch, c.Codec)
+	grid := fmt.Sprintf("dp%dxep%d", c.DP, c.EP)
+	if c.PP > 1 {
+		grid += fmt.Sprintf("xpp%d", c.PP)
+		if c.VPP > 1 {
+			grid += fmt.Sprintf("v%d", c.VPP)
+		}
+	}
+	s := fmt.Sprintf("%s b%d %s", grid, c.Batch, c.Codec)
 	if c.Overlap {
 		s += "+ov"
 	}
@@ -241,6 +259,7 @@ func (cfg Config) deployment(c Candidate) perfmodel.Deployment {
 	return perfmodel.Deployment{
 		Machine: cfg.Machine, RanksPerNode: cfg.RanksPerNode,
 		DataParallel: c.DP, ExpertParallel: c.EP,
+		PipelineParallel: c.PP, VirtualStages: c.VPP,
 		BatchPerRank: c.Batch, Precision: cfg.Precision,
 		Efficiency:        cfg.Efficiency,
 		A2A:               perfmodel.A2AHierarchical,
@@ -272,30 +291,59 @@ var memoryLevers = []struct {
 // order, the total grid size, and how many points were pruned.
 func EnumerateSpace(cfg Config) (feasible []Candidate, total, pruned int) {
 	codecs := []mpi.Codec{mpi.FP32Wire, mpi.FP16Wire}
-	for ep := 1; ep <= cfg.Ranks; ep++ {
-		if cfg.Ranks%ep != 0 {
+	for pp := 1; pp <= cfg.PPMax; pp++ {
+		// Divisor pruning: stages partition both the rank set and the
+		// layer stack into equal contiguous chunks.
+		if cfg.Ranks%pp != 0 || cfg.Spec.Layers%pp != 0 {
 			continue
 		}
-		for _, codec := range codecs {
-			for _, overlap := range []bool{false, true} {
-				for _, route := range cfg.Routes {
-					for _, batch := range cfg.Batches {
-						for _, lv := range memoryLevers {
-							for _, ck := range cfg.CkptIntervals {
-								total++
-								c := Candidate{
-									DP: cfg.Ranks / ep, EP: ep, Batch: batch,
-									Codec: codec, Overlap: overlap, Route: route,
-									ZeRO: lv.zero, RecomputeEvery: lv.rcEvery, Offload: lv.offload,
-									CkptEvery: ck,
+		vpps := []int{1}
+		if pp > 1 && cfg.Spec.Layers%(pp*2) == 0 {
+			vpps = []int{1, 2}
+		}
+		perStage := cfg.Ranks / pp
+		levers := memoryLevers
+		if pp > 1 {
+			// The pipeline runner replays every stage-local block on
+			// the backward pass (recompute-all), so only the rc1
+			// levers describe layouts the runtime can actually run.
+			levers = nil
+			for _, lv := range memoryLevers {
+				if lv.rcEvery == 1 {
+					levers = append(levers, lv)
+				}
+			}
+		}
+		for _, vpp := range vpps {
+			if cfg.Spec.Layers%(pp*vpp) != 0 {
+				continue
+			}
+			for ep := 1; ep <= perStage; ep++ {
+				if perStage%ep != 0 {
+					continue
+				}
+				for _, codec := range codecs {
+					for _, overlap := range []bool{false, true} {
+						for _, route := range cfg.Routes {
+							for _, batch := range cfg.Batches {
+								for _, lv := range levers {
+									for _, ck := range cfg.CkptIntervals {
+										total++
+										c := Candidate{
+											DP: perStage / ep, EP: ep, PP: pp, VPP: vpp, Batch: batch,
+											Codec: codec, Overlap: overlap, Route: route,
+											ZeRO: lv.zero, RecomputeEvery: lv.rcEvery, Offload: lv.offload,
+											CkptEvery: ck,
+										}
+										d := cfg.deployment(c)
+										mb, err := d.Memory(cfg.Spec)
+										if err != nil || !mb.Fits {
+											pruned++
+											continue
+										}
+										feasible = append(feasible, c)
+									}
 								}
-								d := cfg.deployment(c)
-								mb, err := d.Memory(cfg.Spec)
-								if err != nil || !mb.Fits {
-									pruned++
-									continue
-								}
-								feasible = append(feasible, c)
 							}
 						}
 					}

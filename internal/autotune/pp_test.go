@@ -1,0 +1,124 @@
+package autotune
+
+import (
+	"testing"
+
+	"bagualu/internal/mpi"
+	"bagualu/internal/parallel"
+	"bagualu/internal/perfmodel"
+)
+
+// TestPredictStepTracksMeasuredSimsecWithPP extends the tau gate to
+// the pipeline axis: across flat MoDa layouts and folded [pp, dp, ep]
+// layouts (1F1B, token-fair M = PP), the analytic ordering must still
+// track the simsec ordering the simulated stack measures.
+func TestPredictStepTracksMeasuredSimsecWithPP(t *testing.T) {
+	cfg, err := testConfig().withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Spec.Layers = 4 // deep enough for pp ∈ {2, 4} layer chunks
+	cands := []Candidate{
+		{DP: 8, EP: 1, Batch: 2, Codec: mpi.FP32Wire, CkptEvery: 16},
+		{DP: 4, EP: 2, Batch: 2, Codec: mpi.FP32Wire, CkptEvery: 16},
+		{DP: 2, EP: 4, Batch: 2, Codec: mpi.FP32Wire, CkptEvery: 16},
+		{DP: 2, EP: 2, PP: 2, Batch: 2, Codec: mpi.FP32Wire, ZeRO: true, RecomputeEvery: 1, CkptEvery: 16},
+		{DP: 4, EP: 1, PP: 2, Batch: 2, Codec: mpi.FP32Wire, ZeRO: true, RecomputeEvery: 1, CkptEvery: 16},
+		{DP: 1, EP: 2, PP: 4, Batch: 2, Codec: mpi.FP32Wire, ZeRO: true, RecomputeEvery: 1, CkptEvery: 16},
+	}
+	pred := make([]float64, len(cands))
+	meas := make([]float64, len(cands))
+	for i, c := range cands {
+		p, err := cfg.deployment(c).PredictStep(cfg.Spec, perfmodel.FaultModel{})
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		res, err := parallel.ShortRun(cfg.shortRunConfig(c, 42))
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		pred[i], meas[i] = p.StepTime, res.SimPerStep
+		t.Logf("%-34s pred %.6g  measured %.6g", c, pred[i], meas[i])
+	}
+	if tau := KendallTau(pred, meas); tau < 0.6 {
+		t.Fatalf("analytic ranking does not track measured simsec across PP: tau %.3f < 0.6\npred %v\nmeas %v",
+			tau, pred, meas)
+	}
+}
+
+// TestEnumerateSpaceSweepsPP checks the divisor-pruned pipeline axis:
+// stage counts divide both the rank set and the layer stack, pipelined
+// candidates carry the recompute-all lever the runtime forces, and
+// interleaving only appears where the layer count fills V·PP chunks.
+func TestEnumerateSpaceSweepsPP(t *testing.T) {
+	cfg, err := testConfig().withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Spec.Layers = 4
+	cfg.PPMax = 8
+	feasible, total, pruned := EnumerateSpace(cfg)
+	if total != len(feasible)+pruned {
+		t.Fatalf("space accounting broken: %d != %d + %d", total, len(feasible), pruned)
+	}
+	seenPP := map[int]bool{}
+	seenVPP := map[int]bool{}
+	for _, c := range feasible {
+		seenPP[c.PP] = true
+		if c.PP > 1 {
+			seenVPP[c.VPP] = true
+			if c.RecomputeEvery != 1 {
+				t.Fatalf("pipelined candidate %s without recompute-all (rc%d)", c, c.RecomputeEvery)
+			}
+			if cfg.Spec.Layers%(c.PP*max(c.VPP, 1)) != 0 {
+				t.Fatalf("candidate %s does not chunk %d layers evenly", c, cfg.Spec.Layers)
+			}
+		}
+		if err := cfg.deployment(c).ValidateFor(cfg.Spec); err != nil {
+			t.Fatalf("feasible candidate %s fails validation: %v", c, err)
+		}
+	}
+	for _, pp := range []int{1, 2, 4} {
+		if !seenPP[pp] {
+			t.Fatalf("pipeline depth %d missing from the swept space", pp)
+		}
+	}
+	if seenPP[8] {
+		t.Fatal("pp8 enumerated: 8 stages cannot chunk 4 layers")
+	}
+	if !seenVPP[2] {
+		t.Fatal("interleaved (V=2) candidates missing: 4 layers fill pp2 x v2")
+	}
+}
+
+// TestAutotunePicksPPAtDepth is the R19 acceptance criterion wired
+// into the search: at depth 8 on 8 ranks, the validated ranking's
+// measured-best configuration folds a pipeline (PP > 1) rather than
+// staying on the flat MoDa grid.
+func TestAutotunePicksPPAtDepth(t *testing.T) {
+	cfg := testConfig()
+	cfg.Spec = SearchSpec()
+	cfg.Spec.Layers = 8
+	cfg.PPMax = 4
+	p, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Validated) == 0 {
+		t.Fatal("no validated candidates")
+	}
+	best := p.Validated[0]
+	for _, v := range p.Validated[1:] {
+		if v.Measured.SimPerStep < best.Measured.SimPerStep {
+			best = v
+		}
+	}
+	t.Logf("measured best: %s (%.6g simsec/step)", best.Candidate, best.Measured.SimPerStep)
+	if best.PP <= 1 {
+		for _, v := range p.Validated {
+			t.Logf("validated %-34s pred %.6g meas %.6g", v.Candidate, v.Pred.StepTime, v.Measured.SimPerStep)
+		}
+		t.Fatalf("measured-best validated candidate %s is flat; expected a folded pipeline at depth %d",
+			best.Candidate, cfg.Spec.Layers)
+	}
+}

@@ -38,13 +38,24 @@ func (cfg Config) measuredKey(c Candidate) Candidate {
 	return c
 }
 
-// shortRunConfig maps a candidate onto the measurement harness.
+// shortRunConfig maps a candidate onto the measurement harness. A
+// pipelined candidate runs token-fair: Accum = PP micro-batches per
+// step, matching the analytic model's default M = S.
 func (cfg Config) shortRunConfig(c Candidate, seed uint64) parallel.ShortRunConfig {
 	s := cfg.Spec
+	strat := parallel.Strategy{DataParallel: c.DP, ExpertParallel: c.EP}
+	tc := train.Config{Batch: c.Batch, Precision: cfg.Precision}
+	if c.PP > 1 {
+		strat.Pipeline = c.PP
+		if c.VPP > 1 {
+			strat.Virtual = c.VPP
+		}
+		tc.Accum = c.PP
+	}
 	return parallel.ShortRunConfig{
 		Machine:      cfg.Machine,
 		RanksPerNode: cfg.RanksPerNode,
-		Strategy:     parallel.Strategy{DataParallel: c.DP, ExpertParallel: c.EP},
+		Strategy:     strat,
 		Model: parallel.ModelConfig{
 			GPT: nn.GPTConfig{
 				Vocab: s.Vocab, Dim: s.Dim, Heads: s.Heads,
@@ -60,7 +71,7 @@ func (cfg Config) shortRunConfig(c Candidate, seed uint64) parallel.ShortRunConf
 		Corpus: data.CorpusConfig{
 			Vocab: s.Vocab, SeqLen: s.SeqLen, Zipf: 1, Determinism: 0.8,
 		},
-		Train:           train.Config{Batch: c.Batch, Precision: cfg.Precision},
+		Train:           tc,
 		OptFor:          train.OptimizerFactory(c.ZeRO, 0),
 		Steps:           cfg.ValidateSteps,
 		Warmup:          cfg.Warmup,

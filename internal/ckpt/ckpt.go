@@ -37,6 +37,8 @@ type Layout struct {
 	WorldSize      int `json:"world_size"`
 	DataParallel   int `json:"data_parallel"`
 	ExpertParallel int `json:"expert_parallel"`
+	Pipeline       int `json:"pipeline,omitempty"` // pipeline stages (0/absent = flat grid)
+	Virtual        int `json:"virtual,omitempty"`  // virtual stages per pipeline stage
 }
 
 // Manifest is the commit record of one sharded checkpoint.

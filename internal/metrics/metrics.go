@@ -230,6 +230,14 @@ const (
 	PhaseOffload        = "offload"         // optimizer-state traffic to/from host memory
 )
 
+// Canonical phase names for the pipeline-parallel engine.
+const (
+	// PhaseBubble is virtual time a pipeline stage spends stalled
+	// waiting for a boundary activation or gradient to arrive — the
+	// pipeline bubble, including the blocking transfer's wire latency.
+	PhaseBubble = "pipe-bubble"
+)
+
 // PhaseMeter accumulates seconds into named phases in a fixed
 // presentation order — the exchange-phase breakdown (dispatch-local,
 // dispatch-remote, ...) a step report renders as one table row.

@@ -28,6 +28,7 @@ type Comm struct {
 	rank  int   // this process's rank within the comm
 	id    int64 // communicator id for tag isolation
 	seq   int64 // collective sequence number (advances in lockstep)
+	born  int64 // world failure count at creation (implicit revocation)
 
 	nextChildID int64 // id to assign at the next Split
 
@@ -51,6 +52,7 @@ func newWorldComm(w *World, rank int) *Comm {
 		group:       group,
 		rank:        rank,
 		id:          0,
+		born:        w.failCount.Load(),
 		nextChildID: 1,
 	}
 }
@@ -161,7 +163,7 @@ func (c *Comm) RecvMsg(src, tag int) ([]float32, []int) {
 	if src != AnySource {
 		gsrc = c.group[src]
 	}
-	m := c.proc.recv(gsrc, c.p2pTag(tag), c.group)
+	m := c.proc.recv(gsrc, c.p2pTag(tag), c.group, c.born)
 	return m.data, m.ints
 }
 
@@ -176,7 +178,7 @@ func (c *Comm) recvStep(src int, tag int) message {
 	if src != AnySource {
 		g = c.group[src]
 	}
-	return c.proc.recv(g, tag, c.group)
+	return c.proc.recv(g, tag, c.group, c.born)
 }
 
 // Split partitions the communicator by color; ranks passing the same
@@ -219,6 +221,7 @@ func (c *Comm) Split(color, key int) *Comm {
 		group:       group,
 		rank:        myRank,
 		id:          childID,
+		born:        c.proc.w.failCount.Load(),
 		nextChildID: childID<<8 + 1,
 	}
 }

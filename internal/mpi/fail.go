@@ -39,6 +39,26 @@ func (e *RankFailedError) Error() string {
 	return fmt.Sprintf("mpi: rank %d failed (detected by rank %d)", e.Rank, e.Detector)
 }
 
+// RevokedError reports that a communicator was implicitly revoked: a
+// rank failed somewhere in the world AFTER the communicator was
+// created, and this rank was blocked in (or later entered) a receive
+// on it. This is the transitive arm of failure detection — the ULFM
+// revoke, triggered automatically. A survivor whose own groups exclude
+// the dead rank can still be waiting on a peer that detected the
+// failure directly and abandoned the collective for recovery; without
+// revocation it would hang forever. Pipelined grids hit this
+// routinely: a stage-local gradient all-reduce shares no rank with a
+// dead pipeline column peer. Communicators created after the failure
+// (ShrinkTo and its Splits) carry a fresh failure-count stamp and are
+// unaffected until the NEXT failure.
+type RevokedError struct {
+	Detector int // global rank whose receive observed the revocation
+}
+
+func (e *RevokedError) Error() string {
+	return fmt.Sprintf("mpi: communicator revoked by a failure elsewhere (rank %d unblocked)", e.Detector)
+}
+
 // PayloadFaultError reports a message destroyed or corrupted on the
 // wire by the fault injector, caught by the per-message checksum.
 // With reliable transport enabled (see transport.go) transient faults
@@ -74,6 +94,8 @@ func Protect(fn func()) (err error) {
 		switch p := recover().(type) {
 		case nil:
 		case *RankFailedError:
+			err = p
+		case *RevokedError:
 			err = p
 		case *PayloadFaultError:
 			err = p
@@ -335,6 +357,7 @@ func (c *Comm) ShrinkTo(keep []int) *Comm {
 		group:       group,
 		rank:        newRank,
 		id:          id,
+		born:        c.proc.w.failCount.Load(),
 		nextChildID: id<<8 + 1,
 	}
 }

@@ -1,0 +1,49 @@
+package mpi
+
+import (
+	"fmt"
+
+	"bagualu/internal/tensor"
+)
+
+// Pooled point-to-point transfers for pipeline boundary activations.
+//
+// The generic Send copies its payload into a fresh slice per message;
+// at one activation tensor per micro-batch per stage boundary that
+// would put a steady allocation stream on the training hot path. The
+// pooled pair below reuses the same size-classed staging buffers the
+// flattened MoE exchange uses (tensor.GetSlice / PutSlice): the
+// sender stages the payload into a pooled buffer and marks the
+// message staged; the receiver copies it into a caller-owned
+// destination and releases the staging buffer back to the pool. In
+// steady state no allocation survives a micro-batch.
+
+// SendPooled delivers data to comm rank dst with a user tag, staging
+// the payload in a pooled buffer (eager buffered semantics, like
+// Send). The wire cost is identical to Send; only the buffer's
+// lifetime differs.
+func (c *Comm) SendPooled(dst, tag int, data []float32) {
+	buf := tensor.GetSlice(len(data))
+	copy(buf, data)
+	m := message{tag: c.p2pTag(tag), data: buf[:len(data)], staged: true}
+	level := c.Topology().LevelOf(c.proc.global, c.group[dst])
+	c.accountWire(level, m.nbytes(), m.nbytes())
+	c.proc.post(c.group[dst], m)
+}
+
+// RecvPooledInto blocks for a message with the tag from comm rank src
+// and copies its float payload into dst, whose length must match the
+// sender's. The staging buffer is released back to the pool before
+// returning; dst is caller-owned and reusable across micro-batches.
+func (c *Comm) RecvPooledInto(dst []float32, src, tag int) {
+	gsrc := AnySource
+	if src != AnySource {
+		gsrc = c.group[src]
+	}
+	m := c.proc.recv(gsrc, c.p2pTag(tag), c.group, c.born)
+	if len(m.data) != len(dst) {
+		panic(fmt.Sprintf("mpi: pooled recv payload %d into buffer %d", len(m.data), len(dst)))
+	}
+	copy(dst, m.data)
+	releaseStaged(&m)
+}

@@ -101,7 +101,7 @@ func (b *mailbox) put(m message) {
 // though they never touch the dead rank directly. Pending messages
 // are always drained before the failure check, so data that arrived
 // before the crash is still delivered.
-func (b *mailbox) take(src, tag int, group []int) message {
+func (b *mailbox) take(src, tag int, group []int, born int64) message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
@@ -128,6 +128,15 @@ func (b *mailbox) take(src, tag int, group []int) message {
 					if b.w.isFailed(g) {
 						panic(&RankFailedError{Rank: g, Detector: b.self})
 					}
+				}
+				// Implicit revocation (the transitive arm): the failure
+				// struck a rank OUTSIDE this receive's group, but the
+				// communicator predates it, so a group peer may have
+				// abandoned this very collective for recovery. Only
+				// communicators created after the failure (ShrinkTo and
+				// its children) may keep blocking.
+				if b.w.failCount.Load() > born {
+					panic(&RevokedError{Detector: b.self})
 				}
 			}
 		}
@@ -368,8 +377,8 @@ func (p *proc) post(dst int, m message) {
 // (failure of any member aborts the wait; see mailbox.take). A
 // message the fault injector destroyed surfaces as a typed
 // *PayloadFaultError panic (catch with Protect).
-func (p *proc) recv(src, tag int, group []int) message {
-	m := p.w.boxes[p.global].take(src, tag, group)
+func (p *proc) recv(src, tag int, group []int, born int64) message {
+	m := p.w.boxes[p.global].take(src, tag, group, born)
 	if m.arrive > p.now {
 		p.now = m.arrive
 	}

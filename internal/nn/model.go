@@ -161,9 +161,11 @@ func NewGPT(cfg GPTConfig, r *tensor.RNG, ffn FFNFactory) *GPT {
 	return g
 }
 
-// Forward maps token ids (length batch*seq) to logits
-// [batch*seq, vocab].
-func (g *GPT) Forward(ids []int) *tensor.Tensor {
+// EmbedForward runs the model's input segment: token embedding plus
+// positional embeddings. The pipeline runner calls it directly on the
+// first stage; Forward goes through it too, so both paths are
+// bit-identical.
+func (g *GPT) EmbedForward(ids []int) *tensor.Tensor {
 	if len(ids)%g.Cfg.SeqLen != 0 {
 		panic(fmt.Sprintf("nn: %d ids not a multiple of seq len %d", len(ids), g.Cfg.SeqLen))
 	}
@@ -178,6 +180,42 @@ func (g *GPT) Forward(ids []int) *tensor.Tensor {
 			row[j] += p[j]
 		}
 	}
+	return x
+}
+
+// EmbedBackward accumulates the input segment's gradients from dx,
+// the gradient flowing into the first block. The token embedding's
+// backward reads the ids cached by the matching EmbedForward (replay
+// EmbedForward first if another micro-batch overwrote it).
+func (g *GPT) EmbedBackward(dx *tensor.Tensor) {
+	rows := dx.Shape[0]
+	for i := 0; i < rows; i++ {
+		pos := i % g.Cfg.SeqLen
+		prow := g.PosEmbed.G.Row(pos)
+		drow := dx.Row(i)
+		for j := range prow {
+			prow[j] += drow[j]
+		}
+	}
+	g.TokEmbed.BackwardIDs(dx)
+}
+
+// HeadForward runs the model's output segment: final layer norm and
+// LM head projection to logits.
+func (g *GPT) HeadForward(x *tensor.Tensor) *tensor.Tensor {
+	return g.Head.Forward(g.FinalLN.Forward(x))
+}
+
+// HeadBackward propagates d(loss)/d(logits) through the output
+// segment, returning the gradient flowing into the last block.
+func (g *GPT) HeadBackward(dlogits *tensor.Tensor) *tensor.Tensor {
+	return g.FinalLN.Backward(g.Head.Backward(dlogits))
+}
+
+// Forward maps token ids (length batch*seq) to logits
+// [batch*seq, vocab].
+func (g *GPT) Forward(ids []int) *tensor.Tensor {
+	x := g.EmbedForward(ids)
 	if g.anyRecompute() {
 		g.blockInputs = g.blockInputs[:0]
 	}
@@ -193,13 +231,13 @@ func (g *GPT) Forward(ids []int) *tensor.Tensor {
 		}
 		x = b.Forward(x)
 	}
-	return g.Head.Forward(g.FinalLN.Forward(x))
+	return g.HeadForward(x)
 }
 
 // Backward propagates d(loss)/d(logits) through the model,
 // accumulating all parameter gradients.
 func (g *GPT) Backward(dlogits *tensor.Tensor) {
-	dx := g.FinalLN.Backward(g.Head.Backward(dlogits))
+	dx := g.HeadBackward(dlogits)
 	for i := len(g.Blocks) - 1; i >= 0; i-- {
 		if g.anyRecompute() && g.blockInputs[i] != nil {
 			// Re-run the block on its stored input to regenerate the
@@ -208,17 +246,7 @@ func (g *GPT) Backward(dlogits *tensor.Tensor) {
 		}
 		dx = g.Blocks[i].Backward(dx)
 	}
-	// Positional embedding gradient.
-	rows := dx.Shape[0]
-	for i := 0; i < rows; i++ {
-		pos := i % g.Cfg.SeqLen
-		prow := g.PosEmbed.G.Row(pos)
-		drow := dx.Row(i)
-		for j := range prow {
-			prow[j] += drow[j]
-		}
-	}
-	g.TokEmbed.BackwardIDs(dx)
+	g.EmbedBackward(dx)
 }
 
 // Generate extends prompt by n tokens using temperature sampling

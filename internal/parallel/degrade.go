@@ -45,7 +45,7 @@ func (e *Engine) repartitionParams() {
 		}
 	}
 	e.denseParams, e.expertParams = nil, nil
-	for _, p := range e.Model.Params() {
+	for _, p := range e.ownedParams() {
 		if sharded[p] {
 			e.expertParams = append(e.expertParams, p)
 		} else {

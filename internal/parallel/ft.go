@@ -27,6 +27,7 @@ import (
 	"bagualu/internal/health"
 	"bagualu/internal/moe"
 	"bagualu/internal/mpi"
+	"bagualu/internal/parallel/pipe"
 	"bagualu/internal/train"
 )
 
@@ -107,21 +108,41 @@ type FTResult struct {
 // otherwise the grid degenerates to pure expert parallelism if the
 // expert pool divides evenly, and anything else is unrecoverable
 // without spare ranks.
+//
+// With a pipelined grid the pipeline depth shrinks first: the deepest
+// divisor of the old depth that divides the survivor count is kept
+// (fewer, larger stages — checkpoint restore re-scatters the layer
+// chunks by name), and the per-stage remainder maps through the flat
+// rules above. The virtual-stage factor rides along unchanged; at
+// depth 1 it drops away with the pipeline.
 func ShrinkStrategy(old Strategy, newSize, numExperts int, hasMoE bool) (Strategy, error) {
 	if newSize < 1 {
 		return Strategy{}, fmt.Errorf("parallel: no survivors")
 	}
-	if !hasMoE {
-		return Strategy{DataParallel: newSize, ExpertParallel: 1}, nil
+	for pp := old.PP(); pp >= 1; pp-- {
+		if old.PP()%pp != 0 || newSize%pp != 0 {
+			continue
+		}
+		perStage := newSize / pp
+		var s Strategy
+		switch {
+		case !hasMoE:
+			s = Strategy{DataParallel: perStage, ExpertParallel: 1}
+		case perStage%old.ExpertParallel == 0:
+			s = Strategy{DataParallel: perStage / old.ExpertParallel, ExpertParallel: old.ExpertParallel}
+		case numExperts%perStage == 0:
+			s = Strategy{DataParallel: 1, ExpertParallel: perStage}
+		default:
+			continue
+		}
+		if pp > 1 {
+			s.Pipeline = pp
+			s.Virtual = old.Virtual
+		}
+		return s, nil
 	}
-	if newSize%old.ExpertParallel == 0 {
-		return Strategy{DataParallel: newSize / old.ExpertParallel, ExpertParallel: old.ExpertParallel}, nil
-	}
-	if numExperts%newSize == 0 {
-		return Strategy{DataParallel: 1, ExpertParallel: newSize}, nil
-	}
-	return Strategy{}, fmt.Errorf("parallel: cannot map EP=%d/%d experts onto %d survivors",
-		old.ExpertParallel, numExperts, newSize)
+	return Strategy{}, fmt.Errorf("parallel: cannot map EP=%d/%d experts (pp=%d) onto %d survivors",
+		old.ExpertParallel, numExperts, old.PP(), newSize)
 }
 
 // Reform rebinds the engine to a shrunk communicator and a new process
@@ -142,27 +163,47 @@ func (e *Engine) Reform(newComm *mpi.Comm, strat Strategy, opt train.Optimizer) 
 	if len(e.moeLayers) > 0 && e.moeLayers[0].Cfg.NumExperts%strat.ExpertParallel != 0 {
 		return fmt.Errorf("parallel: %d experts not divisible by EP=%d", e.moeLayers[0].Cfg.NumExperts, strat.ExpertParallel)
 	}
-	e.Comm = newComm
-	e.Strategy = strat
-	e.EP = newComm.Split(newComm.Rank()/strat.ExpertParallel, newComm.Rank())
-	e.DP = newComm.Split(newComm.Rank()%strat.ExpertParallel, newComm.Rank())
+	if strat.VPP() > 1 && e.micro%strat.PP() != 0 {
+		return fmt.Errorf("parallel: interleaved schedule needs %d micro-batches divisible by Pipeline=%d", e.micro, strat.PP())
+	}
+	if err := e.splitGrid(newComm, strat); err != nil {
+		return err
+	}
+	// Re-chunk the layers for the new pipeline depth (possibly 1 —
+	// restore-into-fewer-stages lands here after a shrink). Ownership
+	// and the schedule runner follow the new partition; checkpoint
+	// restore re-scatters weights and moments by name afterwards.
+	e.part, e.runner, e.chunkFwdFlops = nil, nil, nil
+	if strat.PP() > 1 {
+		part, perr := pipe.PartitionLayers(len(e.Model.Blocks), strat.PP()*strat.VPP())
+		if perr != nil {
+			return perr
+		}
+		e.part = part
+	}
 	for _, m := range e.moeLayers {
 		place := moe.NewBlockPlacement(m.Cfg.NumExperts, e.EP.Size())
 		if err := m.ReshardTo(e.EP, place); err != nil {
 			return err
 		}
 	}
-	// Re-partition parameters under the new shards.
+	// Re-partition parameters under the new shards and chunk ownership.
 	e.repartitionParams()
 	cc := e.corpusCfg
-	cc.Seed = e.corpusCfg.Seed + uint64(newComm.Rank())*1_000_003
+	cc.Seed = e.corpusCfg.Seed + uint64(e.decorrIndex())*1_000_003
 	corpus, err := data.NewSynthetic(cc)
 	if err != nil {
 		return err
 	}
 	e.Trainer.Corpus = corpus
 	e.Trainer.Opt = opt
-	e.Trainer.RefreshParams()
+	if strat.PP() > 1 {
+		e.Trainer.RefreshParams()
+		e.Trainer.RestrictParams(e.ownedParams())
+		e.buildRunner()
+	} else {
+		e.Trainer.RefreshParams()
+	}
 	// Re-bind the sync path: under ZeRO the fresh optimizer's moment
 	// shards re-partition over the NEW communicators, and the
 	// checkpoint restore fills them through range-record coverage.
@@ -377,6 +418,8 @@ func runRankFT(w *mpi.World, c *mpi.Comm, cfg FTConfig, inj *fault.Injector, st 
 					WorldSize:      comm.Size(),
 					DataParallel:   strat.DataParallel,
 					ExpertParallel: strat.ExpertParallel,
+					Pipeline:       strat.Pipeline,
+					Virtual:        strat.Virtual,
 				}
 				if serr := wr.Save(int64(step), hdr, eng.Trainer.CheckpointParams(), lay); serr != nil {
 					st.err = serr
@@ -509,7 +552,7 @@ func runRankFT(w *mpi.World, c *mpi.Comm, cfg FTConfig, inj *fault.Injector, st 
 					return
 				}
 				continue // survivor set shrank mid-recovery; go again
-			case *mpi.RankFailedError:
+			case *mpi.RankFailedError, *mpi.RevokedError:
 				if !w.Alive(my) {
 					st.crashed = true
 					return

@@ -1,0 +1,138 @@
+package layout
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRankCoordRoundTrip(t *testing.T) {
+	l, err := New("t", Axis{"pp", 2}, Axis{"dp", 3}, Axis{"ep", 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 24 {
+		t.Fatalf("size %d", l.Size())
+	}
+	for r := 0; r < l.Size(); r++ {
+		c := l.Coord(r)
+		if got := l.Rank(c); got != r {
+			t.Fatalf("rank %d -> %v -> %d", r, c, got)
+		}
+	}
+	// Last axis varies fastest: ranks 0..3 share pp=0, dp=0.
+	if c := l.Coord(3); !reflect.DeepEqual(c, []int{0, 0, 3}) {
+		t.Fatalf("coord(3) = %v", c)
+	}
+	if c := l.Coord(4); !reflect.DeepEqual(c, []int{0, 1, 0}) {
+		t.Fatalf("coord(4) = %v", c)
+	}
+}
+
+func TestGroupsAndColors(t *testing.T) {
+	l, err := New("t", Axis{"pp", 2}, Axis{"dp", 2}, Axis{"ep", 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ep groups are contiguous pairs.
+	if g := l.Group(0, "ep"); !reflect.DeepEqual(g, []int{0, 1}) {
+		t.Fatalf("ep group of 0: %v", g)
+	}
+	if g := l.Group(6, "ep"); !reflect.DeepEqual(g, []int{6, 7}) {
+		t.Fatalf("ep group of 6: %v", g)
+	}
+	// dp groups stride by the ep size within a stage.
+	if g := l.Group(1, "dp"); !reflect.DeepEqual(g, []int{1, 3}) {
+		t.Fatalf("dp group of 1: %v", g)
+	}
+	// pp groups stride by the stage size.
+	if g := l.Group(2, "pp"); !reflect.DeepEqual(g, []int{2, 6}) {
+		t.Fatalf("pp group of 2: %v", g)
+	}
+	// Two ranks share a color along an axis iff they share a group.
+	for r := 0; r < l.Size(); r++ {
+		for q := 0; q < l.Size(); q++ {
+			same := false
+			for _, m := range l.Group(r, "dp") {
+				if m == q {
+					same = true
+				}
+			}
+			if got := l.GroupColor(r, "dp") == l.GroupColor(q, "dp"); got != same {
+				t.Fatalf("dp color of %d vs %d: colorEq=%v groupEq=%v", r, q, got, same)
+			}
+		}
+	}
+}
+
+// TestFoldSharesRankSet pins the folding invariants: both layouts
+// cover the same ranks, agree on the pipeline coordinate, and a dense
+// replication group is exactly the union of its stage's MoE dp×ep
+// sub-grid.
+func TestFoldSharesRankSet(t *testing.T) {
+	f, err := Fold(24, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dense.Size() != f.MoE.Size() || f.Dense.Size() != 24 {
+		t.Fatalf("sizes %d vs %d", f.Dense.Size(), f.MoE.Size())
+	}
+	for r := 0; r < 24; r++ {
+		if f.Dense.AxisCoord(r, AxisPipe) != f.MoE.AxisCoord(r, AxisPipe) {
+			t.Fatalf("rank %d: folded layouts disagree on stage", r)
+		}
+		// The dense fold coordinate decomposes as dp*EP + ep of the
+		// MoE layout — same ranks, different factorization.
+		w := f.Within(r)
+		dp := f.MoE.AxisCoord(r, AxisData)
+		ep := f.MoE.AxisCoord(r, AxisExpert)
+		if w != dp*f.EP+ep {
+			t.Fatalf("rank %d: within %d != dp%d*%d+ep%d", r, w, dp, f.EP, ep)
+		}
+	}
+	// Dense replication group of rank 0 = all of stage 0.
+	g := f.Dense.Group(0, AxisFold)
+	if len(g) != f.PerStage() {
+		t.Fatalf("dense group size %d, want %d", len(g), f.PerStage())
+	}
+	for i, r := range g {
+		if r != i {
+			t.Fatalf("stage 0 dense group not contiguous: %v", g)
+		}
+	}
+}
+
+// TestFoldReducesToMoDa pins backward compatibility: at pp=1 the MoE
+// layout is exactly the seed MoDa grid — contiguous EP groups
+// (rank/EP colors) and strided DP groups (rank%EP colors).
+func TestFoldReducesToMoDa(t *testing.T) {
+	f, err := Fold(8, 1, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		if got, want := f.MoE.GroupColor(r, AxisExpert) != f.MoE.GroupColor(0, AxisExpert), r/2 != 0; got != want {
+			t.Fatalf("rank %d ep color mismatch vs rank/EP", r)
+		}
+		if f.ExpertColor(f.Within(r)) != r/2 {
+			t.Fatalf("rank %d expert color %d != %d", r, f.ExpertColor(f.Within(r)), r/2)
+		}
+		if f.DataColor(f.Within(r)) != r%2 {
+			t.Fatalf("rank %d data color %d != %d", r, f.DataColor(f.Within(r)), r%2)
+		}
+		if f.Stage(r) != 0 || f.Within(r) != r {
+			t.Fatalf("rank %d stage %d within %d at pp=1", r, f.Stage(r), f.Within(r))
+		}
+	}
+}
+
+func TestFoldValidates(t *testing.T) {
+	if _, err := Fold(8, 2, 2, 3); err == nil {
+		t.Fatal("mismatched product accepted")
+	}
+	if _, err := Fold(8, 0, 4, 2); err == nil {
+		t.Fatal("zero axis accepted")
+	}
+	if _, err := New("t", Axis{"a", 2}, Axis{"a", 2}); err == nil {
+		t.Fatal("duplicate axis accepted")
+	}
+}

@@ -14,6 +14,15 @@
 //   - expert parameters are replicated only across the ranks holding
 //     the same shard (one per expert-parallel group) and all-reduced
 //     over that data-parallel communicator.
+//
+// With Strategy.Pipeline > 1 the grid folds a third axis in front:
+// [pp, dp, ep] with pipeline stages as contiguous rank blocks (see
+// internal/parallel/layout). Each stage owns a contiguous chunk of the
+// model's layers and runs the 1F1B or interleaved schedule from
+// internal/parallel/pipe; gradient synchronization then happens within
+// each stage's folded sub-grid (dense over the whole stage, experts
+// over the stage's data-parallel groups) and only the global gradient
+// norm crosses stage boundaries.
 package parallel
 
 import (
@@ -28,6 +37,9 @@ import (
 	"bagualu/internal/moe"
 	"bagualu/internal/mpi"
 	"bagualu/internal/nn"
+	"bagualu/internal/parallel/layout"
+	"bagualu/internal/parallel/pipe"
+	"bagualu/internal/sunway"
 	"bagualu/internal/tensor"
 	"bagualu/internal/train"
 )
@@ -36,15 +48,49 @@ import (
 type Strategy struct {
 	DataParallel   int
 	ExpertParallel int
+
+	// Pipeline is the pipeline-parallel depth (stage count). 0 or 1
+	// keeps the flat DP×EP MoDa grid; above 1 the grid becomes
+	// [pp, dp, ep] with stages as contiguous rank blocks and the
+	// engine runs the pipe schedules over the model's layer chunks.
+	Pipeline int
+
+	// Virtual is the number of virtual stages (model chunks) per
+	// pipeline stage. 0 or 1 selects 1F1B; above 1 the interleaved
+	// schedule, which requires the micro-batch count (train.Config.
+	// Accum) to be divisible by Pipeline.
+	Virtual int
+}
+
+// PP returns the effective pipeline depth (>= 1).
+func (s Strategy) PP() int {
+	if s.Pipeline < 1 {
+		return 1
+	}
+	return s.Pipeline
+}
+
+// VPP returns the effective virtual-stage count per stage (>= 1).
+func (s Strategy) VPP() int {
+	if s.Virtual < 1 {
+		return 1
+	}
+	return s.Virtual
 }
 
 // Size returns the total rank count.
-func (s Strategy) Size() int { return s.DataParallel * s.ExpertParallel }
+func (s Strategy) Size() int { return s.DataParallel * s.ExpertParallel * s.PP() }
 
 // Validate checks the grid.
 func (s Strategy) Validate() error {
 	if s.DataParallel < 1 || s.ExpertParallel < 1 {
 		return fmt.Errorf("parallel: invalid strategy %+v", s)
+	}
+	if s.Pipeline < 0 || s.Virtual < 0 {
+		return fmt.Errorf("parallel: invalid strategy %+v", s)
+	}
+	if s.VPP() > 1 && s.PP() < 2 {
+		return fmt.Errorf("parallel: virtual stages (%d) need Pipeline > 1", s.Virtual)
 	}
 	return nil
 }
@@ -161,6 +207,11 @@ type StepStats struct {
 	ParamGather    float64
 	RecomputeSim   float64
 	OffloadSim     float64
+
+	// BubbleSim is virtual time this rank's pipeline stage spent
+	// stalled on boundary activation/gradient receives during the step
+	// (metrics.PhaseBubble; zero when Pipeline <= 1).
+	BubbleSim float64
 }
 
 // Engine is the per-rank training engine. Construct one inside
@@ -169,9 +220,21 @@ type Engine struct {
 	Comm     *mpi.Comm
 	EP       *mpi.Comm // expert-parallel group (contiguous ranks)
 	DP       *mpi.Comm // data-parallel group (strided ranks)
+	Stage    *mpi.Comm // stage-local folded grid (nil when Pipeline <= 1)
+	PPComm   *mpi.Comm // pipeline column, comm rank == stage (nil when Pipeline <= 1)
 	Strategy Strategy
 	Model    *nn.GPT
 	Trainer  *train.Trainer
+
+	// Pipeline state (all zero when Strategy.Pipeline <= 1): the folded
+	// layout pair, the per-rank schedule runner, the global chunk
+	// partition, micro-batches per step, and per-chunk analytic forward
+	// FLOPs the runner prices on the virtual clock.
+	fold          *layout.Folded
+	runner        *pipe.Runner
+	part          []pipe.Chunk
+	micro         int
+	chunkFwdFlops []float64
 
 	moeLayers    []*moe.DistMoE
 	denseParams  []*nn.Param
@@ -217,16 +280,35 @@ func NewEngine(c *mpi.Comm, strat Strategy, mc ModelConfig, corpusCfg data.Corpu
 	if mc.MoEEvery > 0 && mc.NumExperts%strat.ExpertParallel != 0 {
 		return nil, fmt.Errorf("parallel: %d experts not divisible by EP=%d", mc.NumExperts, strat.ExpertParallel)
 	}
+	micro := tc.Accum
+	if micro < 1 {
+		micro = 1
+	}
+	if strat.PP() > 1 {
+		// Dynamic loss scaling makes its skip decision from local
+		// gradients; under PP those are stage-local and the decision
+		// would diverge across stages. Pipeline runs use a static
+		// precision.
+		if tc.Precision == sunway.Mixed || tc.Precision == sunway.FP16 {
+			return nil, fmt.Errorf("parallel: pipeline parallelism requires static precision (FP32/FP64), not %v", tc.Precision)
+		}
+		if strat.VPP() > 1 && micro%strat.PP() != 0 {
+			return nil, fmt.Errorf("parallel: interleaved schedule needs Accum (%d) divisible by Pipeline (%d)", micro, strat.PP())
+		}
+		if mc.GPT.Layers < strat.PP()*strat.VPP() {
+			return nil, fmt.Errorf("parallel: %d layers cannot fill %d pipeline chunks", mc.GPT.Layers, strat.PP()*strat.VPP())
+		}
+	}
 
-	e := &Engine{Comm: c, Strategy: strat, corpusCfg: corpusCfg, batch: tc.Batch, clipNorm: tc.ClipNorm}
+	e := &Engine{corpusCfg: corpusCfg, batch: tc.Batch, clipNorm: tc.ClipNorm, micro: micro}
 	// The engine clips by the *distributed* global norm after the
 	// gradient sync; the trainer's local clip would use a norm that
 	// differs across ranks (expert shards differ) and desynchronize
 	// the dense replicas.
 	tc.ClipNorm = 0
-	// Contiguous expert-parallel groups; strided data-parallel groups.
-	e.EP = c.Split(c.Rank()/strat.ExpertParallel, c.Rank())
-	e.DP = c.Split(c.Rank()%strat.ExpertParallel, c.Rank())
+	if err := e.splitGrid(c, strat); err != nil {
+		return nil, err
+	}
 
 	r := tensor.NewRNG(seed)
 	var ffn nn.FFNFactory
@@ -260,24 +342,23 @@ func NewEngine(c *mpi.Comm, strat Strategy, mc ModelConfig, corpusCfg data.Corpu
 		e.Model.RecomputePolicy = pol
 	}
 
+	// Under PP the layer chunking must precede the parameter
+	// partition: the partition then covers only stage-owned chunks.
+	if strat.PP() > 1 {
+		part, perr := pipe.PartitionLayers(mc.GPT.Layers, strat.PP()*strat.VPP())
+		if perr != nil {
+			return nil, perr
+		}
+		e.part = part
+	}
 	// Partition parameters into expert-sharded and dense/replicated.
-	sharded := map[*nn.Param]bool{}
-	for _, m := range e.moeLayers {
-		for _, p := range m.ShardedParams() {
-			sharded[p] = true
-		}
-	}
-	for _, p := range e.Model.Params() {
-		if sharded[p] {
-			e.expertParams = append(e.expertParams, p)
-		} else {
-			e.denseParams = append(e.denseParams, p)
-		}
-	}
+	e.repartitionParams()
 
-	// Per-rank corpus shard: decorrelate by rank.
+	// Per-rank corpus shard: decorrelate by rank (by within-stage index
+	// under PP — every rank of a pipeline column draws the identical
+	// token stream, so activations are the only cross-stage traffic).
 	cc := corpusCfg
-	cc.Seed = corpusCfg.Seed + uint64(c.Rank())*1_000_003
+	cc.Seed = corpusCfg.Seed + uint64(e.decorrIndex())*1_000_003
 	corpus, err := data.NewSynthetic(cc)
 	if err != nil {
 		return nil, err
@@ -296,10 +377,184 @@ func NewEngine(c *mpi.Comm, strat Strategy, mc ModelConfig, corpusCfg data.Corpu
 	e.phases = metrics.NewPhaseMeter(
 		metrics.PhaseGradSync, metrics.PhaseOptimizerShard,
 		metrics.PhaseParamGather, metrics.PhaseRecompute,
-		metrics.PhaseOffload)
+		metrics.PhaseOffload, metrics.PhaseBubble)
 	e.phasePrev = map[string]float64{}
+	if strat.PP() > 1 {
+		// The optimizer, precision policy, and checkpoints operate on
+		// the stage-owned parameter subset; the runner executes the
+		// pipeline schedule inside Trainer.StepWith.
+		tr.RestrictParams(e.ownedParams())
+		e.buildRunner()
+	}
 	e.installSync(opt)
 	return e, nil
+}
+
+// splitGrid builds the communicators for strat over c. Pipeline <= 1
+// reproduces the seed MoDa split exactly; above 1 the folded layout
+// pair from internal/parallel/layout drives the stage, intra-stage,
+// and pipeline-column splits. Collective: every rank of c must call
+// it with the same strategy.
+func (e *Engine) splitGrid(c *mpi.Comm, strat Strategy) error {
+	e.Comm, e.Strategy = c, strat
+	if strat.PP() <= 1 {
+		e.fold, e.Stage, e.PPComm = nil, nil, nil
+		// Contiguous expert-parallel groups; strided data-parallel groups.
+		e.EP = c.Split(c.Rank()/strat.ExpertParallel, c.Rank())
+		e.DP = c.Split(c.Rank()%strat.ExpertParallel, c.Rank())
+		return nil
+	}
+	fold, err := layout.Fold(c.Size(), strat.PP(), strat.DataParallel, strat.ExpertParallel)
+	if err != nil {
+		return err
+	}
+	e.fold = &fold
+	rank := c.Rank()
+	within := fold.Within(rank)
+	// The stage is a contiguous rank block; inside it the MoDa grid
+	// reappears (contiguous EP groups, strided DP groups). The pipeline
+	// column links the same fold coordinate across stages, so the
+	// column comm's rank equals the pipeline stage.
+	e.Stage = c.Split(fold.StageColor(rank), rank)
+	e.EP = e.Stage.Split(fold.ExpertColor(within), within)
+	e.DP = e.Stage.Split(fold.DataColor(within), within)
+	e.PPComm = c.Split(fold.PipeColor(rank), rank)
+	return nil
+}
+
+// decorrIndex is the corpus-decorrelation index: the global rank on
+// the flat grid, the within-stage index under PP (every rank of a
+// pipeline column must draw the identical token stream).
+func (e *Engine) decorrIndex() int {
+	if e.fold != nil {
+		return e.fold.Within(e.Comm.Rank())
+	}
+	return e.Comm.Rank()
+}
+
+// denseComm is the communicator dense gradients synchronize over: the
+// world on the flat grid, the stage under PP.
+func (e *Engine) denseComm() *mpi.Comm {
+	if e.Stage != nil {
+		return e.Stage
+	}
+	return e.Comm
+}
+
+// perStage is the number of ranks that together consume one step's
+// distinct token streams — the loss/gradient averaging denominator.
+// Equals the world size on the flat grid.
+func (e *Engine) perStage() int { return e.denseComm().Size() }
+
+// ownedParams returns the parameters this rank trains: the whole
+// model on the flat grid, or the stage-owned chunk subset under PP
+// (embeddings ride with the first chunk, the final norm and head with
+// the last), in model order.
+func (e *Engine) ownedParams() []*nn.Param {
+	if e.fold == nil {
+		return e.Model.Params()
+	}
+	stage := e.fold.Stage(e.Comm.Rank())
+	var ps []*nn.Param
+	for v := 0; v < e.Strategy.VPP(); v++ {
+		g := v*e.fold.PP + stage
+		if g == 0 {
+			ps = append(ps, e.Model.TokEmbed.Table, e.Model.PosEmbed)
+		}
+		c := e.part[g]
+		for i := c.Lo; i < c.Hi; i++ {
+			ps = append(ps, e.Model.Blocks[i].Params()...)
+		}
+		if g == len(e.part)-1 {
+			ps = append(ps, e.Model.FinalLN.Params()...)
+			ps = append(ps, e.Model.Head.Params()...)
+		}
+	}
+	return ps
+}
+
+// buildRunner (re)creates the pipeline schedule runner and the
+// per-chunk analytic forward-FLOP table for the current partition.
+func (e *Engine) buildRunner() {
+	e.chunkFwdFlops = e.chunkForwardFlops()
+	e.runner = &pipe.Runner{
+		Stages:  e.fold.PP,
+		Virtual: e.Strategy.VPP(),
+		Micro:   e.micro,
+		Stage:   e.fold.Stage(e.Comm.Rank()),
+		Comm:    e.PPComm,
+		Model:   e.Model,
+		Part:    e.part,
+		Rows:    e.batch * e.Model.Cfg.SeqLen,
+		FwdSeconds: func(g int) float64 {
+			if e.computeRate <= 0 {
+				return 0
+			}
+			return e.chunkFwdFlops[g] / e.computeRate
+		},
+		AuxOf: e.chunkAux,
+		Meter: e.phases,
+	}
+}
+
+// chunkForwardFlops prices one micro-batch forward pass of each global
+// chunk, mirroring stepFlops' analytic convention (2 FLOPs per active
+// parameter per token forward plus the attention quadratic term). The
+// expert share is included only when the MoE layers do not self-charge
+// their GEMMs inline on the virtual clock.
+func (e *Engine) chunkForwardFlops() []float64 {
+	tokens := float64(e.batch * e.Model.Cfg.SeqLen)
+	self := e.moeSelfCharges()
+	sharded := map[*nn.Param]bool{}
+	for _, m := range e.moeLayers {
+		for _, p := range m.ShardedParams() {
+			sharded[p] = true
+		}
+	}
+	out := make([]float64, len(e.part))
+	for g, c := range e.part {
+		var active float64
+		var ps []*nn.Param
+		if g == 0 {
+			ps = append(ps, e.Model.TokEmbed.Table, e.Model.PosEmbed)
+		}
+		for i := c.Lo; i < c.Hi; i++ {
+			for _, p := range e.Model.Blocks[i].Params() {
+				if !sharded[p] {
+					ps = append(ps, p)
+				}
+			}
+			if !self {
+				if m, ok := e.Model.Blocks[i].FFN.(*moe.DistMoE); ok {
+					active += float64(m.Cfg.TopK) * float64(m.PerExpertParams())
+				}
+			}
+		}
+		if g == len(e.part)-1 {
+			ps = append(ps, e.Model.FinalLN.Params()...)
+			ps = append(ps, e.Model.Head.Params()...)
+		}
+		active += float64(nn.NumParams(ps))
+		quad := 4 * float64(c.Blocks()) * float64(e.Model.Cfg.SeqLen) * float64(e.Model.Cfg.Dim)
+		out[g] = tokens * (2*active + quad)
+	}
+	return out
+}
+
+// chunkAux collects the auxiliary loss and overflow count from the MoE
+// layers inside global chunk g (the runner calls it after each chunk
+// forward, before another micro-batch overwrites the gates).
+func (e *Engine) chunkAux(g int) (aux float32, overflow int) {
+	c := e.part[g]
+	for i := c.Lo; i < c.Hi; i++ {
+		if l, ok := e.Model.Blocks[i].FFN.(train.AuxLossLayer); ok {
+			aux += l.AuxLoss()
+			if r := l.LastRouting(); r != nil {
+				overflow += r.Overflow
+			}
+		}
+	}
+	return aux, overflow
 }
 
 // installSync binds the gradient-synchronization path matching the
@@ -311,7 +566,7 @@ func NewEngine(c *mpi.Comm, strat Strategy, mc ModelConfig, corpusCfg data.Corpu
 func (e *Engine) installSync(opt train.Optimizer) {
 	if z, ok := opt.(*train.ShardedAdam); ok {
 		z.Bind(
-			train.ShardGroup{Comm: e.Comm, Params: e.denseParams},
+			train.ShardGroup{Comm: e.denseComm(), Params: e.denseParams},
 			train.ShardGroup{Comm: e.DP, Params: e.expertParams},
 		)
 		z.Observer = e.phases.Observe
@@ -434,30 +689,36 @@ func (e *Engine) ExpertParams() []*nn.Param { return e.expertParams }
 // train.CombineF64Sum), so both modes see bitwise-identical norms and
 // make identical clip decisions.
 func (e *Engine) syncGradients([]*nn.Param) {
-	world := float32(e.Comm.Size())
+	group := float32(e.perStage())
 	t0 := e.Comm.Now()
-	// Dense parameters: bucketed all-reduce over the world.
-	allReduceBucketed(e.Comm, e.denseParams, 1/world)
+	// Dense parameters: bucketed all-reduce over the replication group
+	// (the world on the flat grid, the stage under PP).
+	allReduceBucketed(e.denseComm(), e.denseParams, 1/group)
 	// Expert parameters: all-reduce over the data-parallel group;
-	// the sum then covers every rank's tokens, so normalize by the
-	// world size to match the dense average-loss scaling.
-	if e.DP.Size() > 1 || world > 1 {
-		allReduceBucketed(e.DP, e.expertParams, 1/world)
+	// the sum then covers every replica's tokens, so normalize by the
+	// replica count to match the dense average-loss scaling.
+	if e.DP.Size() > 1 || group > 1 {
+		allReduceBucketed(e.DP, e.expertParams, 1/group)
 	}
 	e.phases.Observe(metrics.PhaseGradSync, e.Comm.Now()-t0)
 
 	// Distributed global gradient norm: the dense part is identical
-	// on every rank; the expert shards are distinct within an
-	// expert-parallel group (and replicated across data-parallel
-	// peers), so summing shard norms over the EP communicator yields
-	// the true global norm, identically on every rank.
-	denseSq := train.ShardedNormSq(e.Comm, e.denseParams)
+	// on every rank of the replication group; the expert shards are
+	// distinct within an expert-parallel group (and replicated across
+	// data-parallel peers), so summing shard norms over the EP
+	// communicator yields the stage norm; under PP the stages' partial
+	// norms then combine over the pipeline column, identically on
+	// every rank.
+	denseSq := train.ShardedNormSq(e.denseComm(), e.denseParams)
 	expertSq := train.ShardedNormSq(e.DP, e.expertParams)
 	totalSq := denseSq
 	if e.EP.Size() > 1 {
 		totalSq += train.CombineF64Sum(e.EP, expertSq)
 	} else {
 		totalSq += expertSq
+	}
+	if e.PPComm != nil && e.PPComm.Size() > 1 {
+		totalSq = train.CombineF64Sum(e.PPComm, totalSq)
 	}
 	norm := float32(math.Sqrt(totalSq))
 	e.lastGradNorm = norm
@@ -479,9 +740,9 @@ func (e *Engine) syncGradients([]*nn.Param) {
 // the parameters. Norm and clip use the identical canonical partial
 // sums as the legacy path, applied to the shards.
 func (e *Engine) syncGradientsZeRO([]*nn.Param) {
-	world := float32(e.Comm.Size())
+	group := float32(e.perStage())
 	t0 := e.Comm.Now()
-	e.zero.SyncGradients(1 / world)
+	e.zero.SyncGradients(1 / group)
 	e.phases.Observe(metrics.PhaseGradSync, e.Comm.Now()-t0)
 
 	denseSq := e.zero.GroupNormSq(0)
@@ -491,6 +752,9 @@ func (e *Engine) syncGradientsZeRO([]*nn.Param) {
 		totalSq += train.CombineF64Sum(e.EP, expertSq)
 	} else {
 		totalSq += expertSq
+	}
+	if e.PPComm != nil && e.PPComm.Size() > 1 {
+		totalSq = train.CombineF64Sum(e.PPComm, totalSq)
 	}
 	norm := float32(math.Sqrt(totalSq))
 	e.lastGradNorm = norm
@@ -539,9 +803,17 @@ func (e *Engine) Step() StepStats {
 		e.wallSet = true
 	}
 	t0 := time.Now()
-	local := e.Trainer.Step()
+	var local train.Metrics
+	if e.runner != nil {
+		local = e.stepPipelined()
+	} else {
+		local = e.Trainer.Step()
+	}
 	wallStep := time.Since(t0).Seconds()
-	if e.computeRate > 0 {
+	// The pipeline runner prices compute inline per chunk pass (fwd,
+	// replay, bwd), so the post-hoc charge below applies only to the
+	// flat grid.
+	if e.computeRate > 0 && e.runner == nil {
 		flops := e.stepFlops()
 		if e.moeSelfCharges() {
 			// The MoE layers already charged the expert GEMMs inline
@@ -596,11 +868,16 @@ func (e *Engine) Step() StepStats {
 	st.ParamGather = e.phaseDelta(metrics.PhaseParamGather)
 	st.RecomputeSim = e.phaseDelta(metrics.PhaseRecompute)
 	st.OffloadSim = e.phaseDelta(metrics.PhaseOffload)
-	// Aggregate loss/aux/overflow across the world.
+	st.BubbleSim = e.phaseDelta(metrics.PhaseBubble)
+	// Aggregate loss/aux/overflow across the world. The divisor is the
+	// replica count (== world on the flat grid): under PP the loss
+	// lives only on last-chunk ranks and the aux loss is spread over a
+	// column's stages, so the world sum counts each of the perStage
+	// token streams exactly once.
 	agg := e.Comm.AllReduce([]float32{local.Loss, local.AuxLoss, float32(local.Overflow)}, mpi.OpSum)
-	world := float32(e.Comm.Size())
-	st.Loss = agg[0] / world
-	st.AuxLoss = agg[1] / world
+	group := float32(e.perStage())
+	st.Loss = agg[0] / group
+	st.AuxLoss = agg[1] / group
 	st.Overflow = int(agg[2])
 	// The trainer already computed per-step comm deltas over the MoE
 	// layers (phase time per layer, wire bytes deduped per comm).
@@ -610,10 +887,41 @@ func (e *Engine) Step() StepStats {
 	st.SimTime = e.Comm.Now() - simStart
 	if st.SimTime > 0 {
 		tokens := float64(e.batch*e.Model.Cfg.SeqLen) * float64(e.Comm.Size())
+		if e.runner != nil {
+			// M micro-batches per step over perStage distinct streams.
+			tokens = float64(e.batch*e.Model.Cfg.SeqLen) * float64(e.micro*e.perStage())
+		}
 		st.TokensPer = tokens / st.SimTime
 	}
 	return st
 }
+
+// stepPipelined runs one optimizer step through the pipeline schedule:
+// the trainer wraps the runner's micro-batch loop with its usual
+// gradient zeroing, sync hook, and optimizer update. Every rank of a
+// pipeline column draws the same micro-batches (same corpus seed), so
+// the stream stays aligned for checkpointed RNG state on all stages.
+func (e *Engine) stepPipelined() train.Metrics {
+	return e.Trainer.StepWith(func() (float32, float32, int) {
+		scale := e.Trainer.MP.LossScale() / float32(e.micro)
+		for _, b := range e.Model.Blocks {
+			if g, ok := b.FFN.(gradScaler); ok {
+				g.SetGradScale(scale)
+			}
+		}
+		batches := make([]pipe.MicroBatch, e.micro)
+		for i := range batches {
+			ids, targets := e.Trainer.Corpus.Batch(e.batch)
+			batches[i] = pipe.MicroBatch{IDs: ids, Targets: targets}
+		}
+		return e.runner.Step(batches, scale)
+	})
+}
+
+// gradScaler mirrors train's unexported hook for MoE layers whose
+// internally injected aux-loss gradient must track the micro-batch
+// weight.
+type gradScaler interface{ SetGradScale(float32) }
 
 // sumMoE folds a Timing accessor over this rank's MoE layers.
 func (e *Engine) sumMoE(f func(moe.Timing) float64) float64 {
@@ -626,14 +934,35 @@ func (e *Engine) sumMoE(f func(moe.Timing) float64) float64 {
 
 // GlobalBatchTokens returns tokens consumed per step across all ranks.
 func (e *Engine) GlobalBatchTokens() int {
+	if e.runner != nil {
+		return e.batch * e.Model.Cfg.SeqLen * e.micro * e.perStage()
+	}
 	return e.batch * e.Model.Cfg.SeqLen * e.Comm.Size()
 }
 
 // NumParamsGlobal estimates the global parameter count: dense params
 // once plus each rank's expert shard summed over expert-parallel
-// ranks.
+// ranks. Under PP the local dense/expert sets cover only this rank's
+// stage, so the count is rebuilt from the whole (replicated) model.
 func (e *Engine) NumParamsGlobal() int {
+	if e.fold != nil {
+		shardedLocal := 0
+		for _, m := range e.moeLayers {
+			shardedLocal += nn.NumParams(m.ShardedParams())
+		}
+		dense := e.Model.NumParams() - shardedLocal
+		return dense + shardedLocal*e.Strategy.ExpertParallel
+	}
 	dense := nn.NumParams(e.denseParams)
 	expertLocal := nn.NumParams(e.expertParams)
 	return dense + expertLocal*e.Strategy.ExpertParallel
 }
+
+// Fold returns the folded layout pair (nil when Pipeline <= 1).
+func (e *Engine) Fold() *layout.Folded { return e.fold }
+
+// PipelineRunner returns the schedule runner (nil when Pipeline <= 1).
+func (e *Engine) PipelineRunner() *pipe.Runner { return e.runner }
+
+// MicroBatches returns the micro-batch count per optimizer step.
+func (e *Engine) MicroBatches() int { return e.micro }

@@ -59,13 +59,13 @@ func runEngine(t *testing.T, strat Strategy, mc ModelConfig, steps int) []StepSt
 }
 
 func TestStrategyValidate(t *testing.T) {
-	if (Strategy{2, 2}).Validate() != nil {
+	if (Strategy{DataParallel: 2, ExpertParallel: 2}).Validate() != nil {
 		t.Fatal("valid strategy rejected")
 	}
-	if (Strategy{0, 2}).Validate() == nil {
+	if (Strategy{DataParallel: 0, ExpertParallel: 2}).Validate() == nil {
 		t.Fatal("zero DP accepted")
 	}
-	if (Strategy{2, 3}).Size() != 6 {
+	if (Strategy{DataParallel: 2, ExpertParallel: 3}).Size() != 6 {
 		t.Fatal("Size wrong")
 	}
 }

@@ -1,0 +1,155 @@
+// Package pipe implements deterministic pipeline-parallel execution
+// of nn.GPT on the virtual clock: contiguous layer partitioning into
+// stage chunks, micro-batch 1F1B and interleaved-virtual-stage
+// schedules, and a runner that executes a schedule with pooled
+// boundary-activation exchange over the reliable mpi wire.
+//
+// The scheduling model follows Megatron-LM: with S stages, V virtual
+// stages per rank (model chunks), and M micro-batches, the model's
+// layers split into S·V contiguous chunks; global chunk g lives on
+// stage g mod S as the rank's local chunk g div S. 1F1B (V=1) bounds
+// in-flight activations by the stage's warmup depth; the interleaved
+// schedule (V>1) shrinks the pipeline bubble by a further factor of V
+// at the cost of more boundary traffic.
+//
+// Activations are stashed per (chunk, micro-batch) and the chunk's
+// forward is replayed at backward time — the same mechanism as
+// activation recomputation (nn.GPT.Recompute), which the engine
+// already proves bit-exact. Replay is what makes in-flight
+// micro-batches safe with the single-slot layer caches.
+package pipe
+
+import "fmt"
+
+// Chunk is one contiguous block range [Lo, Hi) of the model.
+type Chunk struct{ Lo, Hi int }
+
+// Blocks returns the chunk's block count.
+func (c Chunk) Blocks() int { return c.Hi - c.Lo }
+
+// PartitionLayers splits layers into chunks contiguous ranges whose
+// sizes differ by at most one (earlier chunks take the remainder).
+func PartitionLayers(layers, chunks int) ([]Chunk, error) {
+	if chunks < 1 || layers < chunks {
+		return nil, fmt.Errorf("pipe: cannot split %d layers into %d chunks", layers, chunks)
+	}
+	base, rem := layers/chunks, layers%chunks
+	out := make([]Chunk, chunks)
+	lo := 0
+	for i := range out {
+		n := base
+		if i < rem {
+			n++
+		}
+		out[i] = Chunk{Lo: lo, Hi: lo + n}
+		lo += n
+	}
+	return out, nil
+}
+
+// OpKind distinguishes schedule operations.
+type OpKind uint8
+
+const (
+	// Fwd runs a chunk's forward pass for one micro-batch.
+	Fwd OpKind = iota
+	// Bwd replays the chunk forward and runs its backward pass.
+	Bwd
+)
+
+// Op is one schedule entry: run Kind on local chunk Chunk (0..V-1)
+// for micro-batch MB.
+type Op struct {
+	Kind  OpKind
+	Chunk int
+	MB    int
+}
+
+func (o Op) String() string {
+	k := "F"
+	if o.Kind == Bwd {
+		k = "B"
+	}
+	return fmt.Sprintf("%s(c%d,m%d)", k, o.Chunk, o.MB)
+}
+
+// Schedule1F1B returns the classic one-forward-one-backward schedule
+// for this stage: min(micro, stages-1-stage) warmup forwards, a
+// steady state alternating one forward with one backward, and a
+// cooldown draining the remaining backwards. In-flight activations
+// are bounded by the warmup depth, not by micro.
+func Schedule1F1B(stage, stages, micro int) []Op {
+	if stage < 0 || stage >= stages || micro < 1 {
+		panic(fmt.Sprintf("pipe: bad 1F1B shape stage=%d/%d micro=%d", stage, stages, micro))
+	}
+	warmup := stages - 1 - stage
+	if warmup > micro {
+		warmup = micro
+	}
+	ops := make([]Op, 0, 2*micro)
+	for m := 0; m < warmup; m++ {
+		ops = append(ops, Op{Fwd, 0, m})
+	}
+	fwd, bwd := warmup, 0
+	for fwd < micro {
+		ops = append(ops, Op{Fwd, 0, fwd})
+		fwd++
+		ops = append(ops, Op{Bwd, 0, bwd})
+		bwd++
+	}
+	for bwd < micro {
+		ops = append(ops, Op{Bwd, 0, bwd})
+		bwd++
+	}
+	return ops
+}
+
+// ScheduleInterleaved returns Megatron's interleaved virtual-stage
+// schedule: each stage owns virtual chunks (global chunk v·stages +
+// stage for local v), micro-batches advance through chunks in groups
+// of stages, and the warmup depth (stages-stage-1)·2 + (virtual-1)·
+// stages keeps every dependency satisfied while shrinking the bubble
+// by the virtual factor. Requires micro % stages == 0 (the groups-of-
+// stages traversal is what the schedule's validity rests on).
+func ScheduleInterleaved(stage, stages, virtual, micro int) []Op {
+	if stage < 0 || stage >= stages || virtual < 1 || micro < 1 {
+		panic(fmt.Sprintf("pipe: bad interleaved shape stage=%d/%d v=%d micro=%d", stage, stages, virtual, micro))
+	}
+	if micro%stages != 0 {
+		panic(fmt.Sprintf("pipe: interleaved schedule needs micro %d divisible by stages %d", micro, stages))
+	}
+	total := micro * virtual
+	warmup := (stages-stage-1)*2 + (virtual-1)*stages
+	if warmup > total {
+		warmup = total
+	}
+	fwdOp := func(k int) Op {
+		group := k / stages
+		return Op{Fwd, group % virtual, (group/virtual)*stages + k%stages}
+	}
+	bwdOp := func(k int) Op {
+		group := k / stages
+		return Op{Bwd, virtual - 1 - group%virtual, (group/virtual)*stages + k%stages}
+	}
+	ops := make([]Op, 0, 2*total)
+	for k := 0; k < warmup; k++ {
+		ops = append(ops, fwdOp(k))
+	}
+	for k := warmup; k < total; k++ {
+		ops = append(ops, fwdOp(k))
+		ops = append(ops, bwdOp(k-warmup))
+	}
+	for k := total - warmup; k < total; k++ {
+		ops = append(ops, bwdOp(k))
+	}
+	return ops
+}
+
+// Schedule picks the schedule for the stage: 1F1B when virtual == 1,
+// interleaved otherwise.
+func Schedule(stage, stages, virtual, micro int) []Op {
+	if virtual <= 1 {
+		return Schedule1F1B(stage, stages, micro)
+	}
+	return ScheduleInterleaved(stage, stages, virtual, micro)
+}

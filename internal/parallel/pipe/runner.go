@@ -1,0 +1,255 @@
+package pipe
+
+import (
+	"fmt"
+
+	"bagualu/internal/metrics"
+	"bagualu/internal/mpi"
+	"bagualu/internal/nn"
+	"bagualu/internal/tensor"
+)
+
+// MicroBatch is one micro-batch's tokens: ids feed the first stage's
+// embedding, targets the last stage's loss. Every rank of a pipeline
+// column draws the identical sequence (the engine seeds the corpus by
+// within-stage index), so no token traffic crosses stage boundaries.
+type MicroBatch struct {
+	IDs     []int
+	Targets []int
+}
+
+// Runner executes a pipeline schedule for one rank. It owns the
+// per-(chunk, micro-batch) activation stash, the pooled boundary
+// send/recv buffers, and the last stage's loss head. Build one per
+// engine; Step is called once per optimizer step.
+type Runner struct {
+	// Grid shape: S pipeline stages, V virtual chunks per stage, M
+	// micro-batches per step (M % S == 0 when V > 1).
+	Stages, Virtual, Micro int
+	Stage                  int
+
+	// Comm is the pipeline communicator: Stages ranks, comm rank ==
+	// stage, shared by all boundary traffic of this rank's column.
+	Comm *mpi.Comm
+
+	// Model is the full GPT (every rank builds it identically); Part
+	// holds all Stages·Virtual chunk ranges in global order. The
+	// runner only ever touches blocks in this stage's chunks.
+	Model *nn.GPT
+	Part  []Chunk
+
+	// Rows is batch·seq — the activation row count per micro-batch.
+	Rows int
+
+	// FwdSeconds, when non-nil, returns the virtual seconds to charge
+	// for one executed forward pass of global chunk g (backward
+	// charges twice that, replay once more). The engine prices dense
+	// FLOPs here; self-charging MoE layers price their own GEMMs.
+	FwdSeconds func(g int) float64
+
+	// AuxOf, when non-nil, returns the auxiliary loss and overflow
+	// collected from global chunk g's MoE layers after a forward.
+	AuxOf func(g int) (float32, int)
+
+	// Meter, when non-nil, receives bubble time (metrics.PhaseBubble):
+	// virtual seconds this stage spent blocked on boundary recvs.
+	Meter *metrics.PhaseMeter
+
+	loss nn.SoftmaxCrossEntropy
+
+	// Reused across steps: activation stash [V][M], dlogits stash [M]
+	// (last stage only), and the grad recv scratch.
+	acts    [][]*tensor.Tensor
+	dlogits []*tensor.Tensor
+	dgrad   *tensor.Tensor
+	sched   []Op
+}
+
+// boundary tags: direction bit + global boundary index + micro-batch.
+const tagMBBits = 16
+
+func bTag(dir, g, mb int) int {
+	if mb >= 1<<tagMBBits {
+		panic(fmt.Sprintf("pipe: micro-batch %d overflows the tag space", mb))
+	}
+	return ((g*2+dir)<<tagMBBits | mb) + 1
+}
+
+// chunks this stage owns, as global indices: v*Stages + Stage.
+func (r *Runner) global(v int) int { return v*r.Stages + r.Stage }
+
+// lastGlobal is the pipeline's final chunk (owns head + loss).
+func (r *Runner) lastGlobal() int { return r.Stages*r.Virtual - 1 }
+
+func (r *Runner) init() {
+	if r.sched != nil {
+		return
+	}
+	if len(r.Part) != r.Stages*r.Virtual {
+		panic(fmt.Sprintf("pipe: %d chunks for %d stages x %d virtual", len(r.Part), r.Stages, r.Virtual))
+	}
+	dim := r.Model.Cfg.Dim
+	r.acts = make([][]*tensor.Tensor, r.Virtual)
+	for v := range r.acts {
+		r.acts[v] = make([]*tensor.Tensor, r.Micro)
+		if r.global(v) == 0 {
+			continue // first chunk stashes ids, not activations
+		}
+		for m := range r.acts[v] {
+			r.acts[v][m] = tensor.New(r.Rows, dim)
+		}
+	}
+	if r.ownsLast() {
+		r.dlogits = make([]*tensor.Tensor, r.Micro)
+		for m := range r.dlogits {
+			r.dlogits[m] = tensor.New(r.Rows, r.Model.Cfg.Vocab)
+		}
+	}
+	r.dgrad = tensor.New(r.Rows, dim)
+	r.sched = Schedule(r.Stage, r.Stages, r.Virtual, r.Micro)
+}
+
+func (r *Runner) ownsFirst() bool { return r.Stage == 0 }
+func (r *Runner) ownsLast() bool  { return r.lastGlobal()%r.Stages == r.Stage }
+
+// Schedule returns the op sequence this runner executes (for tests
+// and the deterministic-replay gate).
+func (r *Runner) ScheduleOps() []Op {
+	r.init()
+	return r.sched
+}
+
+// recvInto blocks for a boundary tensor and charges the wait to the
+// bubble phase.
+func (r *Runner) recvInto(dst []float32, src, tag int) {
+	t0 := r.Comm.Now()
+	r.Comm.RecvPooledInto(dst, src, tag)
+	if r.Meter != nil {
+		r.Meter.Observe(metrics.PhaseBubble, r.Comm.Now()-t0)
+	}
+}
+
+// charge prices seconds of chunk compute on the virtual clock.
+func (r *Runner) charge(g int, passes float64) {
+	if r.FwdSeconds == nil {
+		return
+	}
+	if s := r.FwdSeconds(g); s > 0 {
+		r.Comm.Compute(s * passes)
+	}
+}
+
+// forwardChunk runs chunk v's blocks on x and returns the output.
+func (r *Runner) forwardChunk(v int, x *tensor.Tensor) *tensor.Tensor {
+	c := r.Part[r.global(v)]
+	for i := c.Lo; i < c.Hi; i++ {
+		x = r.Model.Blocks[i].Forward(x)
+	}
+	return x
+}
+
+// runForward executes F(v, mb): obtain the chunk input (embed, or
+// recv from the previous chunk's stage), stash it, run the blocks,
+// and either hand the output to the loss (last chunk) or send it
+// downstream. Returns the micro-batch's loss contribution (last
+// chunk only).
+func (r *Runner) runForward(v, mb int, batches []MicroBatch, lossScale float32) (loss, aux float32, overflow int) {
+	g := r.global(v)
+	var x *tensor.Tensor
+	if g == 0 {
+		x = r.Model.EmbedForward(batches[mb].IDs)
+	} else {
+		src := (g - 1) % r.Stages
+		r.recvInto(r.acts[v][mb].Data, src, bTag(0, g, mb))
+		x = r.acts[v][mb]
+	}
+	out := r.forwardChunk(v, x)
+	if g == r.lastGlobal() {
+		logits := r.Model.HeadForward(out)
+		r.charge(g, 1)
+		loss = r.loss.Forward(logits, batches[mb].Targets)
+		// The loss layer is single-slot: compute the scaled logits
+		// gradient now, before another micro-batch's forward clobbers
+		// it, and stash it for this micro-batch's backward.
+		d := r.loss.Backward()
+		if lossScale != 1 {
+			tensor.ScaleInPlace(d, lossScale)
+		}
+		r.dlogits[mb].CopyFrom(d)
+	} else {
+		r.charge(g, 1)
+		r.Comm.SendPooled((g+1)%r.Stages, bTag(0, g+1, mb), out.Data)
+	}
+	if r.AuxOf != nil {
+		aux, overflow = r.AuxOf(g)
+	}
+	return loss, aux, overflow
+}
+
+// runBackward executes B(v, mb): replay the chunk forward from the
+// stash (repopulating every single-slot layer cache — the same replay
+// the recompute path proves bit-exact), then run the blocks backward
+// and route the input gradient upstream (or into the embeddings).
+func (r *Runner) runBackward(v, mb int, batches []MicroBatch) {
+	g := r.global(v)
+	// Replay forward.
+	var x *tensor.Tensor
+	if g == 0 {
+		x = r.Model.EmbedForward(batches[mb].IDs)
+	} else {
+		x = r.acts[v][mb]
+	}
+	out := r.forwardChunk(v, x)
+
+	// Obtain the output gradient.
+	var dx *tensor.Tensor
+	if g == r.lastGlobal() {
+		r.Model.HeadForward(out) // repopulate head + final-LN caches
+		r.charge(g, 1)           // replay
+		dx = r.Model.HeadBackward(r.dlogits[mb])
+	} else {
+		r.charge(g, 1) // replay
+		dst := (g + 1) % r.Stages
+		r.recvInto(r.dgrad.Data, dst, bTag(1, g, mb))
+		dx = r.dgrad
+	}
+
+	// Backward through the chunk's blocks.
+	c := r.Part[g]
+	for i := c.Hi - 1; i >= c.Lo; i-- {
+		dx = r.Model.Blocks[i].Backward(dx)
+	}
+	r.charge(g, 2)
+	if g == 0 {
+		r.Model.EmbedBackward(dx)
+	} else {
+		r.Comm.SendPooled((g-1)%r.Stages, bTag(1, g-1, mb), dx.Data)
+	}
+}
+
+// Step executes one full pipeline schedule over the micro-batches and
+// returns the micro-averaged loss, auxiliary loss, and overflow count
+// (loss is nonzero only on the stage owning the final chunk; the
+// engine combines across the world). lossScale multiplies the logits
+// gradient of every micro-batch (loss scale times the 1/M
+// accumulation weight), matching the non-PP trainer's micro-step
+// scaling exactly.
+func (r *Runner) Step(batches []MicroBatch, lossScale float32) (loss, aux float32, overflow int) {
+	r.init()
+	if len(batches) != r.Micro {
+		panic(fmt.Sprintf("pipe: %d micro-batches for schedule of %d", len(batches), r.Micro))
+	}
+	inv := 1 / float32(r.Micro)
+	for _, op := range r.sched {
+		switch op.Kind {
+		case Fwd:
+			l, a, o := r.runForward(op.Chunk, op.MB, batches, lossScale)
+			loss += l * inv
+			aux += a * inv
+			overflow += o
+		case Bwd:
+			r.runBackward(op.Chunk, op.MB, batches)
+		}
+	}
+	return loss, aux, overflow
+}

@@ -32,9 +32,30 @@ type Deployment struct {
 	Machine      *sunway.Machine
 	RanksPerNode int // MPI ranks per node (1 per core group = 6 on SW26010-Pro)
 
-	// Grid: DataParallel × ExpertParallel must equal the rank count.
+	// Grid: DataParallel × ExpertParallel × pipeline depth must equal
+	// the rank count.
 	DataParallel   int
 	ExpertParallel int
+
+	// PipelineParallel folds a pipeline axis into the grid (parallel
+	// folding): the machine becomes PipelineParallel stages of
+	// contiguous DP×EP sub-grids, each stage holding Layers/(S·V)
+	// contiguous blocks. 0 or 1 = no pipeline. Per-stage compute,
+	// dense parameters, and dense gradient sync all scale by 1/S; the
+	// price is the fill/drain bubble and the stage-boundary
+	// activation sends, both modeled in PredictStep.
+	PipelineParallel int
+
+	// VirtualStages is the interleaving factor V (model chunks per
+	// stage, the interleaved 1F1B schedule): the bubble fraction
+	// (S-1)/(M·V) shrinks with V while boundary sends grow with it.
+	// 0 or 1 = plain 1F1B.
+	VirtualStages int
+
+	// MicroBatches is the in-flight micro-batch count M; 0 defaults
+	// to the pipeline depth (the token-fair choice the runtime uses:
+	// Accum = S keeps the global batch equal to the non-PP engine).
+	MicroBatches int
 
 	BatchPerRank int // sequences per rank per step
 	Precision    sunway.Precision
@@ -93,6 +114,31 @@ type Deployment struct {
 
 // Ranks returns the total rank count.
 func (d Deployment) Ranks() int { return d.Machine.Nodes() * d.RanksPerNode }
+
+// PP returns the effective pipeline depth (1 = no pipeline).
+func (d Deployment) PP() int {
+	if d.PipelineParallel < 1 {
+		return 1
+	}
+	return d.PipelineParallel
+}
+
+// VPP returns the effective virtual-stage factor (1 = plain 1F1B).
+func (d Deployment) VPP() int {
+	if d.VirtualStages < 1 {
+		return 1
+	}
+	return d.VirtualStages
+}
+
+// Micro returns the effective micro-batch count M: the configured
+// value, or the token-fair default M = S.
+func (d Deployment) Micro() int {
+	if d.MicroBatches >= 1 {
+		return d.MicroBatches
+	}
+	return d.PP()
+}
 
 // Report is the projected behaviour of one training step.
 type Report struct {

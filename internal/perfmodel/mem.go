@@ -45,14 +45,19 @@ func (d Deployment) Memory(spec ModelSpec) (MemBreakdown, error) {
 	weightB := bytesPerElem(d.Precision)
 	optB := d.Precision.BytesPerParam() - weightB
 
-	dense := float64(spec.DenseParams())
-	expertShard := float64(spec.ExpertParamsTotal()) / float64(d.ExpertParallel)
+	// Pipeline stages partition the layer stack, so each rank keeps
+	// only its stage's slice of the dense weights and of the expert
+	// pool (stage-local experts shard 1/EP within the stage).
+	dense := float64(spec.DenseParams()) / float64(d.PP())
+	expertShard := float64(spec.ExpertParamsTotal()) / float64(d.ExpertParallel) / float64(d.PP())
 
 	params := dense*weightB + expertShard*weightB
 	denseOpt := dense * optB
 	expertOpt := expertShard * optB
 	if d.ZeRO {
-		denseOpt /= ranks
+		// ZeRO shards within the stage-local sync group (the whole
+		// world at PP=1); dense is already divided by PP above.
+		denseOpt /= ranks / float64(d.PP())
 		expertOpt /= float64(d.DataParallel)
 	}
 	opt := denseOpt + expertOpt
@@ -61,6 +66,9 @@ func (d Deployment) Memory(spec ModelSpec) (MemBreakdown, error) {
 	// caching, 1·d (the block input) for a recomputed block.
 	f := d.RecomputeFraction
 	tokensPerRank := float64(d.BatchPerRank * spec.SeqLen)
+	// Under 1F1B each rank holds Layers/PP layers but keeps up to PP
+	// micro-batches in flight, so the activation footprint is the same
+	// product as the flat case — spec.Layers stays unscaled here.
 	act := tokensPerRank * float64(spec.Dim) * float64(spec.Layers) * weightB * (6*(1-f) + 1*f)
 
 	var hostOpt float64

@@ -29,6 +29,8 @@ type StepPrediction struct {
 
 	MoEPhase    float64 // visible dispatch+expert+combine time (OverlapA2A applied)
 	VisibleSync float64 // Sync minus the share hidden behind backward (OverlapSync)
+	Bubble      float64 // pipeline fill/drain idle: (S-1)/(M·V) of the busy span
+	PPSend      float64 // stage-boundary activation/gradient sends (2·M·V per rank)
 	StepTime    float64 // fault-free visible step time
 
 	SyncBytes float64 // per-rank gradient-sync wire bytes
@@ -70,20 +72,39 @@ func (d Deployment) PredictStep(spec ModelSpec, fm FaultModel) (StepPrediction, 
 	}
 	topo := simnet.New(d.Machine, d.RanksPerNode)
 	ranks := d.Ranks()
+	// Pipeline shape: S contiguous stages of perStage = ranks/S ranks,
+	// V chunks per stage, M micro-batches in flight. BatchPerRank is
+	// the per-micro-batch size; the token-fair default M = S keeps the
+	// global fresh-token count equal to the flat grid's (the pipeline
+	// columns all process the same tokens).
+	S, V, M := d.PP(), d.VPP(), d.Micro()
+	perStage := ranks / S
 	tokensPerRank := float64(d.BatchPerRank * spec.SeqLen)
-	p.TokensPerStep = tokensPerRank * float64(ranks)
+	// flow = M/S: each rank runs its 1/S layer share over M
+	// micro-batches; at the token-fair M = S this is exactly the flat
+	// per-rank workload.
+	flow := float64(M) / float64(S)
+	p.TokensPerStep = tokensPerRank * float64(M) * float64(perStage)
 
 	// Compute: forward+backward FLOPs per rank against node peak,
 	// split into the dense share and the expert share (the part the
 	// two-phase exchange can hide inside the a2a window).
 	nodeFlops := d.Machine.NodeFlops(d.Precision) * d.Efficiency
 	rankFlops := nodeFlops / float64(d.RanksPerNode)
-	totalCompute := tokensPerRank * spec.FlopsPerToken() / rankFlops
+	totalCompute := tokensPerRank * flow * spec.FlopsPerToken() / rankFlops
 	if spec.MoEEvery > 0 {
 		expertFlopsPerToken := 6 * float64(spec.MoELayers()) * float64(spec.TopK) * float64(spec.expertParams())
-		p.ExpertCompute = tokensPerRank * expertFlopsPerToken / rankFlops
+		p.ExpertCompute = tokensPerRank * flow * expertFlopsPerToken / rankFlops
 	}
 	p.DenseCompute = totalCompute - p.ExpertCompute
+
+	// Pipelined backward replays every chunk's forward from its stashed
+	// input (recompute-all: fwd + replay + 2·fwd backward), so the
+	// recompute fraction is pinned to 1 whenever a pipeline exists.
+	recompute := d.RecomputeFraction
+	if S > 1 {
+		recompute = 1
+	}
 
 	// Communication: 4 all-to-alls per MoE layer per step (dispatch
 	// and combine, forward and backward), each moving
@@ -94,13 +115,16 @@ func (d Deployment) PredictStep(spec ModelSpec, fm FaultModel) (StepPrediction, 
 		intraBytes := elems * bytesPerElem(d.Precision)
 		machineBytes := elems * d.wireBytesPerElem()
 		one, oneBytes := d.a2aCost(topo, d.ExpertParallel, intraBytes, machineBytes)
-		p.A2A = float64(4*spec.MoELayers()) * one
-		p.A2ABytes = float64(4*spec.MoELayers()) * oneBytes
+		// Each rank's chunk carries MoELayers/S expert layers and runs
+		// them M times (once per micro-batch): flow = M/S exchanges per
+		// layer relative to the flat grid.
+		p.A2A = float64(4*spec.MoELayers()) * flow * one
+		p.A2ABytes = float64(4*spec.MoELayers()) * flow * oneBytes
 		// Recomputed blocks replay their forward pass during backward,
 		// dispatch/combine exchanges included: the forward half of the
 		// a2a bill (2 of the 4 exchanges) repeats for that fraction.
-		p.A2A *= 1 + d.RecomputeFraction/2
-		p.A2ABytes *= 1 + d.RecomputeFraction/2
+		p.A2A *= 1 + recompute/2
+		p.A2ABytes *= 1 + recompute/2
 	}
 
 	// Gradient sync: dense params all-reduced over the world (ring:
@@ -110,15 +134,18 @@ func (d Deployment) PredictStep(spec ModelSpec, fm FaultModel) (StepPrediction, 
 	// ZeRO's reduce-scatter + all-gather moves the same bytes as the
 	// ring all-reduce (pinned by TestZeROSyncBytesNoWorse), so sync
 	// cost does not depend on the ZeRO lever.
+	// Under a pipeline each stage syncs only its own 1/S of the dense
+	// parameters, over its contiguous perStage sub-grid — the term
+	// that shrinks with depth and makes PP win on deep stacks.
 	gradBytes := func(n int64) float64 { return float64(n) * bytesPerElem(d.Precision) }
-	denseB := gradBytes(spec.DenseParams())
-	p.Sync = d.allReduceCost(topo, ranks, denseB)
-	p.SyncBytes = ringBytes(ranks, denseB)
+	denseB := gradBytes(spec.DenseParams()) / float64(S)
+	p.Sync = d.allReduceCost(topo, perStage, denseB)
+	p.SyncBytes = ringBytes(perStage, denseB)
 	if d.DataParallel > 1 && spec.MoEEvery > 0 {
 		// Data-parallel peers of an expert shard sit ExpertParallel
 		// ranks apart (contiguous EP groups, strided DP groups), so
 		// their ring runs over the tier that stride reaches.
-		shardB := gradBytes(spec.ExpertParamsTotal() / int64(d.ExpertParallel))
+		shardB := gradBytes(spec.ExpertParamsTotal() / int64(d.ExpertParallel) / int64(S))
 		p.Sync += d.allReduceStridedCost(topo, d.DataParallel, d.ExpertParallel, shardB)
 		p.SyncBytes += ringBytes(d.DataParallel, shardB)
 	}
@@ -127,7 +154,7 @@ func (d Deployment) PredictStep(spec ModelSpec, fm FaultModel) (StepPrediction, 
 		// reduce-scatter + all-gather pair (train.ShardedAdam): the
 		// bytes are pinned equal, but every sharded group pays one
 		// extra collective's worth of phase startups.
-		p.Sync += d.allReduceLatency(topo, ranks)
+		p.Sync += d.allReduceLatency(topo, perStage)
 		if d.DataParallel > 1 && spec.MoEEvery > 0 {
 			p.Sync += d.allReduceStridedLatency(topo, d.DataParallel, d.ExpertParallel)
 		}
@@ -136,7 +163,7 @@ func (d Deployment) PredictStep(spec ModelSpec, fm FaultModel) (StepPrediction, 
 	// Selective recomputation replays the forward pass of the
 	// recomputed blocks during backward: that fraction of the forward
 	// share (one third of fwd+bwd) is extra compute.
-	p.Recompute = d.RecomputeFraction * totalCompute / 3
+	p.Recompute = recompute * totalCompute / 3
 
 	// Memory: the full per-node breakdown (ZeRO sharding, recompute
 	// policy, host offload).
@@ -165,7 +192,30 @@ func (d Deployment) PredictStep(spec ModelSpec, fm FaultModel) (StepPrediction, 
 		// The backward pass (≈ 2/3 of compute) can hide sync.
 		p.VisibleSync -= math.Min(p.Sync, 2.0/3.0*totalCompute)
 	}
-	p.StepTime = p.DenseCompute + p.MoEPhase + p.Recompute + p.VisibleSync + p.Offload
+
+	if S > 1 {
+		// Fill/drain bubble of the (interleaved) 1F1B schedule: the
+		// classic (S-1)/(M·V) fraction of the per-rank busy span —
+		// compute, MoE phase and replay all idle during ramp-up and
+		// drain; sync happens after the last micro-batch and is not
+		// part of the bubbled span.
+		p.Bubble = float64(S-1) / (float64(M) * float64(V)) *
+			(p.DenseCompute + p.MoEPhase + p.Recompute)
+		// Stage-boundary activation traffic: each micro-batch crosses
+		// every chunk boundary once forward and once backward — 2·M·V
+		// sends per rank of a [rows × Dim] activation block, traveling
+		// at whatever tier perStage ranks of distance reach.
+		rows := float64(d.BatchPerRank * spec.SeqLen)
+		sendBytes := rows * float64(spec.Dim) * bytesPerElem(d.Precision)
+		lvl := levelOfDistance(topo, perStage)
+		one := topo.CostAtLevel(lvl, int(sendBytes))
+		if lvl == simnet.MachineLevel {
+			one *= d.Machine.BisectionOversub
+		}
+		p.PPSend = 2 * float64(M) * float64(V) * one
+	}
+
+	p.StepTime = p.DenseCompute + p.MoEPhase + p.Recompute + p.VisibleSync + p.Offload + p.Bubble + p.PPSend
 	p.TokensPerSec = p.TokensPerStep / p.StepTime
 	p.SustainedFlops = p.TokensPerStep * spec.FlopsPerToken() / p.StepTime
 	p.PeakFraction = p.SustainedFlops / (d.Machine.NodeFlops(d.Precision) * float64(d.Machine.Nodes()))

@@ -16,7 +16,7 @@ import (
 // ConfigError is the typed rejection of an inconsistent deployment or
 // deployment/spec pairing. Field names the knob at fault (stable
 // strings, matchable in tests): "deployment", "grid", "efficiency",
-// "expert-parallel", "zero", "recompute", "wire".
+// "expert-parallel", "zero", "recompute", "wire", "pipeline".
 type ConfigError struct {
 	Field  string
 	Detail string
@@ -41,9 +41,22 @@ func (d Deployment) Validate() error {
 		return badConfig("deployment", "non-positive ranks/node=%d or batch/rank=%d",
 			d.RanksPerNode, d.BatchPerRank)
 	}
-	if d.DataParallel*d.ExpertParallel != d.Ranks() {
-		return badConfig("grid", "DP=%d x EP=%d != %d ranks",
-			d.DataParallel, d.ExpertParallel, d.Ranks())
+	if d.PipelineParallel < 0 || d.VirtualStages < 0 || d.MicroBatches < 0 {
+		return badConfig("pipeline", "negative pipeline knobs pp=%d v=%d m=%d",
+			d.PipelineParallel, d.VirtualStages, d.MicroBatches)
+	}
+	if d.VPP() > 1 && d.PP() < 2 {
+		return badConfig("pipeline", "virtual stages (V=%d) require a pipeline (PP=%d)",
+			d.VPP(), d.PP())
+	}
+	if d.VPP() > 1 && d.Micro()%d.PP() != 0 {
+		// The interleaved schedule needs the micro count divisible by
+		// the stage count — the same shape the runtime engine rejects.
+		return badConfig("pipeline", "interleaving needs M=%d divisible by PP=%d", d.Micro(), d.PP())
+	}
+	if d.DataParallel*d.ExpertParallel*d.PP() != d.Ranks() {
+		return badConfig("grid", "DP=%d x EP=%d x PP=%d != %d ranks",
+			d.DataParallel, d.ExpertParallel, d.PP(), d.Ranks())
 	}
 	if d.Efficiency <= 0 || d.Efficiency > 1 {
 		return badConfig("efficiency", "%v out of (0,1]", d.Efficiency)
@@ -75,6 +88,10 @@ func (d Deployment) ValidateFor(spec ModelSpec) error {
 	if spec.MoEEvery > 0 && spec.NumExperts%d.ExpertParallel != 0 {
 		return badConfig("expert-parallel",
 			"%d experts not divisible by EP=%d", spec.NumExperts, d.ExpertParallel)
+	}
+	if chunks := d.PP() * d.VPP(); spec.Layers < chunks {
+		return badConfig("pipeline", "%d layers cannot fill %d pipeline chunks (PP=%d x V=%d)",
+			spec.Layers, chunks, d.PP(), d.VPP())
 	}
 	return nil
 }

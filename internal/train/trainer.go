@@ -149,6 +149,16 @@ func (t *Trainer) RefreshParams() {
 	t.MP = NewMixedPrecision(t.Cfg.Precision, t.params)
 }
 
+// RestrictParams narrows the trainer's trainable-parameter set to
+// owned — the pipeline engine passes the stage-owned subset so the
+// optimizer, gradient zeroing, precision policy, and checkpoints all
+// operate stage-locally while the model itself stays whole on every
+// rank. The slice is adopted, not copied.
+func (t *Trainer) RestrictParams(owned []*nn.Param) {
+	t.params = owned
+	t.MP = NewMixedPrecision(t.Cfg.Precision, t.params)
+}
+
 // StepCount returns the number of Step calls so far.
 func (t *Trainer) StepCount() int { return t.step }
 
@@ -187,6 +197,26 @@ func (t *Trainer) Step() Metrics {
 		m.AuxLoss += aux / float32(accum)
 		m.Overflow += over
 	}
+	m = t.finishStep(m)
+	t.fillComm(&m, wire0, comm0)
+	return m
+}
+
+// StepWith runs one optimizer step whose forward/backward phase is
+// driven by the caller: run computes gradients into the restricted
+// parameter set (the pipeline engine executes its micro-batch
+// schedule here) and returns the micro-averaged loss, auxiliary loss,
+// and overflow count. Everything around it — gradient zeroing, the
+// precision policy, the PostBackward sync hook, clipping, and the
+// optimizer — is the exact finishStep path Step uses, so a pipelined
+// step and a gradient-accumulation step share one update rule.
+// StepWith never installs a step arena (the pipeline engine always
+// runs multi-rank, where the ambient arena is off-limits).
+func (t *Trainer) StepWith(run func() (loss, aux float32, overflow int)) Metrics {
+	nn.ZeroGrads(t.params)
+	m := Metrics{Step: t.step}
+	wire0, comm0 := t.commSnapshot()
+	m.Loss, m.AuxLoss, m.Overflow = run()
 	m = t.finishStep(m)
 	t.fillComm(&m, wire0, comm0)
 	return m

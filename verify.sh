@@ -74,3 +74,20 @@ go build -o /tmp/bagualu-plan ./cmd/bagualu-plan
 /tmp/bagualu-plan -seed 7 -csv > /tmp/bagualu-plan-b.csv
 cmp /tmp/bagualu-plan-a.csv /tmp/bagualu-plan-b.csv
 rm -f /tmp/bagualu-plan /tmp/bagualu-plan-a.csv /tmp/bagualu-plan-b.csv
+# Pipeline-parallel gates (R19): the schedule generators, layout
+# folding, and the pipelined engine must survive the race detector;
+# 1F1B must be bit-exact against the flat trainer and replay
+# deterministically (-count=2 catches cross-run state leaks); the
+# cross-layout checkpoint matrix (flat <-> folded, Adam moments, ZeRO
+# range shards, crash->shrink->restore into fewer stages) must hold;
+# and two bagualu-pipe depth sweeps must emit byte-identical R19
+# tables.
+go test -race ./internal/parallel/pipe/ ./internal/parallel/layout/
+go test -race -run 'TestPipeline' ./internal/parallel/
+go test -count=2 -run 'TestPipelineBitExactVsNoPP|TestPipelineDeterministicReplay' ./internal/parallel/
+go test -run 'TestPipelineCrossLayoutRestore|TestPipelineZeROCrossLayoutRestore|TestPipelineCrashShrinkRestore' ./internal/parallel/
+go build -o /tmp/bagualu-pipe ./cmd/bagualu-pipe
+/tmp/bagualu-pipe -csv > /tmp/bagualu-pipe-a.csv
+/tmp/bagualu-pipe -csv > /tmp/bagualu-pipe-b.csv
+cmp /tmp/bagualu-pipe-a.csv /tmp/bagualu-pipe-b.csv
+rm -f /tmp/bagualu-pipe /tmp/bagualu-pipe-a.csv /tmp/bagualu-pipe-b.csv
